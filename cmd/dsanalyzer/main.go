@@ -1,0 +1,63 @@
+// Command dsanalyzer profiles data stalls for a (model, dataset, server)
+// combination using the paper's differential method (§3.2) and answers
+// what-if questions (Appendix C):
+//
+//	dsanalyzer -model resnet18 -dataset imagenet-1k -cache 0.35
+//	dsanalyzer -model alexnet -whatif-gpu 2 -whatif-cores 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"datastall"
+)
+
+func main() {
+	model := flag.String("model", "resnet18", "model name (see -models)")
+	ds := flag.String("dataset", "", "dataset name (default: the model's Table 1 dataset)")
+	server := flag.String("server", string(datastall.ServerSSDV100), "server SKU")
+	cache := flag.Float64("cache", 0.35, "cache size as a fraction of the dataset")
+	scale := flag.Float64("scale", 0.01, "dataset scale for the simulation")
+	whatifGPU := flag.Float64("whatif-gpu", 0, "predict throughput with N-times faster GPUs")
+	whatifCores := flag.Float64("whatif-cores", 0, "predict throughput with N-times the prep CPUs")
+	models := flag.Bool("models", false, "list models and datasets")
+	flag.Parse()
+
+	if *models {
+		fmt.Println("models: ", datastall.Models())
+		fmt.Println("datasets:", datastall.Datasets())
+		return
+	}
+
+	p, err := datastall.AnalyzeStalls(datastall.TrainConfig{
+		Model: *model, Dataset: *ds, Server: datastall.Server(*server),
+		CacheFraction: *cache, Scale: *scale,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsanalyzer: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("DS-Analyzer profile: %s on %s (cache %.0f%%)\n", *model, *server, *cache*100)
+	fmt.Printf("  phase 1  GPU ingestion rate (G): %8.0f samples/s\n", p.GPURate)
+	fmt.Printf("  phase 2  prep-bound rate    (P): %8.0f samples/s\n", p.PrepRate)
+	fmt.Printf("  phase 3  actual rate        (F): %8.0f samples/s\n", p.FetchRate)
+	fmt.Printf("  prep stall : %5.1f%% of epoch time\n", p.PrepStallFraction*100)
+	fmt.Printf("  fetch stall: %5.1f%% of epoch time\n", p.FetchStallFraction*100)
+	fmt.Printf("  bottleneck at this cache size: %s\n", p.Bottleneck(*cache))
+	fmt.Printf("  recommended cache: %.0f%% of the dataset\n", p.OptimalCacheFraction*100)
+	if f := p.CoresToMaskPrep(); f > 1.01 {
+		fmt.Printf("  prep needs %.1fx the configured CPU cores to keep up with the GPUs\n", f)
+	}
+
+	if *whatifGPU > 0 {
+		fmt.Printf("  what-if %gx faster GPUs:  %8.0f samples/s\n",
+			*whatifGPU, p.WhatIfGPUFaster(*cache, *whatifGPU))
+	}
+	if *whatifCores > 0 {
+		fmt.Printf("  what-if %gx prep CPUs:    %8.0f samples/s\n",
+			*whatifCores, p.WhatIfMoreCores(*cache, *whatifCores))
+	}
+}

@@ -1,0 +1,64 @@
+// Command stallbench reproduces the paper's tables and figures.
+//
+//	stallbench -list
+//	stallbench -run fig2
+//	stallbench -run all -scale 0.01 > results.txt
+//
+// Each experiment prints a paper-style table plus the published result it
+// reproduces; -scale trades fidelity margin for runtime (1.0 = paper-sized
+// datasets).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"datastall"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "", "experiment id to run, or 'all'")
+	scale := flag.Float64("scale", 0, "dataset scale (0 = per-experiment default)")
+	epochs := flag.Int("epochs", 0, "epochs per training run (0 = default 3)")
+	seed := flag.Int64("seed", 0, "simulation seed")
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-18s %s\n", "ID", "TITLE")
+		for _, e := range datastall.Experiments() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+			fmt.Printf("%-18s   paper: %s\n", "", e.Paper)
+		}
+	case *run == "all":
+		for _, e := range datastall.Experiments() {
+			runOne(e.ID, *scale, *epochs, *seed)
+		}
+	case *run != "":
+		runOne(*run, *scale, *epochs, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id string, scale float64, epochs int, seed int64) {
+	start := time.Now()
+	rep, err := datastall.RunExperiment(id, datastall.ExperimentOptions{
+		Scale: scale, Epochs: epochs, Seed: seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stallbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("== %s: %s ==\n", rep.ID, rep.Title)
+	fmt.Printf("paper: %s\n", rep.Paper)
+	fmt.Print(rep.Text)
+	if rep.Notes != "" {
+		fmt.Printf("notes: %s\n", rep.Notes)
+	}
+	fmt.Printf("(%.2fs wall clock)\n\n", time.Since(start).Seconds())
+}

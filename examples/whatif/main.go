@@ -1,0 +1,44 @@
+// What-if example: use DS-Analyzer to size hardware before buying it
+// (§3.4, Appendix C). The profile is measured once; predictions for any
+// cache size, GPU speed or core count come from the Eq. 4 model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"datastall"
+)
+
+func main() {
+	p, err := datastall.AnalyzeStalls(datastall.TrainConfig{
+		Model:         "alexnet",
+		Dataset:       "imagenet-1k",
+		Server:        datastall.ServerSSDV100,
+		CacheFraction: 0.35,
+		Scale:         0.02,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("DS-Analyzer profile: AlexNet / ImageNet-1k / Config-SSD-V100")
+	fmt.Printf("  G (GPU) = %.0f  P (prep) = %.0f  F (fetch @35%%) = %.0f samples/s\n",
+		p.GPURate, p.PrepRate, p.FetchRate)
+	fmt.Printf("  stalls: %.0f%% prep, %.0f%% fetch\n\n",
+		p.PrepStallFraction*100, p.FetchStallFraction*100)
+
+	fmt.Println("cache%  predicted samp/s  bottleneck")
+	for _, x := range []float64{0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1.0} {
+		fmt.Printf("%5.0f%%  %16.0f  %s\n", x*100, p.PredictThroughput(x), p.Bottleneck(x))
+	}
+	fmt.Printf("\nrecommended cache: %.0f%% of the dataset — more DRAM beyond this\n",
+		p.OptimalCacheFraction*100)
+	fmt.Println("buys nothing, because training becomes CPU-bound (Fig 16).")
+
+	fmt.Printf("\nwhat-if 2x faster GPUs at 35%% cache: %.0f samples/s\n",
+		p.WhatIfGPUFaster(0.35, 2))
+	fmt.Printf("what-if 2x prep CPUs at 35%% cache:  %.0f samples/s\n",
+		p.WhatIfMoreCores(0.35, 2))
+	fmt.Println("\nif a job is I/O-bound, neither helps — fix the cache or the disk (§3.4).")
+}

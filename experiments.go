@@ -1,0 +1,65 @@
+package datastall
+
+import (
+	"datastall/internal/experiments"
+)
+
+// ExperimentInfo describes one registered paper-reproduction experiment.
+type ExperimentInfo struct {
+	// ID is the table/figure identifier, e.g. "fig2", "table6".
+	ID string
+	// Title describes what the experiment measures.
+	Title string
+	// Paper summarizes the published result it reproduces.
+	Paper string
+}
+
+// Experiments lists every registered table/figure reproduction plus the
+// design-choice ablations, in ID order.
+func Experiments() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, e := range experiments.List() {
+		out = append(out, ExperimentInfo{ID: e.ID, Title: e.Title, Paper: e.Paper})
+	}
+	return out
+}
+
+// ExperimentReport is the output of one experiment run.
+type ExperimentReport struct {
+	ID    string
+	Title string
+	// Paper is the published result being reproduced.
+	Paper string
+	// Text is the rendered result table.
+	Text string
+	// Values exposes the experiment's key metrics by name.
+	Values map[string]float64
+	// Notes records caveats and deviations.
+	Notes string
+}
+
+// ExperimentOptions tunes an experiment run; the zero value uses each
+// experiment's fast defaults.
+type ExperimentOptions struct {
+	// Scale overrides the dataset scale (1.0 = paper-sized datasets;
+	// expect long runtimes at full scale).
+	Scale float64
+	// Epochs per training run (default 3).
+	Epochs int
+	// Seed for all randomness.
+	Seed int64
+}
+
+// RunExperiment reproduces one of the paper's tables or figures.
+func RunExperiment(id string, opts ExperimentOptions) (*ExperimentReport, error) {
+	r, err := experiments.Run(id, experiments.Options{
+		Scale: opts.Scale, Epochs: opts.Epochs, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ExperimentReport{
+		ID: r.ID, Title: r.Title, Paper: r.Paper,
+		Text: r.Table.String(), Values: r.Values, Notes: r.Notes,
+	}, nil
+}

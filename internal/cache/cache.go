@@ -1,0 +1,234 @@
+// Package cache provides the software-cache framework for the data loader:
+// the common Cache interface, the paper's MinIO cache (§4.1), and the
+// cluster-wide partitioned cache used in distributed training (§4.2).
+package cache
+
+import (
+	"fmt"
+
+	"datastall/internal/dataset"
+)
+
+// Cache is the item-granular cache interface shared by the OS page-cache
+// simulation and the MinIO cache.
+type Cache interface {
+	// Lookup reports whether id is resident, updating policy state and
+	// hit/miss counters.
+	Lookup(id dataset.ItemID) bool
+	// Insert offers id to the cache after a storage fetch.
+	Insert(id dataset.ItemID, bytes float64)
+	// Contains reports residency without side effects.
+	Contains(id dataset.ItemID) bool
+	// UsedBytes returns resident bytes; CapBytes the capacity.
+	UsedBytes() float64
+	CapBytes() float64
+	// Hits and Misses return lookup counters; ResetStats clears them.
+	Hits() int64
+	Misses() int64
+	ResetStats()
+}
+
+// MinIO is the paper's DNN-aware software cache (§4.1): items are inserted
+// until capacity is reached and then *never replaced*. Because every item in
+// a DNN epoch is accessed exactly once with equal probability, what matters
+// is not which items are cached but that cached items are never evicted
+// before use; MinIO therefore delivers exactly (capacity/dataset) hits per
+// epoch — the thrashing-free minimum disk I/O.
+type MinIO struct {
+	capBytes  float64
+	usedBytes float64
+	items     map[dataset.ItemID]float64
+
+	hits, misses int64
+	rejected     int64 // inserts refused because the cache was full
+}
+
+// NewMinIO returns an empty MinIO cache with the given byte capacity.
+func NewMinIO(capBytes float64) *MinIO {
+	return &MinIO{capBytes: capBytes, items: make(map[dataset.ItemID]float64)}
+}
+
+// Lookup implements Cache.
+func (m *MinIO) Lookup(id dataset.ItemID) bool {
+	if _, ok := m.items[id]; ok {
+		m.hits++
+		return true
+	}
+	m.misses++
+	return false
+}
+
+// Insert implements Cache: first-come-first-cached, never evict.
+func (m *MinIO) Insert(id dataset.ItemID, bytes float64) {
+	if _, ok := m.items[id]; ok {
+		return
+	}
+	if m.usedBytes+bytes > m.capBytes {
+		m.rejected++
+		return
+	}
+	m.items[id] = bytes
+	m.usedBytes += bytes
+}
+
+// Contains implements Cache.
+func (m *MinIO) Contains(id dataset.ItemID) bool {
+	_, ok := m.items[id]
+	return ok
+}
+
+// UsedBytes implements Cache.
+func (m *MinIO) UsedBytes() float64 { return m.usedBytes }
+
+// CapBytes implements Cache.
+func (m *MinIO) CapBytes() float64 { return m.capBytes }
+
+// Hits implements Cache.
+func (m *MinIO) Hits() int64 { return m.hits }
+
+// Misses implements Cache.
+func (m *MinIO) Misses() int64 { return m.misses }
+
+// Rejected returns inserts refused because the cache was full.
+func (m *MinIO) Rejected() int64 { return m.rejected }
+
+// Len returns the number of cached items.
+func (m *MinIO) Len() int { return len(m.items) }
+
+// ResetStats implements Cache.
+func (m *MinIO) ResetStats() { m.hits, m.misses, m.rejected = 0, 0, 0 }
+
+// HitRate returns hits/(hits+misses).
+func (m *MinIO) HitRate() float64 {
+	t := m.hits + m.misses
+	if t == 0 {
+		return 0
+	}
+	return float64(m.hits) / float64(t)
+}
+
+// Location classifies where a partitioned-cache lookup was satisfied.
+type Location int
+
+// Lookup outcomes for the partitioned cache.
+const (
+	// Miss: the item is cached nowhere; fetch from local storage.
+	Miss Location = iota
+	// LocalHit: resident in the requesting server's MinIO cache.
+	LocalHit
+	// RemoteHit: resident in another server's MinIO cache; fetch over TCP.
+	RemoteHit
+)
+
+// String returns the location name.
+func (l Location) String() string {
+	switch l {
+	case LocalHit:
+		return "local"
+	case RemoteHit:
+		return "remote"
+	default:
+		return "miss"
+	}
+}
+
+// Partitioned coordinates the MinIO caches of the servers in one distributed
+// training job (§4.2). The dataset is statically sharded across servers;
+// each server populates its cache only with items of its own shard, and a
+// metadata map routes lookups for items cached elsewhere to the owning
+// server so they are fetched from remote DRAM instead of local storage.
+type Partitioned struct {
+	caches []*MinIO
+	owner  []int32 // item -> owning server
+
+	localHits, remoteHits, misses []int64
+}
+
+// NewPartitioned builds the partitioned cache for nServers over d. Each
+// server gets capBytes of MinIO cache; shards are random, disjoint and
+// near-equal (load balancing, §5.5).
+func NewPartitioned(d *dataset.Dataset, nServers int, capBytes float64, seed int64) *Partitioned {
+	p := &Partitioned{
+		caches:     make([]*MinIO, nServers),
+		owner:      make([]int32, d.NumItems),
+		localHits:  make([]int64, nServers),
+		remoteHits: make([]int64, nServers),
+		misses:     make([]int64, nServers),
+	}
+	for i := range p.caches {
+		p.caches[i] = NewMinIO(capBytes)
+	}
+	shards := dataset.SplitRandom(d, nServers, seed)
+	for s, sh := range shards {
+		for _, id := range sh.Items {
+			p.owner[id] = int32(s)
+		}
+	}
+	return p
+}
+
+// Owner returns the server that owns (may cache) item id.
+func (p *Partitioned) Owner(id dataset.ItemID) int { return int(p.owner[id]) }
+
+// Server returns server s's local MinIO cache.
+func (p *Partitioned) Server(s int) *MinIO { return p.caches[s] }
+
+// Lookup classifies a fetch of id by server s. For a RemoteHit the second
+// result is the serving server.
+func (p *Partitioned) Lookup(s int, id dataset.ItemID) (Location, int) {
+	if p.caches[s].Lookup(id) {
+		p.localHits[s]++
+		return LocalHit, s
+	}
+	o := int(p.owner[id])
+	if o != s && p.caches[o].Contains(id) {
+		p.remoteHits[s]++
+		return RemoteHit, o
+	}
+	p.misses[s]++
+	return Miss, -1
+}
+
+// Insert offers id (fetched from storage by server s) to the cache. Only the
+// owning server caches it, and only if s is the owner — a non-owner that had
+// to fall back to storage does not pollute its shard budget (§4.2: each
+// server populates its cache with items in the shard assigned to it).
+func (p *Partitioned) Insert(s int, id dataset.ItemID, bytes float64) {
+	if int(p.owner[id]) != s {
+		return
+	}
+	p.caches[s].Insert(id, bytes)
+}
+
+// Stats returns (local, remote, miss) counters for server s.
+func (p *Partitioned) Stats(s int) (local, remote, miss int64) {
+	return p.localHits[s], p.remoteHits[s], p.misses[s]
+}
+
+// ResetStats clears all per-server counters (after the warmup epoch).
+func (p *Partitioned) ResetStats() {
+	for i := range p.caches {
+		p.caches[i].ResetStats()
+		p.localHits[i], p.remoteHits[i], p.misses[i] = 0, 0, 0
+	}
+}
+
+// AggregateUsedBytes returns cached bytes across all servers.
+func (p *Partitioned) AggregateUsedBytes() float64 {
+	t := 0.0
+	for _, c := range p.caches {
+		t += c.UsedBytes()
+	}
+	return t
+}
+
+// Validate checks internal invariants (each item owned by exactly one valid
+// server); used by tests and the simulator's self-checks.
+func (p *Partitioned) Validate() error {
+	for id, o := range p.owner {
+		if int(o) < 0 || int(o) >= len(p.caches) {
+			return fmt.Errorf("cache: item %d has invalid owner %d", id, o)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+// Package cluster assembles the paper's two server SKUs (Table 2) into
+// simulated hardware: GPUs, CPU cores, DRAM, a storage device and a NIC per
+// server, plus the fabric connecting servers of a distributed job.
+package cluster
+
+import (
+	"fmt"
+
+	"datastall/internal/gpu"
+	"datastall/internal/network"
+	"datastall/internal/sim"
+	"datastall/internal/stats"
+	"datastall/internal/storage"
+)
+
+// ServerSpec describes one server SKU.
+type ServerSpec struct {
+	Name string
+	// NumGPUs and Gen describe the accelerators (8 per server).
+	NumGPUs int
+	Gen     gpu.Generation
+	// PhysicalCores / VCPUs are CPU resources (24 cores in the paper's
+	// SKUs; Appendix B.1 also studies a 32-core/64-vCPU server).
+	PhysicalCores int
+	VCPUs         int
+	// DRAMBytes is total memory; CacheBytes is the share available for
+	// caching training data (the rest holds the framework, staging, etc.)
+	DRAMBytes  float64
+	CacheBytes float64
+	// MemBW is the DRAM copy bandwidth for cache reads.
+	MemBW float64
+	// StagingBW is the shared-memory bandwidth for cross-job staging
+	// copies (coordinated prep hands prepared batches between processes).
+	StagingBW float64
+	// Disk and Link describe storage and network.
+	Disk storage.DeviceSpec
+	Link network.LinkSpec
+}
+
+// ConfigSSDV100 returns the paper's Config-SSD-V100 SKU (8xV100, SATA SSD,
+// like AWS p3.16xlarge + gp2).
+func ConfigSSDV100() ServerSpec {
+	return ServerSpec{
+		Name:          "config-ssd-v100",
+		NumGPUs:       8,
+		Gen:           gpu.V100,
+		PhysicalCores: 24,
+		VCPUs:         48,
+		DRAMBytes:     500 * stats.GiB,
+		CacheBytes:    400 * stats.GiB,
+		MemBW:         10 * stats.GiB,
+		StagingBW:     12 * stats.GiB,
+		Disk:          storage.SSD,
+		Link:          network.Ethernet40G,
+	}
+}
+
+// ConfigHDD1080Ti returns the paper's Config-HDD-1080Ti SKU (8x1080Ti,
+// magnetic st1-style volume, like AWS p2.8xlarge + st1).
+func ConfigHDD1080Ti() ServerSpec {
+	s := ConfigSSDV100()
+	s.Name = "config-hdd-1080ti"
+	s.Gen = gpu.GTX1080Ti
+	s.Disk = storage.HDD
+	return s
+}
+
+// HighCPUV100 returns the Appendix B.1 server: 8 V100s with 32 physical
+// cores / 64 vCPUs.
+func HighCPUV100() ServerSpec {
+	s := ConfigSSDV100()
+	s.Name = "highcpu-v100"
+	s.PhysicalCores = 32
+	s.VCPUs = 64
+	return s
+}
+
+// Server is the runtime instantiation of a ServerSpec in one simulation.
+type Server struct {
+	Spec  ServerSpec
+	Index int
+
+	Disk *storage.Disk
+	Mem  *storage.Memory
+	// Staging models the shared-memory bus that cross-job staging copies
+	// traverse; it is a FIFO bandwidth server so 8 consumers contend.
+	Staging *sim.BandwidthServer
+}
+
+// Cluster is a set of servers plus the connecting fabric.
+type Cluster struct {
+	Spec    ServerSpec
+	Servers []*Server
+	Fabric  *network.Fabric
+	eng     *sim.Engine
+}
+
+// Build instantiates n identical servers on engine e.
+func Build(e *sim.Engine, spec ServerSpec, n int) *Cluster {
+	if n < 1 {
+		panic(fmt.Sprintf("cluster: need >= 1 server, got %d", n))
+	}
+	c := &Cluster{Spec: spec, Fabric: network.NewFabric(e, n, spec.Link), eng: e}
+	for i := 0; i < n; i++ {
+		c.Servers = append(c.Servers, &Server{
+			Spec:    spec,
+			Index:   i,
+			Disk:    storage.NewDisk(e, spec.Disk),
+			Mem:     storage.NewMemory(spec.MemBW),
+			Staging: sim.NewBandwidthServer(e),
+		})
+	}
+	return c
+}
+
+// NIC returns server i's NIC.
+func (c *Cluster) NIC(i int) *network.NIC { return c.Fabric.NICs[i] }
+
+// TotalDiskBytes sums bytes read from storage across servers.
+func (c *Cluster) TotalDiskBytes() float64 {
+	t := 0.0
+	for _, s := range c.Servers {
+		t += s.Disk.TotalBytes()
+	}
+	return t
+}
+
+// TotalGPUs returns the number of GPUs in the cluster.
+func (c *Cluster) TotalGPUs() int { return len(c.Servers) * c.Spec.NumGPUs }

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"testing"
+
+	"datastall/internal/cluster"
+	"datastall/internal/dataset"
+	"datastall/internal/loader"
+	"datastall/internal/sim"
+	"datastall/internal/stats"
+)
+
+// Compile-time checks: CoorDL fetchers satisfy the loader interface.
+var (
+	_ loader.Fetcher = (*MinIOFetcher)(nil)
+	_ loader.Fetcher = (*PartitionedFetcher)(nil)
+)
+
+func testDataset(n int) *dataset.Dataset {
+	return &dataset.Dataset{Name: "t", NumItems: n, TotalBytes: float64(n) * 1000}
+}
+
+func TestMinIOFetcherChargesDevices(t *testing.T) {
+	e := sim.New()
+	cl := cluster.Build(e, cluster.ConfigSSDV100(), 1)
+	d := testDataset(100)
+	f := NewMinIOFetcher(d, cl, 50*1000)
+	items := []dataset.ItemID{0, 1, 2}
+	var r1, r2 loader.FetchResult
+	e.Go("x", func(p *sim.Proc) {
+		r1 = f.FetchBatch(p, 0, items) // cold: all disk
+		r2 = f.FetchBatch(p, 0, items) // warm: all memory
+	})
+	e.Run()
+	if r1.Misses != 3 || r1.DiskBytes != 3000 {
+		t.Fatalf("cold fetch: %+v", r1)
+	}
+	if r2.Hits != 3 || r2.MemBytes != 3000 || r2.DiskBytes != 0 {
+		t.Fatalf("warm fetch: %+v", r2)
+	}
+	if cl.Servers[0].Disk.TotalBytes() != 3000 {
+		t.Fatalf("disk bytes %v", cl.Servers[0].Disk.TotalBytes())
+	}
+}
+
+func TestPartitionedFetcherRemotePath(t *testing.T) {
+	e := sim.New()
+	cl := cluster.Build(e, cluster.ConfigSSDV100(), 2)
+	d := testDataset(1000)
+	f := NewPartitionedFetcher(d, cl, d.TotalBytes/2, 1) // aggregate = dataset
+	// Warm both caches via owner shards.
+	shards := f.OwnerShards()
+	e.Go("warm", func(p *sim.Proc) {
+		for s, sh := range shards {
+			f.FetchBatch(p, s, sh.Items)
+		}
+	})
+	e.Run()
+
+	// Steady state: server 0 fetches random items; no disk traffic.
+	e2 := e // same engine state is fine; devices accumulate
+	var r loader.FetchResult
+	all := make([]dataset.ItemID, 1000)
+	for i := range all {
+		all[i] = dataset.ItemID(i)
+	}
+	disk0 := cl.Servers[0].Disk.TotalBytes()
+	e2.Go("steady", func(p *sim.Proc) {
+		r = f.FetchBatch(p, 0, all)
+	})
+	e2.Run()
+	if r.Misses != 0 {
+		t.Fatalf("steady-state misses: %+v", r)
+	}
+	if r.RemoteHit == 0 || r.Hits == 0 {
+		t.Fatalf("expected both local and remote hits: %+v", r)
+	}
+	if cl.Servers[0].Disk.TotalBytes() != disk0 {
+		t.Fatal("steady-state fetch touched local storage")
+	}
+	if cl.Fabric.NICs[1].TotalBytes() == 0 {
+		t.Fatal("remote fetch did not use the serving server's NIC")
+	}
+}
+
+func TestOwnerShardsCoverDataset(t *testing.T) {
+	e := sim.New()
+	cl := cluster.Build(e, cluster.ConfigSSDV100(), 3)
+	d := testDataset(999)
+	f := NewPartitionedFetcher(d, cl, d.TotalBytes, 1)
+	total := 0
+	for _, sh := range f.OwnerShards() {
+		total += len(sh.Items)
+	}
+	if total != 999 {
+		t.Fatalf("owner shards cover %d of 999", total)
+	}
+}
+
+func TestStagingAreaExactlyOncePerJob(t *testing.T) {
+	e := sim.New()
+	s := NewStagingArea(e, 2, 1e9)
+	var consumed [2][]int
+	e.Go("producer", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(1)
+			s.Put(p, &Batch{Index: i, Owner: 0, PreparedBytes: 10})
+		}
+	})
+	for j := 0; j < 2; j++ {
+		j := j
+		e.Go("consumer", func(p *sim.Proc) {
+			for i := 0; i < 5; i++ {
+				b := s.Get(p, j, i)
+				consumed[j] = append(consumed[j], b.Index)
+			}
+		})
+	}
+	e.Run()
+	for j := 0; j < 2; j++ {
+		if len(consumed[j]) != 5 {
+			t.Fatalf("job %d consumed %d", j, len(consumed[j]))
+		}
+	}
+	p, c, ev := s.Counters()
+	if p != 5 || c != 10 || ev != 5 {
+		t.Fatalf("counters: produced=%d consumed=%d evicted=%d", p, c, ev)
+	}
+	if s.UsedBytes() != 0 {
+		t.Fatalf("staging leaked %v bytes", s.UsedBytes())
+	}
+}
+
+func TestStagingAreaEvictsOnlyAfterAllJobsUse(t *testing.T) {
+	e := sim.New()
+	s := NewStagingArea(e, 3, 1e9)
+	e.Go("p", func(p *sim.Proc) {
+		s.Put(p, &Batch{Index: 0, PreparedBytes: 7})
+	})
+	got := 0
+	for j := 0; j < 3; j++ {
+		j := j
+		e.Go("c", func(p *sim.Proc) {
+			p.Sleep(float64(j + 1))
+			s.Get(p, j, 0)
+			got++
+			if j < 2 && s.UsedBytes() == 0 {
+				t.Errorf("batch evicted before all jobs consumed it")
+			}
+		})
+	}
+	e.Run()
+	if got != 3 || s.UsedBytes() != 0 {
+		t.Fatalf("got=%d used=%v", got, s.UsedBytes())
+	}
+}
+
+func TestStagingAreaCapacityBlocksProducer(t *testing.T) {
+	e := sim.New()
+	s := NewStagingArea(e, 1, 25) // room for 2 batches of 10
+	var putTimes []float64
+	e.Go("p", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			s.Put(p, &Batch{Index: i, PreparedBytes: 10})
+			putTimes = append(putTimes, p.Now())
+		}
+	})
+	e.Go("c", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10)
+			s.Get(p, 0, i)
+		}
+	})
+	e.Run()
+	if putTimes[2] != 10 {
+		t.Fatalf("third put at %v, want blocked until 10", putTimes[2])
+	}
+	if s.PeakBytes() > 25 {
+		t.Fatalf("peak %v exceeded capacity", s.PeakBytes())
+	}
+}
+
+func TestStagingMemTrace(t *testing.T) {
+	e := sim.New()
+	s := NewStagingArea(e, 1, 1e9)
+	s.EnableMemTrace("staging")
+	e.Go("p", func(p *sim.Proc) {
+		s.Put(p, &Batch{Index: 0, PreparedBytes: 10})
+		p.Sleep(1)
+		s.Get(p, 0, 0)
+	})
+	e.Run()
+	if s.MemTrace.Len() != 2 {
+		t.Fatalf("trace points %d, want 2", s.MemTrace.Len())
+	}
+}
+
+func TestFailureDetectorRecoversDeadJob(t *testing.T) {
+	e := sim.New()
+	nJobs := 2
+	s := NewStagingArea(e, nJobs, 1e9)
+	// Job 0 produces even batches; job 1 (owner of odd batches) dies
+	// after batch 1. Consumers need batches 0..5.
+	dead := false
+	e.Go("producer0", func(p *sim.Proc) {
+		for i := 0; i < 6; i += 2 {
+			p.Sleep(1)
+			s.Put(p, &Batch{Index: i, Owner: 0, PreparedBytes: 1})
+		}
+	})
+	e.Go("producer1", func(p *sim.Proc) {
+		p.Sleep(1)
+		s.Put(p, &Batch{Index: 1, Owner: 1, PreparedBytes: 1})
+		dead = true // dies before batch 3
+	})
+	fd := &FailureDetector{
+		Staging: s,
+		Timeout: 5,
+		Alive:   func(job int) bool { return !(job == 1 && dead) },
+		Recover: func(job int) {
+			e.Go("recovery", func(p *sim.Proc) {
+				for i := 3; i < 6; i += 2 {
+					p.Sleep(1)
+					s.Put(p, &Batch{Index: i, Owner: job, PreparedBytes: 1})
+				}
+			})
+		},
+	}
+	e.Go("detector", func(p *sim.Proc) { fd.Run(p, 200) })
+	done := make([]bool, nJobs)
+	for j := 0; j < nJobs; j++ {
+		j := j
+		e.Go("consumer", func(p *sim.Proc) {
+			for i := 0; i < 6; i++ {
+				s.Get(p, j, i)
+			}
+			done[j] = true
+		})
+	}
+	e.Run()
+	if !done[0] || !done[1] {
+		t.Fatalf("consumers stuck after producer failure: %v", done)
+	}
+	if len(fd.Detected) != 1 || fd.Detected[0] != 1 {
+		t.Fatalf("detected = %v, want [1]", fd.Detected)
+	}
+}
+
+func TestFailureDetectorIgnoresAliveJobs(t *testing.T) {
+	e := sim.New()
+	s := NewStagingArea(e, 2, 1e9)
+	fd := &FailureDetector{
+		Staging: s,
+		Timeout: 2,
+		Alive:   func(int) bool { return true }, // just slow, not dead
+	}
+	e.Go("detector", func(p *sim.Proc) { fd.Run(p, 30) })
+	e.Go("slow-producer", func(p *sim.Proc) {
+		p.Sleep(20)
+		s.Put(p, &Batch{Index: 0, PreparedBytes: 1})
+		p.Sleep(1)
+		s.Put(p, &Batch{Index: 1, PreparedBytes: 1})
+	})
+	for j := 0; j < 2; j++ {
+		j := j
+		e.Go("c", func(p *sim.Proc) {
+			s.Get(p, j, 0)
+			s.Get(p, j, 1)
+		})
+	}
+	e.Run()
+	if len(fd.Detected) != 0 {
+		t.Fatalf("false positive: detected %v", fd.Detected)
+	}
+}
+
+func TestPartitionedFetchOrdersOfMagnitude(t *testing.T) {
+	// Remote DRAM over 40GbE must beat local HDD for OpenImages-sized
+	// items — the premise of partitioned caching (§4.2).
+	e := sim.New()
+	spec := cluster.ConfigHDD1080Ti()
+	cl := cluster.Build(e, spec, 2)
+	d := &dataset.Dataset{Name: "t", NumItems: 100, TotalBytes: 100 * 300 * stats.KiB}
+	f := NewPartitionedFetcher(d, cl, d.TotalBytes/2, 1)
+	shards := f.OwnerShards()
+	e.Go("warm", func(p *sim.Proc) {
+		for s, sh := range shards {
+			f.FetchBatch(p, s, sh.Items)
+		}
+	})
+	e.Run()
+
+	// Time fetching server 1's shard from server 0 (all remote).
+	var remoteT float64
+	e.Go("remote", func(p *sim.Proc) {
+		start := p.Now()
+		f.FetchBatch(p, 0, shards[1].Items)
+		remoteT = p.Now() - start
+	})
+	e.Run()
+	diskT := 0.0
+	for _, id := range shards[1].Items {
+		sz := d.ItemBytes(id)
+		diskT += spec.Disk.SeekTime + sz/spec.Disk.SeqBW
+	}
+	if remoteT >= diskT/3 {
+		t.Fatalf("remote fetch %.3fs not clearly faster than HDD %.3fs", remoteT, diskT)
+	}
+}

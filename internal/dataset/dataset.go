@@ -1,0 +1,256 @@
+// Package dataset models the training datasets from the paper (Table 1):
+// item counts, per-item sizes, and the per-epoch access-order samplers used
+// by the data loaders.
+//
+// Only the metadata of a dataset matters to the data pipeline — how many
+// items there are, how large each is, and in what order an epoch visits them
+// — so a Dataset is a catalog entry plus a deterministic item-size model.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ItemID identifies a data item (an image/audio file) within a dataset.
+type ItemID int32
+
+// Dataset describes one training dataset.
+type Dataset struct {
+	Name       string
+	Task       string  // "image", "detection", "audio"
+	NumItems   int     // number of raw items
+	TotalBytes float64 // total dataset size in bytes
+	seed       int64
+	// sizeSpread controls the lognormal-ish spread of item sizes around
+	// the mean (0 = all items identical).
+	sizeSpread float64
+}
+
+// AvgItemBytes returns the mean item size.
+func (d *Dataset) AvgItemBytes() float64 {
+	return d.TotalBytes / float64(d.NumItems)
+}
+
+// ItemBytes returns the deterministic size of item id. Sizes follow a
+// two-point mixture around the mean (mean preserved exactly in expectation)
+// so caches see realistic variance without requiring a size table in memory.
+func (d *Dataset) ItemBytes(id ItemID) float64 {
+	if d.sizeSpread == 0 {
+		return d.AvgItemBytes()
+	}
+	// Deterministic hash of (seed, id) -> [0,1).
+	h := uint64(d.seed)*0x9E3779B97F4A7C15 + uint64(uint32(id))*0xBF58476D1CE4E5B9
+	h ^= h >> 31
+	h *= 0x94D049BB133111EB
+	h ^= h >> 29
+	u := float64(h%1_000_003) / 1_000_003.0
+	// Symmetric triangular-ish multiplier in [1-spread, 1+spread], mean 1.
+	return d.AvgItemBytes() * (1 + d.sizeSpread*(2*u-1))
+}
+
+// Scale returns a copy of d with item count and total size scaled by f
+// (0 < f <= 1). Scaling items and cache bytes together preserves all hit
+// ratios and rate comparisons while making simulations fast; see DESIGN.md.
+func (d *Dataset) Scale(f float64) *Dataset {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("dataset: invalid scale %v", f))
+	}
+	n := int(math.Round(float64(d.NumItems) * f))
+	if n < 64 {
+		n = 64
+	}
+	out := *d
+	out.NumItems = n
+	out.TotalBytes = d.AvgItemBytes() * float64(n)
+	return &out
+}
+
+// Catalog entries for the paper's datasets (Table 1). Item counts derive
+// from the published dataset sizes and average item sizes the paper quotes
+// (ImageNet-1k ~115 KB avg over 1.28M items; ImageNet-22k ~90 KB avg;
+// OpenImages ~300 KB avg; FMA ~8.9 MB avg audio tracks).
+var (
+	ImageNet1K = &Dataset{
+		Name: "imagenet-1k", Task: "image",
+		NumItems: 1_281_167, TotalBytes: 146 * gib,
+		seed: 101, sizeSpread: 0.6,
+	}
+	ImageNet22K = &Dataset{
+		Name: "imagenet-22k", Task: "image",
+		NumItems: 14_200_000, TotalBytes: 1.3 * tib,
+		seed: 102, sizeSpread: 0.6,
+	}
+	OpenImages = &Dataset{
+		Name: "openimages", Task: "image",
+		NumItems: 2_255_000, TotalBytes: 645 * gib,
+		seed: 103, sizeSpread: 0.6,
+	}
+	OpenImagesDet = &Dataset{
+		Name: "openimages-det", Task: "detection",
+		NumItems: 1_961_000, TotalBytes: 561 * gib,
+		seed: 104, sizeSpread: 0.6,
+	}
+	FMA = &Dataset{
+		Name: "fma", Task: "audio",
+		NumItems: 106_574, TotalBytes: 950 * gib,
+		seed: 105, sizeSpread: 0.3,
+	}
+	// Text corpora for the language models the paper's §3.1 evaluates and
+	// excludes from the stall analysis (no data stalls): Wikipedia +
+	// BookCorpus for BERT-Large, WMT16 En-De for GNMT.
+	WikiBooks = &Dataset{
+		Name: "wiki-bookcorpus", Task: "text",
+		NumItems: 12_000_000, TotalBytes: 25 * gib,
+		seed: 106, sizeSpread: 0.5,
+	}
+	WMT16 = &Dataset{
+		Name: "wmt16", Task: "text",
+		NumItems: 4_500_000, TotalBytes: 1.4 * gib,
+		seed: 107, sizeSpread: 0.5,
+	}
+)
+
+const (
+	gib = 1024.0 * 1024.0 * 1024.0
+	tib = 1024.0 * gib
+)
+
+// ByName returns the catalog dataset with the given name.
+func ByName(name string) (*Dataset, error) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("dataset: unknown dataset %q", name)
+}
+
+// All returns the catalog datasets.
+func All() []*Dataset {
+	return []*Dataset{ImageNet1K, ImageNet22K, OpenImages, OpenImagesDet, FMA, WikiBooks, WMT16}
+}
+
+// Sampler produces the per-epoch access order over a shard of a dataset.
+type Sampler interface {
+	// EpochOrder returns the item visit order for the given epoch. The
+	// returned slice is owned by the caller.
+	EpochOrder(epoch int) []ItemID
+	// Len returns the number of items per epoch.
+	Len() int
+}
+
+// Shard is a contiguous-ID subset view used to split a dataset across
+// servers or HP-search jobs. Items are the global IDs in the shard.
+type Shard struct {
+	Items []ItemID
+}
+
+// FullShard returns a shard covering the whole dataset.
+func FullShard(d *Dataset) Shard {
+	items := make([]ItemID, d.NumItems)
+	for i := range items {
+		items[i] = ItemID(i)
+	}
+	return Shard{Items: items}
+}
+
+// SplitRandom splits the dataset into n random, disjoint, near-equal shards
+// using the epoch-independent seed. This is the per-job static sharding used
+// by partitioned caching and coordinated prep.
+func SplitRandom(d *Dataset, n int, seed int64) []Shard {
+	perm := rand.New(rand.NewSource(seed)).Perm(d.NumItems)
+	shards := make([]Shard, n)
+	for i, p := range perm {
+		s := i % n
+		shards[s].Items = append(shards[s].Items, ItemID(p))
+	}
+	return shards
+}
+
+// RandomSampler visits a shard in a fresh uniform-random permutation each
+// epoch — the DNN-training access pattern (random within an epoch, each item
+// exactly once per epoch).
+type RandomSampler struct {
+	shard Shard
+	seed  int64
+}
+
+// NewRandomSampler returns a sampler over shard with the given seed.
+func NewRandomSampler(shard Shard, seed int64) *RandomSampler {
+	return &RandomSampler{shard: shard, seed: seed}
+}
+
+// Len implements Sampler.
+func (s *RandomSampler) Len() int { return len(s.shard.Items) }
+
+// EpochOrder implements Sampler.
+func (s *RandomSampler) EpochOrder(epoch int) []ItemID {
+	rng := rand.New(rand.NewSource(s.seed + int64(epoch)*7919))
+	out := make([]ItemID, len(s.shard.Items))
+	copy(out, s.shard.Items)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// SequentialSampler visits the shard in file order every epoch with a small
+// in-memory shuffle window — DALI-seq / TFRecord-style access (§3.3.3,
+// Table 3). The on-storage access order is what the cache sees.
+type SequentialSampler struct {
+	shard Shard
+}
+
+// NewSequentialSampler returns a sampler that replays file order each epoch.
+func NewSequentialSampler(shard Shard) *SequentialSampler {
+	return &SequentialSampler{shard: shard}
+}
+
+// Len implements Sampler.
+func (s *SequentialSampler) Len() int { return len(s.shard.Items) }
+
+// EpochOrder implements Sampler.
+func (s *SequentialSampler) EpochOrder(epoch int) []ItemID {
+	out := make([]ItemID, len(s.shard.Items))
+	copy(out, s.shard.Items)
+	return out
+}
+
+// EpochShards splits the dataset into n random disjoint shards that change
+// every epoch — the distributed-training partitioning where each server
+// processes a random half/third/quarter of the data per epoch (§3.3.1).
+func EpochShards(d *Dataset, n int, epoch int, seed int64) []Shard {
+	perm := rand.New(rand.NewSource(seed ^ (int64(epoch)+1)*104729)).Perm(d.NumItems)
+	shards := make([]Shard, n)
+	per := (d.NumItems + n - 1) / n
+	for i := range shards {
+		lo := i * per
+		hi := lo + per
+		if hi > d.NumItems {
+			hi = d.NumItems
+		}
+		items := make([]ItemID, 0, hi-lo)
+		for _, p := range perm[lo:hi] {
+			items = append(items, ItemID(p))
+		}
+		shards[i] = Shard{Items: items}
+	}
+	return shards
+}
+
+// Batches groups an epoch order into minibatches of size b (last batch may
+// be short).
+func Batches(order []ItemID, b int) [][]ItemID {
+	if b < 1 {
+		panic("dataset: batch size must be >= 1")
+	}
+	var out [][]ItemID
+	for i := 0; i < len(order); i += b {
+		j := i + b
+		if j > len(order) {
+			j = len(order)
+		}
+		out = append(out, order[i:j])
+	}
+	return out
+}

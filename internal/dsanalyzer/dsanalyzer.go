@@ -1,0 +1,203 @@
+// Package dsanalyzer implements DS-Analyzer (§3.2, Appendix C): a
+// differential profiler that attributes DNN epoch time to GPU compute, prep
+// stalls and fetch stalls by comparing three runs, plus the predictive
+// what-if model of Appendix C (Eq. 3-4) for cache sizing, CPU scaling and
+// faster-GPU questions.
+package dsanalyzer
+
+import (
+	"fmt"
+
+	"datastall/internal/trainer"
+)
+
+// Profile holds the rates DS-Analyzer measures for one (model, dataset,
+// server) combination. All rates are samples/s for the whole job.
+type Profile struct {
+	ModelName   string
+	DatasetName string
+
+	// G is the maximum GPU ingestion rate (phase 1: synthetic data).
+	G float64
+	// P is the pipeline rate with the dataset fully cached (phase 2:
+	// isolates pre-processing).
+	P float64
+	// F is the pipeline rate with the configured cache (phase 3).
+	F float64
+
+	// S is the storage fetch rate; C the cache (DRAM) fetch rate
+	// (Appendix C.1 measures these with micro-benchmarks).
+	S float64
+	C float64
+
+	// Epoch times of the three phases.
+	EpochSynthetic, EpochCached, EpochActual float64
+
+	// Stall attribution as fractions of the actual epoch time:
+	// prep stall = phase2 - phase1, fetch stall = phase3 - phase2 (§3.2).
+	PrepStallFrac  float64
+	FetchStallFrac float64
+
+	// AvgItemBytes is the dataset's mean item size (converts byte rates
+	// to sample rates in the what-if model).
+	AvgItemBytes float64
+}
+
+// Analyze runs the three differential phases for cfg and returns the
+// profile. cfg describes the *actual* training setup (loader, cache size).
+func Analyze(cfg trainer.Config) (*Profile, error) {
+	p1 := cfg
+	p1.FetchMode = trainer.Synthetic
+	r1, err := trainer.Run(p1)
+	if err != nil {
+		return nil, fmt.Errorf("dsanalyzer phase 1: %w", err)
+	}
+	p2 := cfg
+	p2.FetchMode = trainer.FullyCached
+	r2, err := trainer.Run(p2)
+	if err != nil {
+		return nil, fmt.Errorf("dsanalyzer phase 2: %w", err)
+	}
+	r3, err := trainer.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("dsanalyzer phase 3: %w", err)
+	}
+
+	avg := cfg.Dataset.AvgItemBytes()
+	pr := &Profile{
+		ModelName:      cfg.Model.Name,
+		DatasetName:    cfg.Dataset.Name,
+		G:              r1.Throughput,
+		P:              r2.Throughput,
+		F:              r3.Throughput,
+		S:              cfg.Spec.Disk.EffectiveRandomBW(avg) / avg,
+		C:              cfg.Spec.MemBW / avg,
+		EpochSynthetic: r1.EpochTime,
+		EpochCached:    r2.EpochTime,
+		EpochActual:    r3.EpochTime,
+		AvgItemBytes:   avg,
+	}
+	if pr.EpochActual > 0 {
+		prep := pr.EpochCached - pr.EpochSynthetic
+		if prep < 0 {
+			prep = 0
+		}
+		fetch := pr.EpochActual - pr.EpochCached
+		if fetch < 0 {
+			fetch = 0
+		}
+		pr.PrepStallFrac = prep / pr.EpochActual
+		pr.FetchStallFrac = fetch / pr.EpochActual
+	}
+	return pr, nil
+}
+
+// PredictFetchRate applies Eq. 4: the effective fetch rate (samples/s) when
+// a fraction x of the dataset is cached and served at rate C while the rest
+// comes from storage at rate S.
+func (p *Profile) PredictFetchRate(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	return 1 / (x/p.C + (1-x)/p.S)
+}
+
+// PredictThroughput returns min(F(x), P, G): the training speed expected at
+// cache fraction x (Appendix C.2).
+func (p *Profile) PredictThroughput(x float64) float64 {
+	f := p.PredictFetchRate(x)
+	t := p.G
+	if p.P < t {
+		t = p.P
+	}
+	if f < t {
+		t = f
+	}
+	return t
+}
+
+// Bottleneck classifies training at cache fraction x as "gpu", "cpu" or
+// "io" (Appendix C.2's min(F, P, G) rule).
+func (p *Profile) Bottleneck(x float64) string {
+	f := p.PredictFetchRate(x)
+	switch {
+	case p.G <= p.P && p.G <= f:
+		return "gpu"
+	case p.P <= f:
+		return "cpu"
+	default:
+		return "io"
+	}
+}
+
+// OptimalCacheFrac returns the smallest cache fraction at which fetch stops
+// being the bottleneck — more DRAM beyond this point buys nothing
+// (Fig 16's recommendation).
+func (p *Profile) OptimalCacheFrac() float64 {
+	target := p.G
+	if p.P < target {
+		target = p.P
+	}
+	// Solve F(x) = target: 1/(x/C + (1-x)/S) = target.
+	// x (1/C - 1/S) = 1/target - 1/S.
+	den := 1/p.C - 1/p.S
+	if den == 0 {
+		return 0
+	}
+	x := (1/target - 1/p.S) / den
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	return x
+}
+
+// WhatIfGPUFaster predicts throughput at cache fraction x if GPUs were
+// speedFactor times faster ("what if GPU compute speeds increase by 2x?").
+func (p *Profile) WhatIfGPUFaster(x, speedFactor float64) float64 {
+	f := p.PredictFetchRate(x)
+	g := p.G * speedFactor
+	t := g
+	if p.P < t {
+		t = p.P
+	}
+	if f < t {
+		t = f
+	}
+	return t
+}
+
+// CoresToMaskPrep answers "how many CPU cores should each GPU use to
+// eliminate prep stalls?" (§3.4): the core multiplier needed for the prep
+// rate to reach the GPU ingestion rate, relative to the profiled
+// configuration. Returns 1 if prep already keeps up.
+func (p *Profile) CoresToMaskPrep() float64 {
+	if p.P >= p.G || p.P == 0 {
+		return 1
+	}
+	return p.G / p.P
+}
+
+// WhatIfMoreCores predicts throughput if prep scaled by coreFactor (linear
+// CPU scaling; Appendix B.1 caps hyperthread gains, which callers encode in
+// coreFactor).
+func (p *Profile) WhatIfMoreCores(x, coreFactor float64) float64 {
+	f := p.PredictFetchRate(x)
+	pp := p.P * coreFactor
+	if pp > p.G {
+		pp = p.G
+	}
+	t := p.G
+	if pp < t {
+		t = pp
+	}
+	if f < t {
+		t = f
+	}
+	return t
+}

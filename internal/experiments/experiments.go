@@ -1,0 +1,153 @@
+// Package experiments reproduces every table and figure of the paper's
+// analysis and evaluation. Each experiment has an ID matching DESIGN.md's
+// per-experiment index, runs at a configurable dataset scale (ratios are
+// scale-invariant; see DESIGN.md §2), and renders a paper-style table plus a
+// flat map of key metrics for tests and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"datastall/internal/dataset"
+	"datastall/internal/gpu"
+	"datastall/internal/stats"
+	"datastall/internal/trainer"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Scale shrinks datasets (and caches with them); 1.0 = paper size.
+	// Zero selects the experiment's default (fast but stable).
+	Scale float64
+	// Epochs per training run (0 = experiment default, usually 3).
+	Epochs int
+	// Seed for all randomized components.
+	Seed int64
+}
+
+func (o Options) withDefaults(defScale float64) Options {
+	if o.Scale == 0 {
+		o.Scale = defScale
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Report is an experiment's output.
+type Report struct {
+	ID    string
+	Title string
+	// Paper summarizes the published result this reproduces.
+	Paper string
+	// Table is the rendered result.
+	Table *stats.Table
+	// Values exposes key metrics by name for tests and EXPERIMENTS.md.
+	Values map[string]float64
+	// Notes records deviations or caveats.
+	Notes string
+}
+
+func (r *Report) set(key string, v float64) {
+	if r.Values == nil {
+		r.Values = map[string]float64{}
+	}
+	r.Values[key] = v
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	s := fmt.Sprintf("== %s: %s ==\npaper: %s\n%s", r.ID, r.Title, r.Paper, r.Table.String())
+	if r.Notes != "" {
+		s += "notes: " + r.Notes + "\n"
+	}
+	return s
+}
+
+// Experiment is a registered table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string
+	// DefaultScale keeps the run fast while preserving ratios.
+	DefaultScale float64
+	Run          func(Options) (*Report, error)
+}
+
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// ByID returns a registered experiment.
+func ByID(id string) (*Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (try List())", id)
+	}
+	return e, nil
+}
+
+// List returns all experiment IDs in order.
+func List() []*Experiment {
+	out := make([]*Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Run looks up and executes an experiment.
+func Run(id string, o Options) (*Report, error) {
+	e, err := ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	o = o.withDefaults(e.DefaultScale)
+	r, err := e.Run(o)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", id, err)
+	}
+	r.ID, r.Title, r.Paper = e.ID, e.Title, e.Paper
+	return r, nil
+}
+
+// --- shared helpers ---
+
+// scaled returns the model's default dataset at the experiment scale.
+func scaled(m *gpu.Model, o Options) *dataset.Dataset {
+	d, err := dataset.ByName(m.DefaultDataset)
+	if err != nil {
+		panic(err)
+	}
+	return d.Scale(o.Scale)
+}
+
+// cacheFor mirrors the paper's setup: the SKU's 400 GiB cache budget as a
+// fraction of the (unscaled) dataset, applied to the scaled dataset.
+func cacheFor(d *dataset.Dataset, full *dataset.Dataset, budget float64) float64 {
+	frac := budget / full.TotalBytes
+	if frac > 1 {
+		frac = 1
+	}
+	return frac * d.TotalBytes
+}
+
+// mustRun runs a training config, propagating errors.
+func mustRun(cfg trainer.Config) (*trainer.Result, error) {
+	return trainer.Run(cfg)
+}
+
+func pct(x float64) float64 { return 100 * x }
+
+func gib(x float64) float64 { return x / stats.GiB }

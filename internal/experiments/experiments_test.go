@@ -1,0 +1,434 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func run(t *testing.T, id string) *Report {
+	t.Helper()
+	r, err := Run(id, Options{})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if r.Table == nil || len(r.Table.Rows) == 0 {
+		t.Fatalf("%s: empty table", id)
+	}
+	return r
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table3", "fig8",
+		"fig9a", "fig9b", "fig9d", "fig9e", "fig10", "fig11",
+		"table5", "table6", "table7",
+		"fig12", "fig13", "fig14", "fig16", "fig17", "fig18",
+		"fig19", "fig20", "fig21", "fig22", "fig23",
+		"ablation-cache", "ablation-remote", "ablation-staging", "ablation-prefetch",
+	}
+	for _, id := range want {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if len(List()) < len(want) {
+		t.Fatalf("registry has %d experiments, want >= %d", len(List()), len(want))
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func near(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*want {
+		t.Errorf("%s = %.1f, want ~%.1f (+/-%.0f%%)", name, got, want, tol*100)
+	}
+}
+
+func TestFig1Calibration(t *testing.T) {
+	r := run(t, "fig1")
+	near(t, "hdd", r.Values["hdd_mbps"], 15, 0.15)
+	near(t, "ssd", r.Values["ssd_mbps"], 530, 0.10)
+	near(t, "mix", r.Values["mix_mbps"], 802, 0.10)
+	near(t, "cpu prep", r.Values["cpu_prep_mbps"], 735, 0.10)
+	near(t, "hybrid prep", r.Values["hybrid_prep_mbps"], 1062, 0.10)
+	near(t, "gpu demand", r.Values["gpu_demand_mbps"], 2283, 0.10)
+}
+
+func TestFig2FetchStallsShape(t *testing.T) {
+	r := run(t, "fig2")
+	// All models show fetch stalls at 35% cache; audio is the worst;
+	// heavy models stall less than light ones.
+	for _, m := range fig2Models {
+		v := r.Values["fetch_stall_"+m]
+		if v < 3 || v > 98 {
+			t.Errorf("%s fetch stall %.0f%% outside the paper's 10-70%% band", m, v)
+		}
+	}
+	if r.Values["fetch_stall_audio-m5"] < r.Values["fetch_stall_resnet50"] {
+		t.Error("audio should stall more than resnet50")
+	}
+	if r.Values["fetch_stall_alexnet"] < r.Values["fetch_stall_vgg11"] {
+		t.Error("alexnet (fast GPU rate) should stall more than vgg11")
+	}
+}
+
+func TestFig3Thrashing(t *testing.T) {
+	r := run(t, "fig3")
+	// Paper: at 35% cache the page cache fetches ~85% of the dataset
+	// instead of the ideal 65%.
+	f := r.Values["fetched_pct_at_35"]
+	if f < 70 || f > 95 {
+		t.Errorf("fetched %.0f%% at 35%% cache, want 70-95 (thrashing above ideal 65)", f)
+	}
+	if r.Values["thrash_seconds_at_35"] <= 0 {
+		t.Error("no thrashing cost measured")
+	}
+}
+
+func TestFig4CoreScaling(t *testing.T) {
+	r := run(t, "fig4")
+	// ResNet50 saturates by 3-6 cores; AlexNet still gains through 24.
+	if r.Values["throughput24_alexnet"] < 1.5*r.Values["throughput3_alexnet"] {
+		t.Error("alexnet should scale well beyond 3 cores")
+	}
+	rn50Gain := r.Values["throughput24_resnet50"] / r.Values["throughput3_resnet50"]
+	if rn50Gain > 1.6 {
+		t.Errorf("resnet50 gained %.2fx from 3->24 cores, should saturate early", rn50Gain)
+	}
+}
+
+func TestFig5GPUGenerations(t *testing.T) {
+	r := run(t, "fig5")
+	// ~50% prep stall on V100 even with GPU prep; ~0 on 1080Ti.
+	v := r.Values["prep_stall_gpuprep_v100"]
+	if v < 30 || v > 65 {
+		t.Errorf("V100 prep stall %.0f%%, want ~50", v)
+	}
+	if h := r.Values["prep_stall_gpuprep_1080ti"]; h > 12 {
+		t.Errorf("1080Ti prep stall %.0f%%, want ~0", h)
+	}
+}
+
+func TestFig6PrepStallBand(t *testing.T) {
+	r := run(t, "fig6")
+	// Paper: 5-65% of epoch time across DNNs.
+	stalled := 0
+	for _, m := range fig2Models {
+		if r.Values["prep_stall_"+m] > 5 {
+			stalled++
+		}
+	}
+	if stalled < 5 {
+		t.Errorf("only %d models show prep stalls at 3 cores/GPU", stalled)
+	}
+}
+
+func TestTable3TFRecord(t *testing.T) {
+	r := run(t, "table3")
+	// Paper at 35%: 94% misses, 7.2x read amplification.
+	if m := r.Values["miss_pct_at_35"]; m < 80 {
+		t.Errorf("TFRecord miss %.0f%%, want ~94 (sequential scan thrashes)", m)
+	}
+	if a := r.Values["read_amp_at_35"]; a < 4 || a > 9 {
+		t.Errorf("read amplification %.1f, want ~7", a)
+	}
+}
+
+func TestFig8WorkedExample(t *testing.T) {
+	r := run(t, "fig8")
+	for _, k := range []string{"minio_hits_epoch1", "minio_hits_epoch2"} {
+		if r.Values[k] != 2 {
+			t.Errorf("%s = %v, want exactly 2", k, r.Values[k])
+		}
+	}
+	if r.Values["lru_hits_epoch1"] >= 2 && r.Values["lru_hits_epoch2"] >= 2 {
+		t.Error("LRU should thrash below MinIO on the worked example")
+	}
+}
+
+func TestFig9aSingleServer(t *testing.T) {
+	r := run(t, "fig9a")
+	for _, m := range []string{"shufflenetv2", "alexnet", "resnet18"} {
+		if sp := r.Values["speedup_seq_"+m]; sp < 1.2 {
+			t.Errorf("%s vs DALI-seq speedup %.2f, want > 1.2", m, sp)
+		}
+		if sp := r.Values["speedup_shuffle_"+m]; sp < 1.1 {
+			t.Errorf("%s vs DALI-shuffle speedup %.2f, want > 1.1", m, sp)
+		}
+	}
+}
+
+func TestFig9bDistributed(t *testing.T) {
+	r := run(t, "fig9b")
+	// HDD speedups are large; SSD ones modest (paper: 15x vs 1.3-2.9x).
+	if sp := r.Values["speedup_alexnet"]; sp < 5 {
+		t.Errorf("alexnet HDD speedup %.1f, want large", sp)
+	}
+	if sp := r.Values["speedup_shufflenetv2"]; sp < 1.1 {
+		t.Errorf("shufflenet SSD speedup %.2f, want > 1.1", sp)
+	}
+	if r.Values["speedup_alexnet"] < r.Values["speedup_shufflenetv2"] {
+		t.Error("HDD speedup should exceed SSD speedup")
+	}
+}
+
+func TestFig9dHPSearch(t *testing.T) {
+	r := run(t, "fig9d")
+	for _, m := range []string{"alexnet", "shufflenetv2", "audio-m5"} {
+		if sp := r.Values["speedup_"+m]; sp < 1.5 {
+			t.Errorf("%s HP speedup %.2f, want > 1.5", m, sp)
+		}
+	}
+	// Audio gains most (paper 5.6x); heavy models least.
+	if r.Values["speedup_audio-m5"] < r.Values["speedup_resnet50"] {
+		t.Error("audio should gain more than resnet50")
+	}
+}
+
+func TestFig9eJobShapes(t *testing.T) {
+	r := run(t, "fig9e")
+	for _, k := range []string{"speedup_8x1", "speedup_4x2", "speedup_2x4", "speedup_1x8"} {
+		if r.Values[k] < 1.05 {
+			t.Errorf("%s = %.2f, want > 1", k, r.Values[k])
+		}
+	}
+	// Coordination matters more with more concurrent jobs.
+	if r.Values["speedup_8x1"] < r.Values["speedup_1x8"] {
+		t.Error("8-job speedup should exceed single-job (MinIO-only) speedup")
+	}
+}
+
+func TestFig10TimeToAccuracy(t *testing.T) {
+	r := run(t, "fig10")
+	sp := r.Values["speedup"]
+	if sp < 2 || sp > 10 {
+		t.Errorf("time-to-accuracy speedup %.1f, want ~4", sp)
+	}
+	if r.Values["coordl_hours"] > r.Values["dali_hours"] {
+		t.Error("CoorDL must reach target accuracy sooner")
+	}
+}
+
+func TestFig11IOPattern(t *testing.T) {
+	r := run(t, "fig11")
+	if r.Values["coordl_total_gib"] >= r.Values["dali_total_gib"] {
+		t.Error("CoorDL should read less from disk overall")
+	}
+	if r.Values["coordl_runtime_frac"] >= 1 {
+		t.Error("CoorDL's run should end earlier")
+	}
+}
+
+func TestTable5PredictionAccuracy(t *testing.T) {
+	r := run(t, "table5")
+	for _, k := range []string{"error_pct_25", "error_pct_35", "error_pct_50"} {
+		if r.Values[k] > 15 {
+			t.Errorf("%s = %.1f%%, want small prediction error", k, r.Values[k])
+		}
+	}
+}
+
+func TestTable6Misses(t *testing.T) {
+	r := run(t, "table6")
+	// Ordering: CoorDL 35% < shuffle < seq (paper 35/53/66).
+	co, sh, se := r.Values["miss_coordl"], r.Values["miss_dali-shuffle"], r.Values["miss_dali-seq"]
+	if !(co < sh && sh < se) {
+		t.Errorf("miss ordering violated: coordl=%.0f shuffle=%.0f seq=%.0f", co, sh, se)
+	}
+	near(t, "coordl miss", co, 35, 0.10)
+	// Disk I/O ordering follows.
+	if !(r.Values["diskgib_coordl"] < r.Values["diskgib_dali-shuffle"]) {
+		t.Error("CoorDL disk I/O should be lowest")
+	}
+}
+
+func TestTable7FullyCachedHP(t *testing.T) {
+	r := run(t, "table7")
+	for _, m := range []string{"shufflenetv2", "alexnet", "resnet18"} {
+		if sp := r.Values["speedup_"+m]; sp < 1.1 {
+			t.Errorf("%s fully-cached HP speedup %.2f, want > 1.1", m, sp)
+		}
+	}
+	// Light models gain more than heavy ones (paper 1.87x vs 1.21x).
+	if r.Values["speedup_alexnet"] < r.Values["speedup_resnet50"] {
+		t.Error("alexnet should gain more than resnet50")
+	}
+}
+
+func TestFig12Hyperthreading(t *testing.T) {
+	r := run(t, "fig12")
+	s3, s8 := r.Values["prep_stall_3vcpu"], r.Values["prep_stall_8vcpu"]
+	if s8 >= s3 {
+		t.Error("more vCPUs must reduce prep stall")
+	}
+	if s8 < 15 || s8 > 55 {
+		t.Errorf("8-vCPU prep stall %.0f%%, want ~37 (HT does not eliminate it)", s8)
+	}
+}
+
+func TestFig13LoaderComparison(t *testing.T) {
+	r := run(t, "fig13")
+	for _, m := range []string{"alexnet", "resnet18", "shufflenetv2"} {
+		if r.Values["pytorch_over_dali_"+m] < 1.3 {
+			t.Errorf("%s: PyTorch DL should be much slower than DALI", m)
+		}
+	}
+	// GPU prep helps resnet18 but hurts resnet50 (Appendix B.2).
+	if r.Values["dali_gpu_resnet18"] >= r.Values["dali_cpu_resnet18"] {
+		t.Error("GPU prep should speed up prep-starved resnet18")
+	}
+	if r.Values["dali_gpu_resnet50"] < r.Values["dali_cpu_resnet50"] {
+		t.Error("GPU prep should not beat CPU prep for resnet50")
+	}
+}
+
+func TestFig14BatchSize(t *testing.T) {
+	r := run(t, "fig14")
+	// Compute time per epoch drops with batch size...
+	if r.Values["compute_s_b512"] >= r.Values["compute_s_b64"] {
+		t.Error("larger batches should reduce compute time")
+	}
+	// ...but epoch time is pinned by prep (within 15%).
+	e64, e512 := r.Values["epoch_s_b64"], r.Values["epoch_s_b512"]
+	if math.Abs(e64-e512)/e64 > 0.20 {
+		t.Errorf("epoch time moved %.0f%% with batch size; prep should pin it",
+			100*math.Abs(e64-e512)/e64)
+	}
+}
+
+func TestFig16OptimalCache(t *testing.T) {
+	r := run(t, "fig16")
+	opt := r.Values["optimal_cache_pct"]
+	if opt < 20 || opt > 90 {
+		t.Errorf("optimal cache %.0f%%, want an interior optimum (~55)", opt)
+	}
+}
+
+func TestFig17HPIN22k(t *testing.T) {
+	r := run(t, "fig17")
+	for _, m := range []string{"shufflenetv2", "alexnet", "resnet18"} {
+		if sp := r.Values["speedup_"+m]; sp < 1.2 {
+			t.Errorf("%s IN22k HP speedup %.2f, want > 1.2 (paper up to 2.5)", m, sp)
+		}
+	}
+}
+
+func TestFig18Scalability(t *testing.T) {
+	r := run(t, "fig18")
+	// DALI per-node disk I/O falls with node count (Table 18b).
+	if !(r.Values["dali_disk_n1"] > r.Values["dali_disk_n2"] &&
+		r.Values["dali_disk_n2"] > r.Values["dali_disk_n4"]) {
+		t.Error("DALI per-node disk I/O should fall with more nodes")
+	}
+	// CoorDL speedup persists at every node count.
+	for _, k := range []string{"speedup_n2", "speedup_n3", "speedup_n4"} {
+		if r.Values[k] < 1.5 {
+			t.Errorf("%s = %.1f, want > 1.5", k, r.Values[k])
+		}
+	}
+	// CoorDL reads ~no disk once aggregate memory holds the dataset.
+	if r.Values["coordl_disk_n2"] > r.Values["dali_disk_n2"]/4 {
+		t.Error("CoorDL steady-state disk I/O should be near zero at n=2")
+	}
+}
+
+func TestFig19CPUUtil(t *testing.T) {
+	r := run(t, "fig19")
+	if r.Values["coordl_avg_util"] <= r.Values["dali_avg_util"] {
+		t.Error("CoorDL should keep prep threads busier than DALI")
+	}
+}
+
+func TestFig20StagingMemory(t *testing.T) {
+	r := run(t, "fig20")
+	peak := r.Values["staging_peak_gib"]
+	if peak <= 0 || peak > 5 {
+		t.Errorf("staging peak %.2f GiB, want within the 5 GiB cap", peak)
+	}
+}
+
+func TestFig21PyCoorDL(t *testing.T) {
+	r := run(t, "fig21")
+	// HDD speedups large (paper 2.1-3.3x); SSD marginal (prep-bound).
+	if sp := r.Values["speedup_hdd_35"]; sp < 1.5 {
+		t.Errorf("HDD speedup %.2f at 35%% cache, want ~2-3", sp)
+	}
+	if sp := r.Values["speedup_ssd_35"]; sp > 1.5 {
+		t.Errorf("SSD speedup %.2f, want marginal (prep-bound with Pillow)", sp)
+	}
+	if r.Values["speedup_hdd_35"] <= r.Values["speedup_ssd_35"] {
+		t.Error("HDD gains must exceed SSD gains")
+	}
+}
+
+func TestFig22CoordPrepMicro(t *testing.T) {
+	r := run(t, "fig22")
+	if sp := r.Values["speedup_8jobs"]; sp < 1.3 {
+		t.Errorf("8-job coordinated prep speedup %.2f, want ~1.8", sp)
+	}
+	if r.Values["speedup_8jobs"] < r.Values["speedup_4jobs"] {
+		t.Error("more jobs -> fewer cores each -> bigger coordination win")
+	}
+}
+
+func TestFig23EndToEnd(t *testing.T) {
+	r := run(t, "fig23")
+	// HDD: full Py-CoorDL >> coordinated alone > baseline.
+	full := r.Values["speedup_hdd_pycoordlcoordminio"]
+	coordOnly := r.Values["speedup_hdd_coordinatedprep"]
+	if full < coordOnly {
+		t.Errorf("full py-coordl (%.1f) should beat coordination alone (%.1f) on HDD", full, coordOnly)
+	}
+	if coordOnly < 1.2 {
+		t.Errorf("coordination alone %.1f, want > 1.2 on HDD", coordOnly)
+	}
+	// SSD: MinIO adds little over coordination (cheap I/O).
+	sFull := r.Values["speedup_ssd_pycoordlcoordminio"]
+	if sFull < 1.1 {
+		t.Errorf("SSD end-to-end speedup %.2f, want > 1.1", sFull)
+	}
+}
+
+func TestAppD5HighCPUHPSearch(t *testing.T) {
+	r := run(t, "appd5")
+	// Appendix D.5: coordination still buys ~2x with 8 vCPUs/GPU.
+	if sp := r.Values["speedup"]; sp < 1.4 {
+		t.Errorf("high-CPU HP speedup %.2f, want ~2", sp)
+	}
+}
+
+func TestLanguageModelsNoStalls(t *testing.T) {
+	r := run(t, "sec3-lang")
+	// §3.1: BERT-L and GNMT do not exhibit data stalls; the image
+	// reference does.
+	if s := r.Values["stall_bert-large"]; s > 2 {
+		t.Errorf("bert-large stall %.2f%%, want ~0", s)
+	}
+	if s := r.Values["stall_gnmt"]; s > 5 {
+		t.Errorf("gnmt stall %.2f%%, want ~0", s)
+	}
+	if s := r.Values["stall_resnet18"]; s < 20 {
+		t.Errorf("resnet18 reference stall %.0f%%, want large", s)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	r := run(t, "ablation-cache")
+	if r.Values["hit_coordl"] <= r.Values["hit_dali-shuffle"] {
+		t.Error("MinIO must out-hit the page cache")
+	}
+	r = run(t, "ablation-remote")
+	if r.Values["remote_epoch_s"] >= r.Values["local_epoch_s"] {
+		t.Error("remote fetch must beat local-storage fallback")
+	}
+	r = run(t, "ablation-staging")
+	if r.Values["epoch_s_cap50"] > r.Values["epoch_s_cap5"]*1.05 {
+		t.Error("more staging capacity must not materially slow jobs")
+	}
+	r = run(t, "ablation-prefetch")
+	if r.Values["epoch_s_depth6"] > r.Values["epoch_s_depth1"]*1.02 {
+		t.Error("deeper prefetch must not slow the pipeline")
+	}
+}

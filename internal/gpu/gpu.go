@@ -1,0 +1,263 @@
+// Package gpu models the GPU side of DNN training: per-model minibatch
+// ingestion rates for the paper's two GPU generations, batch-size scaling,
+// and gradient sizes for data-parallel synchronization.
+//
+// The data pipeline only observes the GPU as a consumption rate G (Fig 1
+// reduces the whole accelerator to "GPU rate"), so a model here is a small
+// calibration record. Rates are calibrated so that Fig 1's published
+// pipeline numbers are reproduced exactly for ResNet18 (2283 MB/s demand on
+// 8 V100s) and Fig 4's cores-per-GPU requirements hold per model; see
+// DESIGN.md §5.
+package gpu
+
+import "fmt"
+
+// Generation identifies a GPU generation (Table 2's two SKUs).
+type Generation int
+
+// Supported GPU generations.
+const (
+	V100      Generation = iota // 32 GB, tensor cores, mixed precision
+	GTX1080Ti                   // 11 GB, full precision
+)
+
+// String returns the generation name.
+func (g Generation) String() string {
+	if g == V100 {
+		return "v100"
+	}
+	return "1080ti"
+}
+
+// MemGB returns the device memory in GB (Table 2).
+func (g Generation) MemGB() float64 {
+	if g == V100 {
+		return 32
+	}
+	return 11
+}
+
+// Model is the calibration record for one DNN.
+type Model struct {
+	Name string
+	Task string // "image", "detection", "audio"
+	// DefaultDataset names the Table 1 dataset this model trains on.
+	DefaultDataset string
+
+	// BatchV100 / Batch1080 are the per-GPU batch sizes from §3.1
+	// (512 images on V100 mixed precision; max-fit on 1080Ti).
+	BatchV100, Batch1080 int
+
+	// GV100 / G1080 are GPU ingestion rates in samples/s per GPU at the
+	// reference batch size (mixed precision on V100, fp32 on 1080Ti).
+	GV100, G1080 float64
+
+	// BHalf is the batch size at which throughput halves relative to the
+	// asymptote: rate(b) ∝ b/(b+BHalf). Captures Fig 14's batch-size
+	// scaling (larger batches amortize per-iteration overhead).
+	BHalf float64
+
+	// PrepCPUBytes is the per-physical-core pre-processing throughput in
+	// bytes/s with the DALI CPU pipeline (decode dominates, so cost is
+	// per byte of raw input).
+	PrepCPUBytes float64
+	// PrepGPUBytesV100/1080 is the extra prep throughput per GPU when
+	// DALI's GPU pipeline (nvJPEG) is enabled.
+	PrepGPUBytesV100, PrepGPUBytes1080 float64
+	// GPUPrepSlowdown multiplies G when GPU prep is enabled: compute-
+	// heavy models lose GPU cycles to decoding (Appendix B.2 finds GPU
+	// prep hurts ResNet50/VGG11).
+	GPUPrepSlowdown float64
+	// GPUPrepMemGB is the extra device memory GPU prep consumes (2-5 GB,
+	// Appendix B.2).
+	GPUPrepMemGB float64
+
+	// PreparedBytes is the size of one pre-processed sample (the decoded
+	// collated tensor staged for the GPU); 5-7x raw size for images
+	// (§4.3: pre-processed items are 5–7× larger than raw).
+	PreparedBytes float64
+
+	// GradientBytes is the model's gradient/weight payload exchanged per
+	// iteration in data-parallel training.
+	GradientBytes float64
+}
+
+const mib = 1024.0 * 1024.0
+
+// preparedImage is a 224x224x3 fp32 tensor (~588 KiB).
+const preparedImage = 224 * 224 * 3 * 4.0
+
+// Registry: the nine models from Table 1. Rates are samples/s per GPU.
+var registry = []*Model{
+	{
+		Name: "shufflenetv2", Task: "image", DefaultDataset: "imagenet-22k",
+		BatchV100: 512, Batch1080: 256, GV100: 3600, G1080: 1100, BHalf: 64,
+		PrepCPUBytes: 44 * mib, PrepGPUBytesV100: 50 * mib, PrepGPUBytes1080: 40 * mib,
+		GPUPrepSlowdown: 1.0, GPUPrepMemGB: 2,
+		PreparedBytes: preparedImage, GradientBytes: 9 * mib,
+	},
+	{
+		Name: "alexnet", Task: "image", DefaultDataset: "imagenet-22k",
+		BatchV100: 512, Batch1080: 256, GV100: 11000, G1080: 2600, BHalf: 64,
+		PrepCPUBytes: 56 * mib, PrepGPUBytesV100: 50 * mib, PrepGPUBytes1080: 40 * mib,
+		GPUPrepSlowdown: 1.0, GPUPrepMemGB: 2,
+		PreparedBytes: preparedImage, GradientBytes: 240 * mib,
+	},
+	{
+		Name: "resnet18", Task: "image", DefaultDataset: "imagenet-22k",
+		BatchV100: 512, Batch1080: 256, GV100: 2400, G1080: 700, BHalf: 64,
+		PrepCPUBytes: 28 * mib, PrepGPUBytesV100: 50 * mib, PrepGPUBytes1080: 40 * mib,
+		GPUPrepSlowdown: 1.0, GPUPrepMemGB: 2,
+		PreparedBytes: preparedImage, GradientBytes: 45 * mib,
+	},
+	{
+		Name: "squeezenet", Task: "image", DefaultDataset: "openimages",
+		BatchV100: 512, Batch1080: 256, GV100: 2600, G1080: 800, BHalf: 64,
+		PrepCPUBytes: 36 * mib, PrepGPUBytesV100: 50 * mib, PrepGPUBytes1080: 40 * mib,
+		GPUPrepSlowdown: 1.0, GPUPrepMemGB: 2,
+		PreparedBytes: preparedImage, GradientBytes: 5 * mib,
+	},
+	{
+		Name: "mobilenetv2", Task: "image", DefaultDataset: "openimages",
+		BatchV100: 512, Batch1080: 256, GV100: 1500, G1080: 480, BHalf: 96,
+		PrepCPUBytes: 30 * mib, PrepGPUBytesV100: 50 * mib, PrepGPUBytes1080: 40 * mib,
+		GPUPrepSlowdown: 1.0, GPUPrepMemGB: 2,
+		PreparedBytes: preparedImage, GradientBytes: 14 * mib,
+	},
+	{
+		Name: "resnet50", Task: "image", DefaultDataset: "imagenet-1k",
+		BatchV100: 512, Batch1080: 128, GV100: 850, G1080: 165, BHalf: 32,
+		PrepCPUBytes: 30 * mib, PrepGPUBytesV100: 50 * mib, PrepGPUBytes1080: 40 * mib,
+		GPUPrepSlowdown: 0.78, GPUPrepMemGB: 4,
+		PreparedBytes: preparedImage, GradientBytes: 98 * mib,
+	},
+	{
+		Name: "vgg11", Task: "image", DefaultDataset: "imagenet-1k",
+		BatchV100: 512, Batch1080: 128, GV100: 700, G1080: 140, BHalf: 32,
+		PrepCPUBytes: 26 * mib, PrepGPUBytesV100: 50 * mib, PrepGPUBytes1080: 40 * mib,
+		GPUPrepSlowdown: 0.75, GPUPrepMemGB: 5,
+		PreparedBytes: preparedImage, GradientBytes: 507 * mib,
+	},
+	{
+		Name: "ssd-res18", Task: "detection", DefaultDataset: "openimages-det",
+		BatchV100: 128, Batch1080: 64, GV100: 500, G1080: 115, BHalf: 24,
+		PrepCPUBytes: 24 * mib, PrepGPUBytesV100: 30 * mib, PrepGPUBytes1080: 24 * mib,
+		GPUPrepSlowdown: 0.95, GPUPrepMemGB: 3,
+		PreparedBytes: 300 * 300 * 3 * 4, GradientBytes: 60 * mib,
+	},
+	{
+		Name: "audio-m5", Task: "audio", DefaultDataset: "fma",
+		BatchV100: 16, Batch1080: 16, GV100: 87, G1080: 35, BHalf: 8,
+		// MP3 decode of large tracks; no nvJPEG path for audio.
+		PrepCPUBytes: 60 * mib, PrepGPUBytesV100: 0, PrepGPUBytes1080: 0,
+		GPUPrepSlowdown: 1.0, GPUPrepMemGB: 0,
+		PreparedBytes: 8000 * 4 * 4.0, GradientBytes: 2 * mib,
+	},
+}
+
+// languageModels are the two language models of §3.1, which the paper
+// evaluated and excluded from the stall analysis because they are GPU
+// compute-bound: tiny text items make fetch and prep trivially fast relative
+// to the model's arithmetic. They are kept out of the main registry (the
+// paper's Table 1 lists nine models) but are resolvable by name.
+var languageModels = []*Model{
+	{
+		Name: "bert-large", Task: "text", DefaultDataset: "wiki-bookcorpus",
+		BatchV100: 8, Batch1080: 2, GV100: 55, G1080: 9, BHalf: 2,
+		// Tokenization cost per byte of raw text.
+		PrepCPUBytes: 20 * mib, PrepGPUBytesV100: 0, PrepGPUBytes1080: 0,
+		GPUPrepSlowdown: 1.0, GPUPrepMemGB: 0,
+		PreparedBytes: 512 * 4, GradientBytes: 1340 * mib,
+	},
+	{
+		Name: "gnmt", Task: "text", DefaultDataset: "wmt16",
+		BatchV100: 128, Batch1080: 64, GV100: 360, G1080: 95, BHalf: 24,
+		PrepCPUBytes: 20 * mib, PrepGPUBytesV100: 0, PrepGPUBytes1080: 0,
+		GPUPrepSlowdown: 1.0, GPUPrepMemGB: 0,
+		PreparedBytes: 100 * 4, GradientBytes: 640 * mib,
+	},
+}
+
+// All returns the Table 1 models (shared slice; do not mutate).
+func All() []*Model { return registry }
+
+// LanguageModels returns the §3.1 language models (BERT-Large, GNMT).
+func LanguageModels() []*Model { return languageModels }
+
+// ImageModels returns only the seven image-classification models.
+func ImageModels() []*Model {
+	var out []*Model
+	for _, m := range registry {
+		if m.Task == "image" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ByName looks up a model by name, including the language models.
+func ByName(name string) (*Model, error) {
+	for _, m := range registry {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	for _, m := range languageModels {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("gpu: unknown model %q", name)
+}
+
+// MustByName is ByName that panics on unknown names (for tables/tests).
+func MustByName(name string) *Model {
+	m, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// RefBatch returns the reference per-GPU batch size for gen (§3.1).
+func (m *Model) RefBatch(gen Generation) int {
+	if gen == V100 {
+		return m.BatchV100
+	}
+	return m.Batch1080
+}
+
+// RefRate returns the calibrated samples/s per GPU at the reference batch.
+func (m *Model) RefRate(gen Generation) float64 {
+	if gen == V100 {
+		return m.GV100
+	}
+	return m.G1080
+}
+
+// Rate returns the GPU ingestion rate in samples/s per GPU at batch size b:
+// the calibrated reference rate adjusted by the saturating batch-scaling
+// curve rate(b) ∝ b/(b+BHalf).
+func (m *Model) Rate(gen Generation, b int) float64 {
+	ref := float64(m.RefBatch(gen))
+	scale := (float64(b) / (float64(b) + m.BHalf)) / (ref / (ref + m.BHalf))
+	return m.RefRate(gen) * scale
+}
+
+// PrepGPUBytes returns the GPU-prep offload throughput for gen.
+func (m *Model) PrepGPUBytes(gen Generation) float64 {
+	if gen == V100 {
+		return m.PrepGPUBytesV100
+	}
+	return m.PrepGPUBytes1080
+}
+
+// BatchTime returns the seconds the GPU takes to consume one minibatch of
+// size b (forward + backward + update).
+func (m *Model) BatchTime(gen Generation, b int, gpuPrep bool) float64 {
+	r := m.Rate(gen, b)
+	if gpuPrep {
+		r *= m.GPUPrepSlowdown
+	}
+	return float64(b) / r
+}

@@ -1,0 +1,143 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	if len(All()) != 9 {
+		t.Fatalf("registry has %d models, want the paper's 9", len(All()))
+	}
+	for _, m := range All() {
+		if m.GV100 <= 0 || m.G1080 <= 0 || m.GV100 <= m.G1080 {
+			t.Fatalf("%s: V100 rate must exceed 1080Ti rate (%v vs %v)", m.Name, m.GV100, m.G1080)
+		}
+		if m.PrepCPUBytes <= 0 || m.PreparedBytes <= 0 {
+			t.Fatalf("%s: missing prep calibration", m.Name)
+		}
+		if m.BatchV100 < m.Batch1080 {
+			t.Fatalf("%s: V100 batch smaller than 1080Ti", m.Name)
+		}
+	}
+	if len(ImageModels()) != 7 {
+		t.Fatalf("want 7 image models, got %d", len(ImageModels()))
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("resnet50")
+	if err != nil || m.Name != "resnet50" {
+		t.Fatalf("ByName: %v", err)
+	}
+	if _, err := ByName("gpt4"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFig1ResNet18Calibration(t *testing.T) {
+	// Fig 1 publishes the ResNet18 pipeline on 8xV100 + 24 cores:
+	// GPU demand 2283 MB/s, CPU prep (24 cores) 735 MB/s, with GPU-
+	// assisted prep 1062 MB/s. Our constants must reproduce those to
+	// within ~10%.
+	m := MustByName("resnet18")
+	const avgItem = 146 * 1024.0 * 1024 * 1024 / 1_281_167 // imagenet-1k
+	const mb = 1024.0 * 1024
+	gpuDemand := 8 * m.GV100 * avgItem / mb
+	if math.Abs(gpuDemand-2283)/2283 > 0.10 {
+		t.Fatalf("GPU demand %.0f MB/s, want ~2283", gpuDemand)
+	}
+	cpuPrep := 24 * m.PrepCPUBytes / mb
+	if math.Abs(cpuPrep-735)/735 > 0.10 {
+		t.Fatalf("CPU prep %.0f MB/s, want ~735", cpuPrep)
+	}
+	hybrid := (24*m.PrepCPUBytes + 8*m.PrepGPUBytesV100) / mb
+	if math.Abs(hybrid-1062)/1062 > 0.10 {
+		t.Fatalf("hybrid prep %.0f MB/s, want ~1062", hybrid)
+	}
+}
+
+func TestFig4CoreRequirements(t *testing.T) {
+	// Fig 4: ResNet50 masks prep with 3-4 cores/GPU; AlexNet needs ~24;
+	// ResNet18 ~12. Cores needed = G * avgItem / perCoreRate.
+	const avgItem = 146 * 1024.0 * 1024 * 1024 / 1_281_167
+	cores := func(name string) float64 {
+		m := MustByName(name)
+		return m.GV100 * avgItem / m.PrepCPUBytes
+	}
+	if c := cores("resnet50"); c < 2.5 || c > 5 {
+		t.Fatalf("resnet50 needs %.1f cores, want 3-4", c)
+	}
+	if c := cores("alexnet"); c < 18 || c > 28 {
+		t.Fatalf("alexnet needs %.1f cores, want ~24", c)
+	}
+	if c := cores("resnet18"); c < 8 || c > 14 {
+		t.Fatalf("resnet18 needs %.1f cores, want ~12", c)
+	}
+}
+
+func TestBatchScalingMonotonic(t *testing.T) {
+	m := MustByName("mobilenetv2")
+	prev := 0.0
+	for _, b := range []int{32, 64, 128, 256, 512, 1024} {
+		r := m.Rate(V100, b)
+		if r <= prev {
+			t.Fatalf("rate not increasing at b=%d: %v <= %v", b, r, prev)
+		}
+		prev = r
+	}
+	// Rate at reference batch equals the calibrated rate.
+	if r := m.Rate(V100, m.BatchV100); math.Abs(r-m.GV100) > 1e-9 {
+		t.Fatalf("rate at ref batch %v != %v", r, m.GV100)
+	}
+}
+
+func TestBatchTime(t *testing.T) {
+	m := MustByName("resnet50")
+	bt := m.BatchTime(V100, 512, false)
+	if math.Abs(bt-512.0/850) > 1e-9 {
+		t.Fatalf("batch time %v", bt)
+	}
+	// GPU prep slows compute-heavy models (Appendix B.2).
+	if m.BatchTime(V100, 512, true) <= bt {
+		t.Fatal("GPU prep should slow ResNet50")
+	}
+	// ...but not light models.
+	a := MustByName("alexnet")
+	if a.BatchTime(V100, 512, true) != a.BatchTime(V100, 512, false) {
+		t.Fatal("GPU prep should not slow AlexNet compute")
+	}
+}
+
+func TestGenerationProperties(t *testing.T) {
+	if V100.MemGB() != 32 || GTX1080Ti.MemGB() != 11 {
+		t.Fatal("wrong GPU memory sizes (Table 2)")
+	}
+	if V100.String() != "v100" || GTX1080Ti.String() != "1080ti" {
+		t.Fatal("bad generation names")
+	}
+}
+
+// Property: Rate is positive and bounded by the asymptote for any batch.
+func TestRateBoundsProperty(t *testing.T) {
+	f := func(bRaw uint16, genRaw bool) bool {
+		b := int(bRaw)%2048 + 1
+		gen := V100
+		if genRaw {
+			gen = GTX1080Ti
+		}
+		for _, m := range All() {
+			r := m.Rate(gen, b)
+			ref := float64(m.RefBatch(gen))
+			asymptote := m.RefRate(gen) * (ref + m.BHalf) / ref
+			if r <= 0 || r > asymptote+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

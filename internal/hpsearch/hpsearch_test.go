@@ -1,0 +1,114 @@
+package hpsearch
+
+import (
+	"testing"
+
+	"datastall/internal/cluster"
+	"datastall/internal/dataset"
+	"datastall/internal/gpu"
+	"datastall/internal/trainer"
+)
+
+func baseCfg() trainer.Config {
+	d := dataset.ImageNet1K.Scale(0.004)
+	return trainer.Config{
+		Model: gpu.MustByName("alexnet"), Dataset: d,
+		Spec: cluster.ConfigSSDV100(), Batch: 256,
+		CacheBytes: 0.75 * d.TotalBytes,
+	}
+}
+
+func TestSearchRunsAllTrials(t *testing.T) {
+	r, err := Run(Config{Base: baseCfg(), NumTrials: 16, ParallelJobs: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trials) != 16 {
+		t.Fatalf("trials %d, want 16", len(r.Trials))
+	}
+	if r.Waves != 2 {
+		t.Fatalf("waves %d, want 2 (16 trials / 8 GPUs)", r.Waves)
+	}
+	if r.TotalEpochs != 16 {
+		t.Fatalf("epochs %d, want 16", r.TotalEpochs)
+	}
+	if r.SearchSeconds <= 0 || r.TotalDiskBytes <= 0 {
+		t.Fatalf("missing timing/io: %+v", r)
+	}
+}
+
+func TestBestTrialNearOptimum(t *testing.T) {
+	r, err := Run(Config{Base: baseCfg(), NumTrials: 24, ParallelJobs: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The synthetic objective peaks at lr=0.1, momentum=0.9; the winner
+	// should not be at the extreme edges of the sampled space.
+	if r.Best.LR < 0.005 || r.Best.LR > 0.5 {
+		t.Fatalf("winner lr=%.4f implausible for the objective surface", r.Best.LR)
+	}
+	if r.Best.Score <= 0 {
+		t.Fatalf("winner score %v", r.Best.Score)
+	}
+}
+
+func TestCoordinatedSearchIsFaster(t *testing.T) {
+	// Fig 23: coordinated prep + MinIO accelerate end-to-end HP search.
+	base := Config{Base: baseCfg(), NumTrials: 8, ParallelJobs: 8, Seed: 7}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := base
+	coord.Coordinated = true
+	fast, err := Run(coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.SearchSeconds >= plain.SearchSeconds {
+		t.Fatalf("coordinated search %.1fs not faster than baseline %.1fs",
+			fast.SearchSeconds, plain.SearchSeconds)
+	}
+	if fast.TotalDiskBytes >= plain.TotalDiskBytes {
+		t.Fatalf("coordinated disk %.0f not below baseline %.0f",
+			fast.TotalDiskBytes, plain.TotalDiskBytes)
+	}
+}
+
+func TestSuccessiveHalvingPrunes(t *testing.T) {
+	r, err := Run(Config{
+		Base: baseCfg(), NumTrials: 8, ParallelJobs: 8,
+		Rungs: 2, KeepFraction: 0.5, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rung 1: 8 trials x 1 epoch; rung 2: 4 survivors x 1 epoch.
+	if r.TotalEpochs != 12 {
+		t.Fatalf("epochs %d, want 12 (8 + 4 survivors)", r.TotalEpochs)
+	}
+	ran2 := 0
+	for _, tr := range r.Trials {
+		if tr.EpochsRun == 2 {
+			ran2++
+		}
+	}
+	if ran2 != 4 {
+		t.Fatalf("%d trials reached rung 2, want 4", ran2)
+	}
+}
+
+func TestDeterministicSearch(t *testing.T) {
+	cfg := Config{Base: baseCfg(), NumTrials: 8, ParallelJobs: 8, Seed: 11}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SearchSeconds != b.SearchSeconds || a.Best.ID != b.Best.ID {
+		t.Fatal("search not deterministic")
+	}
+}

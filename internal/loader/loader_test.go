@@ -1,0 +1,182 @@
+package loader
+
+import (
+	"testing"
+
+	"datastall/internal/cluster"
+	"datastall/internal/dataset"
+	"datastall/internal/sim"
+	"datastall/internal/stats"
+)
+
+func testEnv(nServers int) (*sim.Engine, *cluster.Cluster, *dataset.Dataset) {
+	e := sim.New()
+	cl := cluster.Build(e, cluster.ConfigSSDV100(), nServers)
+	d := &dataset.Dataset{Name: "t", NumItems: 200, TotalBytes: 200 * 100 * stats.KiB}
+	return e, cl, d
+}
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		DALIShuffle: "dali-shuffle", DALISeq: "dali-seq",
+		PyTorchDL: "pytorch-dl", CoorDL: "coordl",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Fatalf("%d: %s != %s", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() != "unknown" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestFetchResultAdd(t *testing.T) {
+	a := FetchResult{MemBytes: 1, DiskBytes: 2, NetBytes: 3, DiskItems: 4, Hits: 5, RemoteHit: 6, Misses: 7}
+	b := a
+	a.Add(b)
+	if a.MemBytes != 2 || a.DiskBytes != 4 || a.NetBytes != 6 ||
+		a.DiskItems != 8 || a.Hits != 10 || a.RemoteHit != 12 || a.Misses != 14 {
+		t.Fatalf("bad add: %+v", a)
+	}
+}
+
+func TestPageCacheFetcherColdThenWarm(t *testing.T) {
+	e, cl, d := testEnv(1)
+	f := NewPageCacheFetcher(d, cl, d.TotalBytes, 1) // cache fits everything
+	items := []dataset.ItemID{0, 1, 2, 3}
+	var cold, warm FetchResult
+	e.Go("x", func(p *sim.Proc) {
+		cold = f.FetchBatch(p, 0, items)
+		warm = f.FetchBatch(p, 0, items)
+	})
+	e.Run()
+	if cold.Misses != 4 || cold.DiskItems != 4 {
+		t.Fatalf("cold: %+v", cold)
+	}
+	if warm.Hits != 4 || warm.DiskBytes != 0 {
+		t.Fatalf("warm: %+v", warm)
+	}
+	if cl.Servers[0].Disk.TotalBytes() != cold.DiskBytes {
+		t.Fatal("disk not charged")
+	}
+}
+
+func TestPageCacheFetcherSeeksPerItem(t *testing.T) {
+	e, cl, d := testEnv(1)
+	f := NewPageCacheFetcher(d, cl, 1, 1) // cache too small: all misses
+	f.SeeksPerItem = 3
+	var r FetchResult
+	e.Go("x", func(p *sim.Proc) {
+		r = f.FetchBatch(p, 0, []dataset.ItemID{0, 1})
+	})
+	e.Run()
+	if r.DiskItems != 6 {
+		t.Fatalf("disk items %d, want 2 items x 3 seeks", r.DiskItems)
+	}
+	if cl.Servers[0].Disk.TotalRequests() != 1 {
+		t.Fatal("batch should aggregate into one device request")
+	}
+}
+
+func TestPageCacheSharedAcrossCallers(t *testing.T) {
+	// Fetchers are shared per server: a second job benefits from (and
+	// interferes with) the first job's cache contents.
+	e, cl, d := testEnv(1)
+	f := NewPageCacheFetcher(d, cl, d.TotalBytes, 1)
+	var second FetchResult
+	e.Go("job1", func(p *sim.Proc) {
+		f.FetchBatch(p, 0, []dataset.ItemID{7, 8})
+	})
+	e.Go("job2", func(p *sim.Proc) {
+		p.Sleep(100)
+		second = f.FetchBatch(p, 0, []dataset.ItemID{7, 8})
+	})
+	e.Run()
+	if second.Hits != 2 {
+		t.Fatalf("cross-job hits %d, want 2", second.Hits)
+	}
+}
+
+func TestSyntheticFetcherFree(t *testing.T) {
+	e, _, _ := testEnv(1)
+	var r FetchResult
+	var took float64
+	e.Go("x", func(p *sim.Proc) {
+		r = SyntheticFetcher{}.FetchBatch(p, 0, []dataset.ItemID{0, 1, 2})
+		took = p.Now()
+	})
+	e.Run()
+	if took != 0 || r.Hits != 3 || r.DiskBytes != 0 {
+		t.Fatalf("synthetic fetch not free: t=%v %+v", took, r)
+	}
+}
+
+func TestCachedFetcherChargesMemoryOnly(t *testing.T) {
+	e, cl, d := testEnv(1)
+	f := &CachedFetcher{Dataset: d, Cluster: cl}
+	var r FetchResult
+	var took float64
+	e.Go("x", func(p *sim.Proc) {
+		r = f.FetchBatch(p, 0, []dataset.ItemID{0, 1})
+		took = p.Now()
+	})
+	e.Run()
+	if r.MemBytes != 2*d.AvgItemBytes() || r.DiskBytes != 0 {
+		t.Fatalf("cached fetch: %+v", r)
+	}
+	if took <= 0 {
+		t.Fatal("memory copy should take (a little) time")
+	}
+	if cl.Servers[0].Disk.TotalBytes() != 0 {
+		t.Fatal("cached fetch touched disk")
+	}
+}
+
+func TestTFRecordFetcherRecordGranularity(t *testing.T) {
+	e, cl, d := testEnv(1)
+	rec := 10 * d.AvgItemBytes() // 10 items per record
+	f := NewTFRecordFetcher(d, cl, d.TotalBytes, rec, 1)
+	if f.Record(0) != f.Record(9) || f.Record(0) == f.Record(10) {
+		t.Fatal("record mapping wrong")
+	}
+	var r FetchResult
+	e.Go("x", func(p *sim.Proc) {
+		// Items 0..9 share a record; 10 starts the next.
+		r = f.FetchBatch(p, 0, []dataset.ItemID{0, 5, 9, 10})
+	})
+	e.Run()
+	if r.Misses != 2 {
+		t.Fatalf("misses %d, want 2 records", r.Misses)
+	}
+	if r.DiskBytes != 2*rec {
+		t.Fatalf("disk bytes %v, want 2 records", r.DiskBytes)
+	}
+	// Second batch over the same records: all hits, memory only.
+	var r2 FetchResult
+	e.Go("y", func(p *sim.Proc) {
+		r2 = f.FetchBatch(p, 0, []dataset.ItemID{1, 11})
+	})
+	e.Run()
+	if r2.Hits != 2 || r2.DiskBytes != 0 {
+		t.Fatalf("warm record fetch: %+v", r2)
+	}
+}
+
+func TestTFRecordFetcherEviction(t *testing.T) {
+	e, cl, d := testEnv(1)
+	rec := 10 * d.AvgItemBytes()
+	f := NewTFRecordFetcher(d, cl, 2*rec, rec, 1) // cache holds 2 records
+	e.Go("x", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			f.FetchBatch(p, 0, []dataset.ItemID{dataset.ItemID(i * 10)})
+		}
+	})
+	e.Run()
+	if f.Caches[0].UsedBytes() > 2*rec {
+		t.Fatal("record cache exceeded capacity")
+	}
+	if cl.Servers[0].Disk.TotalBytes() < 18*rec {
+		t.Fatal("expected most record fetches to miss")
+	}
+}

@@ -1,0 +1,70 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"datastall/internal/sim"
+	"datastall/internal/stats"
+)
+
+func TestEffectiveBWExceedsSSD(t *testing.T) {
+	// §4.2: cross-node bandwidth must be several times local SATA SSD
+	// read bandwidth (530 MB/s) for partitioned caching to make sense.
+	if bw := Ethernet40G.RawBW * Ethernet40G.Efficiency; bw < 3*530*stats.MiB {
+		t.Fatalf("40GbE effective bw %.0f MB/s too low", bw/stats.MiB)
+	}
+}
+
+func TestTransferTiming(t *testing.T) {
+	e := sim.New()
+	n := NewNIC(e, LinkSpec{Name: "t", RawBW: 1000, Efficiency: 0.5, RTT: 1})
+	var done float64
+	e.Go("x", func(p *sim.Proc) {
+		n.Transfer(p, 500, 2) // 2 RTT (2s) + 500/500 (1s) = 3s
+		done = p.Now()
+	})
+	e.Run()
+	if done != 3 {
+		t.Fatalf("transfer done at %v, want 3", done)
+	}
+	if n.TotalBytes() != 500 {
+		t.Fatalf("bytes %v", n.TotalBytes())
+	}
+}
+
+func TestNICContention(t *testing.T) {
+	e := sim.New()
+	n := NewNIC(e, LinkSpec{Name: "t", RawBW: 100, Efficiency: 1, RTT: 0})
+	var t1, t2 float64
+	e.Go("a", func(p *sim.Proc) { n.Transfer(p, 1000, 0); t1 = p.Now() })
+	e.Go("b", func(p *sim.Proc) { n.Transfer(p, 1000, 0); t2 = p.Now() })
+	e.Run()
+	if t1 != 10 || t2 != 20 {
+		t.Fatalf("t1=%v t2=%v, want FIFO 10/20", t1, t2)
+	}
+}
+
+func TestFabricRemoteFetchChargesBothEnds(t *testing.T) {
+	e := sim.New()
+	f := NewFabric(e, 2, LinkSpec{Name: "t", RawBW: 100, Efficiency: 1, RTT: 0})
+	e.Go("x", func(p *sim.Proc) { f.RemoteFetch(p, 0, 1, 500, 1) })
+	e.Run()
+	if f.NICs[0].TotalBytes() != 500 || f.NICs[1].TotalBytes() != 500 {
+		t.Fatalf("bytes: dst=%v src=%v", f.NICs[0].TotalBytes(), f.NICs[1].TotalBytes())
+	}
+	if math.Abs(f.TotalBytes()-1000) > 1e-9 {
+		t.Fatalf("fabric total %v", f.TotalBytes())
+	}
+}
+
+func TestZeroTransferFree(t *testing.T) {
+	e := sim.New()
+	n := NewNIC(e, Ethernet40G)
+	var done float64
+	e.Go("x", func(p *sim.Proc) { n.Transfer(p, 0, 0); done = p.Now() })
+	e.Run()
+	if done != 0 {
+		t.Fatalf("zero transfer took %v", done)
+	}
+}

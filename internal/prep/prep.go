@@ -1,0 +1,122 @@
+// Package prep models CPU pre-processing: decode, random augmentation and
+// collation of minibatches (§2 Steps 1-2). Cost is dominated by decode and
+// is proportional to raw input bytes; throughput scales linearly with
+// physical cores and sub-linearly with hyperthreads (Appendix B.1 measures
+// ~30% gain from doubling threads past physical cores).
+package prep
+
+import "datastall/internal/gpu"
+
+// Loader framework of the pre-processing pipeline. DALI's optimized nvJPEG
+// path is several times faster per core than the native PyTorch (Pillow +
+// TorchVision) path (Appendix B.2, Fig 13).
+type Framework int
+
+// Pre-processing frameworks.
+const (
+	DALI Framework = iota
+	PyTorchNative
+)
+
+// String returns the framework name.
+func (f Framework) String() string {
+	if f == DALI {
+		return "dali"
+	}
+	return "pytorch"
+}
+
+// pytorchFactor is the native loader's per-core throughput relative to DALI
+// CPU (Pillow decode vs nvJPEG; Fig 13 shows DALI ~3x faster per core).
+const pytorchFactor = 0.34
+
+// htEfficiency is the marginal throughput of a hyperthread relative to a
+// physical core (Appendix B.1: 32->64 threads bought only ~30%).
+const htEfficiency = 0.30
+
+// Config describes one job's pre-processing resources.
+type Config struct {
+	Framework Framework
+	// Threads is the number of prep worker threads for this job.
+	Threads int
+	// PhysicalCores is how many of those threads map to dedicated
+	// physical cores; the remainder are hyperthreads.
+	PhysicalCores int
+	// GPUPrep enables DALI's GPU-side pipeline on NumGPUs devices.
+	GPUPrep bool
+	NumGPUs int
+	// Gen selects the GPU generation for the GPU-prep rate.
+	Gen gpu.Generation
+}
+
+// EffectiveCores converts a thread allocation into physical-core
+// equivalents using the hyperthreading efficiency model.
+func EffectiveCores(threads, physicalCores int) float64 {
+	if threads <= 0 {
+		return 0
+	}
+	if threads <= physicalCores {
+		return float64(threads)
+	}
+	return float64(physicalCores) + htEfficiency*float64(threads-physicalCores)
+}
+
+// Rate returns the aggregate pre-processing throughput in bytes of raw input
+// per second for model m under cfg.
+func Rate(m *gpu.Model, cfg Config) float64 {
+	perCore := m.PrepCPUBytes
+	if cfg.Framework == PyTorchNative {
+		perCore *= pytorchFactor
+	}
+	r := EffectiveCores(cfg.Threads, cfg.PhysicalCores) * perCore
+	if cfg.GPUPrep && cfg.Framework == DALI {
+		r += float64(cfg.NumGPUs) * m.PrepGPUBytes(cfg.Gen)
+	}
+	return r
+}
+
+// BatchTime returns the seconds to pre-process a batch of rawBytes under cfg.
+func BatchTime(m *gpu.Model, cfg Config, rawBytes float64) float64 {
+	r := Rate(m, cfg)
+	if r <= 0 {
+		panic("prep: zero prep rate")
+	}
+	return rawBytes / r
+}
+
+// GPUPrepFits reports whether DALI's GPU pipeline fits in device memory next
+// to the model (Appendix B.2: GPU prep takes 2-5 GB and can OOM).
+func GPUPrepFits(m *gpu.Model, gen gpu.Generation) bool {
+	// Rough activation budget: half the device for the model/activations.
+	return m.GPUPrepMemGB <= gen.MemGB()*0.35
+}
+
+// BestConfig returns the faster of CPU-only and GPU-assisted DALI prep for
+// the model, mirroring the paper's methodology ("we run with both GPU and
+// CPU based DALI pipeline and present the best of the two results").
+// It compares end-to-end: GPU prep adds prep throughput but can slow the
+// GPU's compute rate. avgItemBytes is the dataset's mean raw item size.
+func BestConfig(m *gpu.Model, gen gpu.Generation, threads, physCores, nGPUs, batch int, avgItemBytes float64) Config {
+	cpu := Config{Framework: DALI, Threads: threads, PhysicalCores: physCores, NumGPUs: nGPUs, Gen: gen}
+	gpuCfg := cpu
+	gpuCfg.GPUPrep = true
+	if !GPUPrepFits(m, gen) {
+		return cpu
+	}
+	// Pipeline throughput in samples/s = min(prep rate, GPU rate).
+	throughput := func(c Config) float64 {
+		prepSamples := Rate(m, c) / avgItemBytes
+		gpuSamples := m.Rate(gen, batch) * float64(nGPUs)
+		if c.GPUPrep {
+			gpuSamples *= m.GPUPrepSlowdown
+		}
+		if prepSamples < gpuSamples {
+			return prepSamples
+		}
+		return gpuSamples
+	}
+	if throughput(gpuCfg) > throughput(cpu) {
+		return gpuCfg
+	}
+	return cpu
+}

@@ -1,0 +1,128 @@
+package prep
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"datastall/internal/gpu"
+)
+
+const avgImagenet = 146 * 1024.0 * 1024 * 1024 / 1_281_167
+
+func TestEffectiveCores(t *testing.T) {
+	if EffectiveCores(3, 24) != 3 {
+		t.Fatal("threads under core count should be linear")
+	}
+	// 64 vCPUs on 32 cores: Appendix B.1 says only ~30% extra.
+	got := EffectiveCores(64, 32)
+	if math.Abs(got-(32+0.3*32)) > 1e-9 {
+		t.Fatalf("64 threads / 32 cores = %v effective", got)
+	}
+	if EffectiveCores(0, 8) != 0 {
+		t.Fatal("zero threads")
+	}
+}
+
+func TestDALIFasterThanPyTorch(t *testing.T) {
+	// Fig 13: DALI (nvJPEG) dominates the native PyTorch loader per core.
+	m := gpu.MustByName("resnet18")
+	cfg := Config{Framework: DALI, Threads: 8, PhysicalCores: 8}
+	pt := cfg
+	pt.Framework = PyTorchNative
+	if Rate(m, cfg) <= Rate(m, pt) {
+		t.Fatal("DALI must be faster per core than PyTorch native")
+	}
+	ratio := Rate(m, cfg) / Rate(m, pt)
+	if ratio < 2 || ratio > 4 {
+		t.Fatalf("DALI/PyTorch ratio %.1f, want ~3", ratio)
+	}
+}
+
+func TestGPUPrepAddsThroughput(t *testing.T) {
+	m := gpu.MustByName("resnet18")
+	cpu := Config{Framework: DALI, Threads: 24, PhysicalCores: 24, NumGPUs: 8, Gen: gpu.V100}
+	withGPU := cpu
+	withGPU.GPUPrep = true
+	if Rate(m, withGPU) <= Rate(m, cpu) {
+		t.Fatal("GPU prep should add throughput")
+	}
+	// GPU prep does not help the PyTorch-native framework.
+	pt := withGPU
+	pt.Framework = PyTorchNative
+	ptNoGPU := cpu
+	ptNoGPU.Framework = PyTorchNative
+	if Rate(m, pt) != Rate(m, ptNoGPU) {
+		t.Fatal("GPU prep must only apply to DALI")
+	}
+}
+
+func TestFig5PrepStallCalibration(t *testing.T) {
+	// Fig 5: ResNet18 with 3 cores/GPU + GPU prep has ~50% prep stall on
+	// V100 but none on the slower 1080Ti.
+	m := gpu.MustByName("resnet18")
+	perGPU := func(gen gpu.Generation) (prepBytes, demandBytes float64) {
+		cfg := Config{Framework: DALI, Threads: 3, PhysicalCores: 3,
+			GPUPrep: true, NumGPUs: 1, Gen: gen}
+		return Rate(m, cfg), m.RefRate(gen) * avgImagenet
+	}
+	p, g := perGPU(gpu.V100)
+	stall := 1 - p/g
+	if stall < 0.35 || stall > 0.60 {
+		t.Fatalf("V100 prep stall %.2f, want ~0.5", stall)
+	}
+	p, g = perGPU(gpu.GTX1080Ti)
+	if p < g {
+		t.Fatalf("1080Ti should mask prep with 3 cores + GPU prep (%v < %v)", p, g)
+	}
+}
+
+func TestBatchTime(t *testing.T) {
+	m := gpu.MustByName("alexnet")
+	cfg := Config{Framework: DALI, Threads: 1, PhysicalCores: 1}
+	bt := BatchTime(m, cfg, m.PrepCPUBytes) // 1 core-second of work
+	if math.Abs(bt-1) > 1e-9 {
+		t.Fatalf("batch time %v, want 1", bt)
+	}
+}
+
+func TestBestConfigPrefersCPUForComputeHeavy(t *testing.T) {
+	// Appendix B.2: GPU prep hurts ResNet50/VGG11 (already GPU-bound);
+	// the best-of policy must pick CPU prep when prep isn't the
+	// bottleneck, and GPU prep for prep-starved light models.
+	rn50 := gpu.MustByName("resnet50")
+	cfg := BestConfig(rn50, gpu.V100, 4, 4, 1, 512, avgImagenet)
+	if cfg.GPUPrep {
+		t.Fatal("resnet50 with enough cores should use CPU prep")
+	}
+	r18 := gpu.MustByName("resnet18")
+	cfg = BestConfig(r18, gpu.V100, 3, 3, 1, 512, avgImagenet)
+	if !cfg.GPUPrep {
+		t.Fatal("prep-starved resnet18 should enable GPU prep")
+	}
+}
+
+func TestGPUPrepFits(t *testing.T) {
+	vgg := gpu.MustByName("vgg11")
+	if GPUPrepFits(vgg, gpu.GTX1080Ti) {
+		t.Fatal("VGG11 GPU prep should not fit on 11GB 1080Ti")
+	}
+	if !GPUPrepFits(gpu.MustByName("resnet18"), gpu.V100) {
+		t.Fatal("resnet18 GPU prep fits on V100")
+	}
+}
+
+// Property: Rate is monotone in threads and never negative.
+func TestRateMonotoneProperty(t *testing.T) {
+	f := func(threadsRaw, coresRaw uint8) bool {
+		threads := int(threadsRaw)%64 + 1
+		cores := int(coresRaw)%32 + 1
+		m := gpu.MustByName("mobilenetv2")
+		a := Rate(m, Config{Framework: DALI, Threads: threads, PhysicalCores: cores})
+		b := Rate(m, Config{Framework: DALI, Threads: threads + 1, PhysicalCores: cores})
+		return b > a && a > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,28 @@
+package sim
+
+// Cond is a condition variable for simulated processes. Waiters must
+// re-check their predicate in a loop around Wait, as with sync.Cond.
+type Cond struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable on engine e.
+func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+
+// Wait parks the calling process until a Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Broadcast wakes every waiting process (at the current simulated time).
+func (c *Cond) Broadcast() {
+	for _, w := range c.waiters {
+		c.eng.wakeup(w)
+	}
+	c.waiters = nil
+}
+
+// Waiting returns the number of parked waiters.
+func (c *Cond) Waiting() int { return len(c.waiters) }

@@ -1,0 +1,87 @@
+package sim
+
+import "testing"
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	e := New()
+	c := NewCond(e)
+	woken := 0
+	for i := 0; i < 3; i++ {
+		e.Go("w", func(p *Proc) {
+			c.Wait(p)
+			woken++
+		})
+	}
+	e.Go("b", func(p *Proc) {
+		p.Sleep(5)
+		if c.Waiting() != 3 {
+			t.Errorf("waiting = %d, want 3", c.Waiting())
+		}
+		c.Broadcast()
+	})
+	e.Run()
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+	if c.Waiting() != 0 {
+		t.Fatalf("waiters not cleared: %d", c.Waiting())
+	}
+}
+
+func TestCondPredicateLoop(t *testing.T) {
+	e := New()
+	c := NewCond(e)
+	ready := false
+	var seenAt float64
+	e.Go("waiter", func(p *Proc) {
+		for !ready {
+			c.Wait(p)
+		}
+		seenAt = p.Now()
+	})
+	// Spurious broadcast at t=1 (predicate still false), real one at t=4.
+	e.Go("sig", func(p *Proc) {
+		p.Sleep(1)
+		c.Broadcast()
+		p.Sleep(3)
+		ready = true
+		c.Broadcast()
+	})
+	e.Run()
+	if seenAt != 4 {
+		t.Fatalf("waiter proceeded at %v, want 4 (must re-check predicate)", seenAt)
+	}
+}
+
+func TestCondWaiterKilledAtShutdown(t *testing.T) {
+	e := New()
+	c := NewCond(e)
+	reached := false
+	e.Go("stuck", func(p *Proc) {
+		c.Wait(p) // never signalled
+		reached = true
+	})
+	e.Run()
+	if reached {
+		t.Fatal("stuck waiter should be torn down, not resumed")
+	}
+}
+
+func TestRunForAndShutdown(t *testing.T) {
+	e := New()
+	ticks := 0
+	e.Go("ticker", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(1)
+			ticks++
+		}
+	})
+	e.RunFor(10.5)
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+	if e.Now() != 10.5 {
+		t.Fatalf("clock = %v, want 10.5", e.Now())
+	}
+	e.Shutdown() // must reclaim the ticker without hanging
+}

@@ -1,0 +1,233 @@
+// Package sim implements a deterministic discrete-event simulator used to
+// model the DNN input pipeline: processes, bounded stores, barriers,
+// counting resources and FIFO bandwidth servers.
+//
+// The engine is single-threaded in simulated time: exactly one process runs
+// at any instant, and events that share a timestamp are ordered by their
+// scheduling sequence number, so simulations are bit-reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// event is a scheduled callback.
+type event struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. Create one with New, spawn
+// processes with Go, and drive the simulation with Run.
+type Engine struct {
+	now      float64
+	seq      int64
+	events   eventHeap
+	ctl      chan struct{}
+	parked   []*Proc // processes blocked on a condition (no pending event)
+	stopping bool
+	live     int
+}
+
+// New returns an empty engine at time zero.
+func New() *Engine {
+	return &Engine{ctl: make(chan struct{})}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn after delay seconds of simulated time. fn executes on the
+// engine goroutine and must not block on simulation primitives.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: invalid delay %v", delay))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{t: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// killed is the panic payload used to unwind processes at shutdown.
+type killed struct{}
+
+// Proc is a simulated process. All blocking methods must be called from the
+// goroutine started by Engine.Go for this process.
+type Proc struct {
+	eng    *Engine
+	wake   chan struct{}
+	name   string
+	killed bool
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Go spawns fn as a new simulated process that starts at the current time.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, wake: make(chan struct{}), name: name}
+	e.live++
+	go func() {
+		<-p.wake
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killed); !ok {
+					panic(r)
+				}
+			}
+			e.live--
+			e.ctl <- struct{}{}
+		}()
+		if p.killed {
+			panic(killed{})
+		}
+		fn(p)
+	}()
+	e.Schedule(0, func() { e.resume(p) })
+	return p
+}
+
+// resume hands control to p and waits until p parks or terminates. It runs on
+// the engine goroutine (inside an event callback).
+func (e *Engine) resume(p *Proc) {
+	p.wake <- struct{}{}
+	<-e.ctl
+}
+
+// park blocks the calling process until another event wakes it. The caller is
+// responsible for having registered itself somewhere a wakeup will find it.
+func (p *Proc) park() {
+	e := p.eng
+	e.parked = append(e.parked, p)
+	e.ctl <- struct{}{}
+	<-p.wake
+	if p.killed {
+		panic(killed{})
+	}
+}
+
+// wakeup schedules a resume of p at the current time and removes it from the
+// parked list. It may be called from process or engine context.
+func (e *Engine) wakeup(p *Proc) {
+	for i, q := range e.parked {
+		if q == p {
+			e.parked = append(e.parked[:i], e.parked[i+1:]...)
+			break
+		}
+	}
+	e.Schedule(0, func() { e.resume(p) })
+}
+
+// Sleep suspends the process for d seconds of simulated time.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("sim: invalid sleep %v", d))
+	}
+	e := p.eng
+	e.Schedule(d, func() { e.resume(p) })
+	e.ctl <- struct{}{}
+	<-p.wake
+	if p.killed {
+		panic(killed{})
+	}
+}
+
+// SleepUntil suspends the process until simulated time t (no-op if t has
+// already passed).
+func (p *Proc) SleepUntil(t float64) {
+	if t <= p.eng.now {
+		return
+	}
+	p.Sleep(t - p.eng.now)
+}
+
+// Run executes events until the event queue drains, then terminates any
+// processes still blocked on conditions. After Run returns no process
+// goroutines remain.
+func (e *Engine) Run() {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.t
+		ev.fn()
+	}
+	// Tear down processes blocked forever on stores/barriers/resources.
+	e.stopping = true
+	for len(e.parked) > 0 {
+		p := e.parked[0]
+		e.parked = e.parked[1:]
+		p.killed = true
+		e.resume(p)
+		// The unwinding process may schedule events (e.g. releasing a
+		// resource wakes another proc); drain them, re-kill, repeat.
+		for len(e.events) > 0 {
+			ev := heap.Pop(&e.events).(*event)
+			e.now = ev.t
+			ev.fn()
+		}
+	}
+}
+
+// RunFor executes events until simulated time exceeds horizon or the queue
+// drains, then stops (without tearing down parked processes). Used by
+// experiments that sample a steady state.
+func (e *Engine) RunFor(horizon float64) {
+	for len(e.events) > 0 && e.events[0].t <= horizon {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.t
+		ev.fn()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// Shutdown force-kills every parked process and drains remaining events.
+// Call after RunFor to reclaim goroutines.
+func (e *Engine) Shutdown() {
+	e.stopping = true
+	for {
+		for len(e.events) > 0 {
+			ev := heap.Pop(&e.events).(*event)
+			if ev.t > e.now {
+				e.now = ev.t
+			}
+			// During shutdown, resumed procs see killed and unwind.
+			ev.fn()
+		}
+		if len(e.parked) == 0 {
+			break
+		}
+		p := e.parked[0]
+		e.parked = e.parked[1:]
+		p.killed = true
+		e.resume(p)
+	}
+}

@@ -1,0 +1,355 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSleepOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.Go("a", func(p *Proc) {
+		p.Sleep(2)
+		order = append(order, 2)
+	})
+	e.Go("b", func(p *Proc) {
+		p.Sleep(1)
+		order = append(order, 1)
+	})
+	e.Go("c", func(p *Proc) {
+		p.Sleep(3)
+		order = append(order, 3)
+	})
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wrong order: %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+}
+
+func TestTieBreakBySpawnOrder(t *testing.T) {
+	e := New()
+	var order []string
+	for _, name := range []string{"x", "y", "z"} {
+		name := name
+		e.Go(name, func(p *Proc) {
+			p.Sleep(5)
+			order = append(order, name)
+		})
+	}
+	e.Run()
+	if order[0] != "x" || order[1] != "y" || order[2] != "z" {
+		t.Fatalf("tie-break violated: %v", order)
+	}
+}
+
+func TestScheduleCallback(t *testing.T) {
+	e := New()
+	fired := 0.0
+	e.Schedule(7, func() { fired = e.Now() })
+	e.Run()
+	if fired != 7 {
+		t.Fatalf("callback at %v, want 7", fired)
+	}
+}
+
+func TestStoreBlockingFIFO(t *testing.T) {
+	e := New()
+	s := NewStore[int](e, 2)
+	var got []int
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			s.Put(p, i)
+		}
+	})
+	e.Go("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(1)
+			v, ok := s.Get(p)
+			if !ok {
+				t.Errorf("store closed early")
+			}
+			got = append(got, v)
+		}
+	})
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d values", len(got))
+	}
+}
+
+func TestStorePutBlocksWhenFull(t *testing.T) {
+	e := New()
+	s := NewStore[int](e, 1)
+	var putDone float64
+	e.Go("producer", func(p *Proc) {
+		s.Put(p, 1)
+		s.Put(p, 2) // must block until consumer drains at t=10
+		putDone = p.Now()
+	})
+	e.Go("consumer", func(p *Proc) {
+		p.Sleep(10)
+		s.Get(p)
+		p.Sleep(10)
+		s.Get(p)
+	})
+	e.Run()
+	if putDone != 10 {
+		t.Fatalf("second put completed at %v, want 10", putDone)
+	}
+	if s.PutBlocked != 10 {
+		t.Fatalf("PutBlocked = %v, want 10", s.PutBlocked)
+	}
+}
+
+func TestStoreCloseUnblocksGetter(t *testing.T) {
+	e := New()
+	s := NewStore[int](e, 4)
+	ok := true
+	e.Go("getter", func(p *Proc) {
+		_, ok = s.Get(p)
+	})
+	e.Go("closer", func(p *Proc) {
+		p.Sleep(3)
+		s.Close()
+	})
+	e.Run()
+	if ok {
+		t.Fatal("Get on closed empty store should return ok=false")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	e := New()
+	b := NewBarrier(e, 3)
+	var done []float64
+	for i := 0; i < 3; i++ {
+		d := float64(i + 1)
+		e.Go("w", func(p *Proc) {
+			p.Sleep(d)
+			b.Wait(p)
+			done = append(done, p.Now())
+		})
+	}
+	e.Run()
+	if len(done) != 3 {
+		t.Fatalf("only %d passed barrier", len(done))
+	}
+	for _, d := range done {
+		if d != 3 {
+			t.Fatalf("barrier released at %v, want 3", d)
+		}
+	}
+	if b.Waited != 2+1 {
+		t.Fatalf("Waited = %v, want 3", b.Waited)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	e := New()
+	b := NewBarrier(e, 2)
+	rounds := 0
+	for i := 0; i < 2; i++ {
+		e.Go("w", func(p *Proc) {
+			for r := 0; r < 5; r++ {
+				p.Sleep(1)
+				b.Wait(p)
+			}
+			rounds++
+		})
+	}
+	e.Run()
+	if rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", rounds)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := New()
+	r := NewResource(e, 2)
+	var order []string
+	hold := func(name string, units int, at, dur float64) {
+		e.Go(name, func(p *Proc) {
+			p.Sleep(at)
+			r.Acquire(p, units)
+			order = append(order, name)
+			p.Sleep(dur)
+			r.Release(units)
+		})
+	}
+	hold("a", 2, 0, 10)
+	hold("b", 1, 1, 5) // queued behind a
+	hold("c", 1, 2, 5) // queued behind b
+	e.Run()
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v", order)
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("resource leaked: %d", r.InUse())
+	}
+}
+
+func TestBandwidthServerQueueing(t *testing.T) {
+	e := New()
+	d := NewBandwidthServer(e)
+	var t1, t2 float64
+	e.Go("a", func(p *Proc) {
+		d.Request(p, 100, 10, 0) // 10s service
+		t1 = p.Now()
+	})
+	e.Go("b", func(p *Proc) {
+		p.Sleep(1)
+		d.Request(p, 100, 10, 0) // queues behind a, finishes at 20
+		t2 = p.Now()
+	})
+	e.Run()
+	if t1 != 10 {
+		t.Fatalf("t1 = %v, want 10", t1)
+	}
+	if t2 != 20 {
+		t.Fatalf("t2 = %v, want 20", t2)
+	}
+	if d.Waited != 9 {
+		t.Fatalf("Waited = %v, want 9", d.Waited)
+	}
+	if d.Bytes != 200 || d.Requests != 2 {
+		t.Fatalf("stats: bytes=%v reqs=%d", d.Bytes, d.Requests)
+	}
+}
+
+func TestBandwidthServerOverhead(t *testing.T) {
+	e := New()
+	d := NewBandwidthServer(e)
+	var done float64
+	e.Go("a", func(p *Proc) {
+		d.Request(p, 100, 100, 2.5)
+		done = p.Now()
+	})
+	e.Run()
+	if done != 3.5 {
+		t.Fatalf("done = %v, want 3.5", done)
+	}
+}
+
+func TestRunTearsDownParkedProcs(t *testing.T) {
+	e := New()
+	s := NewStore[int](e, 1)
+	reached := false
+	e.Go("stuck", func(p *Proc) {
+		s.Get(p) // never satisfied
+		reached = true
+	})
+	e.Go("other", func(p *Proc) { p.Sleep(1) })
+	e.Run() // must not hang
+	if reached {
+		t.Fatal("stuck proc should have been killed, not resumed")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []float64 {
+		e := New()
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore[float64](e, 3)
+		var out []float64
+		for i := 0; i < 4; i++ {
+			d := rng.Float64()
+			e.Go("p", func(p *Proc) {
+				for k := 0; k < 10; k++ {
+					p.Sleep(d)
+					s.Put(p, p.Now())
+				}
+			})
+		}
+		e.Go("c", func(p *Proc) {
+			for k := 0; k < 40; k++ {
+				v, _ := s.Get(p)
+				out = append(out, v)
+			}
+		})
+		e.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) || len(a) != 40 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterminism at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of sleep durations, the engine clock after Run equals
+// the maximum duration, and every process ran to completion.
+func TestSleepClockProperty(t *testing.T) {
+	f := func(durs []uint16) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		if len(durs) > 50 {
+			durs = durs[:50]
+		}
+		e := New()
+		max := 0.0
+		count := 0
+		for _, u := range durs {
+			d := float64(u) / 100
+			if d > max {
+				max = d
+			}
+			e.Go("p", func(p *Proc) {
+				p.Sleep(d)
+				count++
+			})
+		}
+		e.Run()
+		return e.Now() == max && count == len(durs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a bounded store never exceeds its capacity and preserves FIFO
+// order for a single producer/consumer pair.
+func TestStoreFIFOProperty(t *testing.T) {
+	f := func(capacity uint8, n uint8) bool {
+		c := int(capacity)%5 + 1
+		items := int(n)%100 + 1
+		e := New()
+		s := NewStore[int](e, c)
+		ok := true
+		e.Go("prod", func(p *Proc) {
+			for i := 0; i < items; i++ {
+				s.Put(p, i)
+				if s.Len() > c {
+					ok = false
+				}
+			}
+		})
+		e.Go("cons", func(p *Proc) {
+			for i := 0; i < items; i++ {
+				p.Sleep(0.01)
+				v, good := s.Get(p)
+				if !good || v != i {
+					ok = false
+				}
+			}
+		})
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+package sim
+
+// Store is a bounded FIFO queue of values exchanged between processes.
+// Put blocks while the store is full; Get blocks while it is empty.
+// A capacity of 0 means unbounded.
+type Store[T any] struct {
+	eng     *Engine
+	cap     int
+	buf     []T
+	getters []*Proc
+	putters []*Proc
+	closed  bool
+
+	// PutBlocked / GetBlocked accumulate the simulated seconds processes
+	// spent blocked on this store; used for stall accounting.
+	PutBlocked float64
+	GetBlocked float64
+}
+
+// NewStore returns a store with the given capacity (0 = unbounded).
+func NewStore[T any](e *Engine, capacity int) *Store[T] {
+	return &Store[T]{eng: e, cap: capacity}
+}
+
+// Len returns the number of buffered values.
+func (s *Store[T]) Len() int { return len(s.buf) }
+
+// Put appends v, blocking while the store is full.
+func (s *Store[T]) Put(p *Proc, v T) {
+	start := s.eng.now
+	for s.cap > 0 && len(s.buf) >= s.cap && !s.closed {
+		s.putters = append(s.putters, p)
+		p.park()
+	}
+	s.PutBlocked += s.eng.now - start
+	s.buf = append(s.buf, v)
+	if len(s.getters) > 0 {
+		g := s.getters[0]
+		s.getters = s.getters[1:]
+		s.eng.wakeup(g)
+	}
+}
+
+// Get removes and returns the oldest value, blocking while empty. The second
+// result is false if the store was closed while empty.
+func (s *Store[T]) Get(p *Proc) (T, bool) {
+	start := s.eng.now
+	for len(s.buf) == 0 {
+		if s.closed {
+			var zero T
+			s.GetBlocked += s.eng.now - start
+			return zero, false
+		}
+		s.getters = append(s.getters, p)
+		p.park()
+	}
+	s.GetBlocked += s.eng.now - start
+	v := s.buf[0]
+	s.buf = s.buf[1:]
+	if len(s.putters) > 0 {
+		q := s.putters[0]
+		s.putters = s.putters[1:]
+		s.eng.wakeup(q)
+	}
+	return v, true
+}
+
+// Close marks the store closed and wakes all blocked getters; subsequent Gets
+// on an empty store return ok=false. Puts after Close still succeed (used to
+// flush trailing batches) but never block.
+func (s *Store[T]) Close() {
+	s.closed = true
+	for _, g := range s.getters {
+		s.eng.wakeup(g)
+	}
+	s.getters = nil
+	for _, q := range s.putters {
+		s.eng.wakeup(q)
+	}
+	s.putters = nil
+}
+
+// Barrier synchronises n processes: each Wait blocks until all n arrive.
+// It is reusable across generations (like sync.WaitGroup cycles).
+type Barrier struct {
+	eng     *Engine
+	n       int
+	arrived int
+	waiters []*Proc
+	// Waited accumulates total blocked time across all processes.
+	Waited float64
+}
+
+// NewBarrier returns a barrier for n parties.
+func NewBarrier(e *Engine, n int) *Barrier {
+	if n < 1 {
+		panic("sim: barrier needs n >= 1")
+	}
+	return &Barrier{eng: e, n: n}
+}
+
+// Wait blocks until n processes have called Wait for this generation.
+func (b *Barrier) Wait(p *Proc) {
+	b.arrived++
+	if b.arrived >= b.n {
+		b.arrived = 0
+		for _, w := range b.waiters {
+			b.eng.wakeup(w)
+		}
+		b.waiters = nil
+		return
+	}
+	start := b.eng.now
+	b.waiters = append(b.waiters, p)
+	p.park()
+	b.Waited += b.eng.now - start
+}
+
+// Resource is a counting semaphore with FIFO granting.
+type Resource struct {
+	eng     *Engine
+	cap     int
+	inUse   int
+	waiters []*resWaiter
+	// Waited accumulates total blocked time across acquisitions.
+	Waited float64
+}
+
+type resWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewResource returns a resource with the given capacity.
+func NewResource(e *Engine, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource needs capacity >= 1")
+	}
+	return &Resource{eng: e, cap: capacity}
+}
+
+// InUse returns the currently acquired units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquire blocks until n units are available, then takes them. FIFO order is
+// preserved: a large request at the head blocks later small requests.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n > r.cap {
+		panic("sim: acquire exceeds resource capacity")
+	}
+	start := r.eng.now
+	for len(r.waiters) > 0 || r.inUse+n > r.cap {
+		w := &resWaiter{p: p, n: n}
+		r.waiters = append(r.waiters, w)
+		p.park()
+		// Woken at the head of the queue; re-check capacity.
+		if len(r.waiters) > 0 && r.waiters[0] == w && r.inUse+n <= r.cap {
+			r.waiters = r.waiters[1:]
+			break
+		}
+		// Otherwise remove self and retry from scratch.
+		for i, x := range r.waiters {
+			if x == w {
+				r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
+				break
+			}
+		}
+	}
+	r.Waited += r.eng.now - start
+	r.inUse += n
+}
+
+// Release returns n units and wakes the head waiter if it now fits.
+func (r *Resource) Release(n int) {
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic("sim: resource over-released")
+	}
+	if len(r.waiters) > 0 && r.inUse+r.waiters[0].n <= r.cap {
+		r.eng.wakeup(r.waiters[0].p)
+	}
+}
+
+// BandwidthServer models a FIFO device (disk, NIC) characterised by a
+// bandwidth and a fixed per-request overhead. Requests are serviced strictly
+// in arrival order: a request arriving while the device is busy queues behind
+// the in-flight work, which is how cross-job contention arises.
+type BandwidthServer struct {
+	eng       *Engine
+	busyUntil float64
+
+	// Stats.
+	Bytes    float64 // total bytes transferred
+	Requests int64   // number of requests
+	Busy     float64 // total service time
+	Waited   float64 // total queueing delay
+}
+
+// NewBandwidthServer returns an idle device.
+func NewBandwidthServer(e *Engine) *BandwidthServer {
+	return &BandwidthServer{eng: e}
+}
+
+// Request transfers bytes at bwBytesPerSec with a fixed overhead (e.g. seek
+// time) and blocks the calling process until the transfer completes.
+func (d *BandwidthServer) Request(p *Proc, bytes, bwBytesPerSec, overhead float64) {
+	if bytes < 0 {
+		panic("sim: negative transfer")
+	}
+	dur := overhead
+	if bytes > 0 {
+		dur += bytes / bwBytesPerSec
+	}
+	start := d.eng.now
+	if d.busyUntil < start {
+		d.busyUntil = start
+	}
+	d.Waited += d.busyUntil - start
+	d.busyUntil += dur
+	d.Bytes += bytes
+	d.Requests++
+	d.Busy += dur
+	p.SleepUntil(d.busyUntil)
+}
+
+// Utilization returns the fraction of time [0, now] the device was busy.
+func (d *BandwidthServer) Utilization() float64 {
+	if d.eng.now == 0 {
+		return 0
+	}
+	return d.Busy / d.eng.now
+}

@@ -1,0 +1,196 @@
+// Package stats provides the metric primitives used by the simulator:
+// counters, time series sampled in simulated time, and simple summaries.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// TimeSeries records (time, value) points in simulated time, used for the
+// paper's I/O-pattern, CPU-utilization and memory-utilization figures
+// (Figs 11, 19, 20).
+type TimeSeries struct {
+	Name   string
+	Times  []float64
+	Values []float64
+}
+
+// Add appends a point. Times must be non-decreasing.
+func (ts *TimeSeries) Add(t, v float64) {
+	ts.Times = append(ts.Times, t)
+	ts.Values = append(ts.Values, v)
+}
+
+// Len returns the number of points.
+func (ts *TimeSeries) Len() int { return len(ts.Times) }
+
+// Bucketize aggregates the series into fixed-width windows of width w over
+// [0, horizon), summing values per window. Used to turn per-request disk I/O
+// events into MB/s-style traces.
+func (ts *TimeSeries) Bucketize(w, horizon float64) []float64 {
+	n := int(math.Ceil(horizon / w))
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n)
+	for i, t := range ts.Times {
+		b := int(t / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= n {
+			b = n - 1
+		}
+		out[b] += ts.Values[i]
+	}
+	return out
+}
+
+// WriteCSV writes the series as "time,value" rows with a header, for
+// plotting the paper's time-series figures (11, 19, 20).
+func (ts *TimeSeries) WriteCSV(w io.Writer) error {
+	name := ts.Name
+	if name == "" {
+		name = "value"
+	}
+	if _, err := fmt.Fprintf(w, "time,%s\n", name); err != nil {
+		return err
+	}
+	for i := range ts.Times {
+		if _, err := fmt.Fprintf(w, "%g,%g\n", ts.Times[i], ts.Values[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sum returns the sum of all values.
+func (ts *TimeSeries) Sum() float64 {
+	s := 0.0
+	for _, v := range ts.Values {
+		s += v
+	}
+	return s
+}
+
+// Summary holds order statistics for a sample set.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	P50, P90, P99  float64
+	Sum            float64
+}
+
+// Summarize computes summary statistics of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(s)-1))
+		return s[i]
+	}
+	return Summary{
+		N: len(s), Mean: sum / float64(len(s)),
+		Min: s[0], Max: s[len(s)-1],
+		P50: pct(0.50), P90: pct(0.90), P99: pct(0.99),
+		Sum: sum,
+	}
+}
+
+// Table is a simple labelled table used to render paper-style results.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells (formatted with %v).
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly (3 significant decimals max).
+func FormatFloat(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	out := ""
+	if t.Title != "" {
+		out += t.Title + "\n"
+	}
+	line := func(cells []string) string {
+		s := ""
+		for i, c := range cells {
+			s += fmt.Sprintf("%-*s", widths[i]+2, c)
+		}
+		return s + "\n"
+	}
+	out += line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = dashes(widths[i])
+	}
+	out += line(sep)
+	for _, r := range t.Rows {
+		out += line(r)
+	}
+	return out
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+// GiB and MiB are byte-size helpers used throughout the experiment configs.
+const (
+	KiB = 1024.0
+	MiB = 1024.0 * KiB
+	GiB = 1024.0 * MiB
+	TiB = 1024.0 * GiB
+)

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBucketize(t *testing.T) {
+	ts := &TimeSeries{}
+	ts.Add(0.5, 10)
+	ts.Add(1.5, 20)
+	ts.Add(1.9, 5)
+	ts.Add(3.5, 7)
+	got := ts.Bucketize(1, 4)
+	want := []float64{10, 25, 0, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBucketizeClampsOutOfRange(t *testing.T) {
+	ts := &TimeSeries{}
+	ts.Add(10, 3) // beyond horizon
+	got := ts.Bucketize(1, 2)
+	if got[len(got)-1] != 3 {
+		t.Fatalf("out-of-range point not clamped: %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.Sum != 10 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if s.P50 != 2 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "T", Columns: []string{"model", "speedup"}}
+	tbl.AddRow("alexnet", 1.5)
+	tbl.AddRow("resnet50", 2.0)
+	s := tbl.String()
+	if !strings.Contains(s, "alexnet") || !strings.Contains(s, "1.5") {
+		t.Fatalf("render missing cells:\n%s", s)
+	}
+	if !strings.Contains(s, "model") {
+		t.Fatalf("render missing header:\n%s", s)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	ts := &TimeSeries{Name: "disk"}
+	ts.Add(1, 100)
+	ts.Add(2.5, 50)
+	var b strings.Builder
+	if err := ts.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "time,disk\n1,100\n2.5,50\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+	// Unnamed series get a default header.
+	var b2 strings.Builder
+	(&TimeSeries{}).WriteCSV(&b2)
+	if !strings.HasPrefix(b2.String(), "time,value\n") {
+		t.Fatalf("default header missing: %q", b2.String())
+	}
+}
+
+// Property: bucketize preserves total mass for in-range points.
+func TestBucketizeMassProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		ts := &TimeSeries{}
+		total := 0.0
+		for i, r := range raw {
+			tm := float64(i%10) + float64(r)/512
+			ts.Add(tm, float64(r))
+			total += float64(r)
+		}
+		buckets := ts.Bucketize(1, 11)
+		sum := 0.0
+		for _, b := range buckets {
+			sum += b
+		}
+		return math.Abs(sum-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summarize respects Min <= P50 <= Max and Mean within [Min, Max].
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.P50 <= s.P90 && s.P90 <= s.P99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

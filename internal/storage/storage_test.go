@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"math"
+	"testing"
+
+	"datastall/internal/sim"
+	"datastall/internal/stats"
+)
+
+func TestEffectiveRandomBW(t *testing.T) {
+	// HDD random reads of ~300KB items should land in the paper's
+	// 15-50 MB/s window (Table 2).
+	bw := HDD.EffectiveRandomBW(300 * stats.KiB)
+	if mbps := bw / stats.MiB; mbps < 15 || mbps > 50 {
+		t.Fatalf("HDD effective random bw = %.1f MB/s, want 15-50", mbps)
+	}
+	// SSD random reads stay near the rated 530 MB/s.
+	bw = SSD.EffectiveRandomBW(150 * stats.KiB)
+	if mbps := bw / stats.MiB; mbps < 400 || mbps > 560 {
+		t.Fatalf("SSD effective random bw = %.1f MB/s, want ~530", mbps)
+	}
+}
+
+func TestDiskReadTiming(t *testing.T) {
+	e := sim.New()
+	d := NewDisk(e, DeviceSpec{Name: "t", SeqBW: 100, SeekTime: 1})
+	var done float64
+	e.Go("r", func(p *sim.Proc) {
+		d.ReadRandom(p, 200, 2) // 2 seeks (2s) + 200/100 (2s) = 4s
+		done = p.Now()
+	})
+	e.Run()
+	if done != 4 {
+		t.Fatalf("read finished at %v, want 4", done)
+	}
+	if d.TotalBytes() != 200 || d.TotalRequests() != 1 {
+		t.Fatalf("stats: %v bytes %d reqs", d.TotalBytes(), d.TotalRequests())
+	}
+}
+
+func TestDiskFIFOContention(t *testing.T) {
+	e := sim.New()
+	d := NewDisk(e, DeviceSpec{Name: "t", SeqBW: 100, SeekTime: 0})
+	var t1, t2 float64
+	e.Go("a", func(p *sim.Proc) {
+		d.ReadSequential(p, 1000) // 10s
+		t1 = p.Now()
+	})
+	e.Go("b", func(p *sim.Proc) {
+		p.Sleep(1)
+		d.ReadSequential(p, 100) // queues: done at 11
+		t2 = p.Now()
+	})
+	e.Run()
+	if t1 != 10 || t2 != 11 {
+		t.Fatalf("t1=%v t2=%v, want 10, 11", t1, t2)
+	}
+	if d.QueueDelay() != 9 {
+		t.Fatalf("queue delay %v, want 9", d.QueueDelay())
+	}
+}
+
+func TestDiskTrace(t *testing.T) {
+	e := sim.New()
+	d := NewDisk(e, SSD)
+	d.EnableTrace("io")
+	e.Go("r", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			d.ReadRandom(p, stats.MiB, 1)
+		}
+	})
+	e.Run()
+	if d.Trace.Len() != 3 {
+		t.Fatalf("trace has %d points", d.Trace.Len())
+	}
+	if math.Abs(d.Trace.Sum()-3*stats.MiB) > 1 {
+		t.Fatalf("trace sum %v", d.Trace.Sum())
+	}
+}
+
+func TestMemoryRead(t *testing.T) {
+	e := sim.New()
+	m := NewMemory(1000)
+	var done float64
+	e.Go("r", func(p *sim.Proc) {
+		m.Read(p, 500)
+		done = p.Now()
+	})
+	e.Run()
+	if done != 0.5 {
+		t.Fatalf("memory read at %v, want 0.5", done)
+	}
+	if m.Bytes != 500 {
+		t.Fatalf("bytes %v", m.Bytes)
+	}
+}
+
+func TestZeroByteReadsAreFree(t *testing.T) {
+	e := sim.New()
+	d := NewDisk(e, SSD)
+	m := NewMemory(1000)
+	var done float64
+	e.Go("r", func(p *sim.Proc) {
+		d.ReadRandom(p, 0, 0)
+		d.ReadSequential(p, 0)
+		m.Read(p, 0)
+		done = p.Now()
+	})
+	e.Run()
+	if done != 0 {
+		t.Fatalf("zero reads consumed time: %v", done)
+	}
+}

@@ -1,0 +1,96 @@
+package trainer
+
+import "math"
+
+// LearningCurve models top-1 validation accuracy as a function of completed
+// epochs for a step-LR schedule: a saturating base curve plus a bounded jump
+// after each learning-rate decay. CoorDL does not alter the learning
+// algorithm (§5.4), so time-to-accuracy differs between loaders only through
+// epoch time; the curve itself is shared.
+type LearningCurve struct {
+	// Base saturates at BaseAcc with time constant Tau (epochs).
+	BaseAcc float64
+	Tau     float64
+	// Steps are learning-rate decay epochs; each adds StepGain[i]
+	// saturating with StepTau epochs.
+	Steps    []int
+	StepGain []float64
+	StepTau  float64
+}
+
+// ResNet50ImageNet is the standard 90-epoch step-schedule curve reaching
+// the paper's 75.9% top-1 target (Fig 10).
+var ResNet50ImageNet = LearningCurve{
+	BaseAcc: 0.645, Tau: 7,
+	Steps:    []int{30, 60, 80},
+	StepGain: []float64{0.075, 0.032, 0.008},
+	StepTau:  4,
+}
+
+// Accuracy returns top-1 accuracy after e completed epochs.
+func (c LearningCurve) Accuracy(e float64) float64 {
+	if e <= 0 {
+		return 0
+	}
+	acc := c.BaseAcc * (1 - math.Exp(-e/c.Tau))
+	for i, s := range c.Steps {
+		if e > float64(s) {
+			acc += c.StepGain[i] * (1 - math.Exp(-(e-float64(s))/c.StepTau))
+		}
+	}
+	return acc
+}
+
+// FinalAccuracy returns the asymptotic accuracy of the curve.
+func (c LearningCurve) FinalAccuracy() float64 {
+	acc := c.BaseAcc
+	for _, g := range c.StepGain {
+		acc += g
+	}
+	return acc
+}
+
+// EpochsToAccuracy returns the number of epochs needed to reach target
+// accuracy (and ok=false if the curve never reaches it).
+func (c LearningCurve) EpochsToAccuracy(target float64) (int, bool) {
+	if target > c.FinalAccuracy() {
+		return 0, false
+	}
+	for e := 1; e <= 100000; e++ {
+		if c.Accuracy(float64(e)) >= target {
+			return e, true
+		}
+	}
+	return 0, false
+}
+
+// AccuracyPoint is one point of an accuracy-vs-wall-clock curve.
+type AccuracyPoint struct {
+	Hours    float64
+	Epoch    int
+	Accuracy float64
+}
+
+// AccuracyTimeline converts a per-epoch wall-clock time into the Fig 10
+// accuracy-over-time curve, up to maxEpochs.
+func (c LearningCurve) AccuracyTimeline(epochSeconds float64, maxEpochs int) []AccuracyPoint {
+	out := make([]AccuracyPoint, 0, maxEpochs)
+	for e := 1; e <= maxEpochs; e++ {
+		out = append(out, AccuracyPoint{
+			Hours:    float64(e) * epochSeconds / 3600,
+			Epoch:    e,
+			Accuracy: c.Accuracy(float64(e)),
+		})
+	}
+	return out
+}
+
+// TimeToAccuracy returns the wall-clock hours to reach target given a
+// steady-state epoch time in seconds.
+func (c LearningCurve) TimeToAccuracy(epochSeconds, target float64) (float64, bool) {
+	e, ok := c.EpochsToAccuracy(target)
+	if !ok {
+		return 0, false
+	}
+	return float64(e) * epochSeconds / 3600, true
+}

@@ -1,0 +1,453 @@
+package trainer
+
+import (
+	"fmt"
+
+	"datastall/internal/cluster"
+	"datastall/internal/core"
+	"datastall/internal/dataset"
+	"datastall/internal/loader"
+	"datastall/internal/prep"
+	"datastall/internal/sim"
+	"datastall/internal/stats"
+)
+
+// ConcurrentConfig describes a hyper-parameter-search workload: NumJobs
+// concurrent jobs on one server, each training the same model on the same
+// dataset with GPUsPerJob GPUs (§3.3.1, §5.3).
+type ConcurrentConfig struct {
+	// Base supplies model, dataset, SKU, batch, epochs, framework, cache
+	// size and seed. NumServers is forced to 1; GPUsPerServer to
+	// GPUsPerJob; ThreadsPerGPU to the job's fair CPU share.
+	Base Config
+
+	NumJobs    int
+	GPUsPerJob int
+
+	// Coordinated enables CoorDL's coordinated prep (§4.3): the dataset
+	// is sharded across jobs, fetched and pre-processed exactly once per
+	// epoch, and shared through the staging area. When false, the jobs
+	// run independently, contending on the shared page cache, disk, and
+	// CPU — the DALI/PyTorch baseline.
+	Coordinated bool
+	// StagingCapBytes bounds the cross-job staging area (default 5 GiB,
+	// the footprint the paper measures in §5.5).
+	StagingCapBytes float64
+	// TraceStagingMem records the staging memory time series (Fig 20).
+	TraceStagingMem bool
+
+	// CoordUsePageCache makes coordinated prep fetch through the OS page
+	// cache instead of MinIO — the "coordinated prep alone" configuration
+	// of Appendix E.2.3's component breakdown.
+	CoordUsePageCache bool
+
+	// KillJob, if >= 0, makes that job's producers die after
+	// KillAfterBatches batches (failure-injection for §4.3's detector).
+	KillJob          int
+	KillAfterBatches int
+}
+
+// ConcurrentResult reports a finished multi-job run.
+type ConcurrentResult struct {
+	// Jobs holds per-job results (durations, throughput, hit rates).
+	Jobs []*Result
+	// TotalDiskBytes is storage I/O across the whole run.
+	TotalDiskBytes float64
+	// DiskPerEpoch is steady-state storage I/O per epoch (after warmup).
+	DiskPerEpoch float64
+	// ReadAmplification is DiskPerEpoch / dataset size: >1 means the
+	// server reads the dataset multiple times per epoch (§3.3.1).
+	ReadAmplification float64
+	// StagingPeakBytes / StagingTrace describe coordinated-prep memory.
+	StagingPeakBytes float64
+	StagingTrace     *stats.TimeSeries
+	// DetectedFailures lists jobs the failure detector declared dead.
+	DetectedFailures []int
+}
+
+// RunConcurrent executes the workload and returns per-job and aggregate
+// statistics.
+func RunConcurrent(cc ConcurrentConfig) (*ConcurrentResult, error) {
+	if cc.NumJobs < 1 || cc.GPUsPerJob < 1 {
+		return nil, fmt.Errorf("trainer: need >= 1 job and GPU per job")
+	}
+	base := cc.Base
+	base.NumServers = 1
+	base.GPUsPerServer = cc.GPUsPerJob
+	if base.ThreadsPerGPU == 0 {
+		perJob := base.Spec.PhysicalCores / cc.NumJobs
+		if perJob < 1 {
+			perJob = 1
+		}
+		base.ThreadsPerGPU = perJob / cc.GPUsPerJob
+		if base.ThreadsPerGPU < 1 {
+			base.ThreadsPerGPU = 1
+		}
+	}
+	base = base.withDefaults()
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if cc.NumJobs*cc.GPUsPerJob > base.Spec.NumGPUs {
+		return nil, fmt.Errorf("trainer: %d jobs x %d GPUs exceed the server's %d GPUs",
+			cc.NumJobs, cc.GPUsPerJob, base.Spec.NumGPUs)
+	}
+	if cc.StagingCapBytes == 0 {
+		cc.StagingCapBytes = 5 * stats.GiB
+	}
+	if cc.KillJob == 0 && cc.KillAfterBatches == 0 {
+		cc.KillJob = -1
+	}
+	cc.Base = base
+
+	if cc.Coordinated {
+		return runCoordinated(cc)
+	}
+	return runIndependent(cc)
+}
+
+// runIndependent runs NumJobs uncoordinated jobs sharing one server's page
+// cache, storage and CPU.
+func runIndependent(cc ConcurrentConfig) (*ConcurrentResult, error) {
+	eng := sim.New()
+	cl := cluster.Build(eng, cc.Base.Spec, 1)
+	var shared loader.Fetcher
+	switch {
+	case cc.Base.FetchMode == FullyCached:
+		shared = &loader.CachedFetcher{Dataset: cc.Base.Dataset, Cluster: cl}
+	case cc.Base.RecordBytes > 0:
+		shared = loader.NewTFRecordFetcher(cc.Base.Dataset, cl, cc.Base.CacheBytes, cc.Base.RecordBytes, cc.Base.Seed)
+	case cc.Base.Loader == loader.CoorDL:
+		// MinIO without coordination (ablation).
+		shared = core.NewMinIOFetcher(cc.Base.Dataset, cl, cc.Base.CacheBytes)
+	default:
+		shared = loader.NewPageCacheFetcher(cc.Base.Dataset, cl, cc.Base.CacheBytes, cc.Base.Seed)
+	}
+	var rts []*jobRuntime
+	for j := 0; j < cc.NumJobs; j++ {
+		cfg := cc.Base
+		cfg.Seed = cc.Base.Seed + int64(j)*131
+		rt, err := newJobRuntimeWith(cfg, eng, cl, shared, nil)
+		if err != nil {
+			return nil, err
+		}
+		rt.launch()
+		rts = append(rts, rt)
+	}
+	eng.Run()
+
+	res := &ConcurrentResult{TotalDiskBytes: cl.TotalDiskBytes()}
+	for _, rt := range rts {
+		res.Jobs = append(res.Jobs, rt.result())
+	}
+	fillDiskAggregates(res, rts[0], cc.Base)
+	return res, nil
+}
+
+// fillDiskAggregates derives steady-state disk I/O per epoch from job 0's
+// epoch boundaries (jobs progress nearly in lockstep).
+func fillDiskAggregates(res *ConcurrentResult, rt0 *jobRuntime, base Config) {
+	if len(rt0.snaps) >= 2 {
+		first := rt0.snaps[0].disk
+		last := rt0.snaps[len(rt0.snaps)-1].disk
+		res.DiskPerEpoch = (last - first) / float64(len(rt0.snaps)-1)
+	} else {
+		res.DiskPerEpoch = res.TotalDiskBytes
+	}
+	res.ReadAmplification = res.DiskPerEpoch / base.Dataset.TotalBytes
+}
+
+// runCoordinated runs CoorDL's coordinated prep: one fetch+prep sweep per
+// epoch shared by all jobs through the staging area.
+func runCoordinated(cc ConcurrentConfig) (*ConcurrentResult, error) {
+	eng := sim.New()
+	base := cc.Base
+	cl := cluster.Build(eng, base.Spec, 1)
+	var fetcher loader.Fetcher
+	switch {
+	case cc.CoordUsePageCache:
+		fetcher = loader.NewPageCacheFetcher(base.Dataset, cl, base.CacheBytes, base.Seed)
+	case base.FetchMode == FullyCached:
+		fetcher = &loader.CachedFetcher{Dataset: base.Dataset, Cluster: cl}
+	default:
+		fetcher = core.NewMinIOFetcher(base.Dataset, cl, base.CacheBytes)
+	}
+	staging := core.NewStagingArea(eng, cc.NumJobs, cc.StagingCapBytes)
+	if cc.TraceStagingMem {
+		staging.EnableMemTrace("staging-mem")
+	}
+
+	rt := &coordRuntime{
+		cc: cc, eng: eng, cl: cl, fetcher: fetcher, staging: staging,
+		shards: dataset.SplitRandom(base.Dataset, cc.NumJobs, base.Seed),
+	}
+	rt.setup()
+	rt.launch()
+	eng.Run()
+	return rt.result(), nil
+}
+
+// coordRuntime is the coordinated-prep runtime (§4.3).
+type coordRuntime struct {
+	cc      ConcurrentConfig
+	eng     *sim.Engine
+	cl      *cluster.Cluster
+	fetcher loader.Fetcher
+	staging *core.StagingArea
+	shards  []dataset.Shard
+
+	batchesPerJob int                    // per epoch; total = NumJobs * batchesPerJob
+	itersPerGPU   int                    // per epoch, per consumer GPU
+	prepRate      float64                // per-job aggregate prep rate (bytes/s)
+	prepSrv       []*sim.BandwidthServer // per job: intra-batch parallel prep
+	producers     int                    // per job
+	prepBatch     float64                // prepared bytes per staged batch
+	iterTime      float64
+
+	produced []int // per job, cumulative batches produced
+	jobDead  bool
+	detector *core.FailureDetector
+
+	// Per-job accounting.
+	jobs []*coordJobStats
+}
+
+type coordJobStats struct {
+	barrier *sim.Barrier
+	snaps   []snapshot
+	samples int
+	fetch   loader.FetchResult
+	waitGet float64
+}
+
+func (rt *coordRuntime) setup() {
+	cc := rt.cc
+	base := cc.Base
+	minShard := rt.shards[0].Items
+	for _, sh := range rt.shards {
+		if len(sh.Items) < len(minShard) {
+			minShard = sh.Items
+		}
+	}
+	bpj := len(minShard) / base.Batch
+	// Total staged batches per epoch must divide evenly across each
+	// job's GPUs.
+	for bpj > 0 && (bpj*cc.NumJobs)%cc.GPUsPerJob != 0 {
+		bpj--
+	}
+	rt.batchesPerJob = bpj
+	rt.itersPerGPU = bpj * cc.NumJobs / cc.GPUsPerJob
+
+	// Coordinated prep preps each shard once using the job's full CPU
+	// share; all jobs together apply the server's full core count.
+	pc := base.prepConfig()
+	pc.Threads = base.ThreadsPerGPU * cc.GPUsPerJob // whole job's threads
+	physPerJob := base.Spec.PhysicalCores / cc.NumJobs
+	if physPerJob < 1 {
+		physPerJob = 1
+	}
+	if pc.PhysicalCores = physPerJob; pc.PhysicalCores > pc.Threads {
+		pc.PhysicalCores = pc.Threads
+	}
+	pc.NumGPUs = cc.GPUsPerJob
+	rt.prepRate = prep.Rate(base.Model, pc)
+	rt.producers = pc.Threads
+	if rt.producers > 4 {
+		rt.producers = 4
+	}
+	rt.prepBatch = float64(base.Batch) * base.Model.PreparedBytes
+	rt.iterTime = base.Model.BatchTime(base.Spec.Gen, base.Batch, pc.GPUPrep)
+
+	rt.produced = make([]int, cc.NumJobs)
+	for j := 0; j < cc.NumJobs; j++ {
+		rt.jobs = append(rt.jobs, &coordJobStats{
+			barrier: sim.NewBarrier(rt.eng, cc.GPUsPerJob),
+		})
+		rt.prepSrv = append(rt.prepSrv, sim.NewBandwidthServer(rt.eng))
+	}
+}
+
+func (rt *coordRuntime) launch() {
+	cc := rt.cc
+	for j := 0; j < cc.NumJobs; j++ {
+		for k := 0; k < rt.producers; k++ {
+			j, k := j, k
+			rt.eng.Go(fmt.Sprintf("coord-prod-%d-%d", j, k), func(p *sim.Proc) {
+				rt.producer(p, j, k, 0)
+			})
+		}
+		for g := 0; g < cc.GPUsPerJob; g++ {
+			j, g := j, g
+			rt.eng.Go(fmt.Sprintf("coord-gpu-%d-%d", j, g), func(p *sim.Proc) {
+				rt.consumer(p, j, g)
+			})
+		}
+	}
+	if cc.KillJob >= 0 {
+		rt.detector = &core.FailureDetector{
+			Staging: rt.staging,
+			Timeout: 10 * rt.iterTime,
+			Alive:   func(job int) bool { return !(job == cc.KillJob && rt.jobDead) },
+			Recover: func(job int) {
+				rt.staging.RemoveJob(job)
+				rt.eng.Go("coord-recovery", func(p *sim.Proc) {
+					rt.recoveryProducer(p, job)
+				})
+			},
+		}
+		horizon := float64(rt.itersPerGPU*cc.Base.Epochs) * rt.iterTime * 50
+		rt.eng.Go("failure-detector", func(p *sim.Proc) {
+			rt.detector.Run(p, horizon)
+		})
+	}
+}
+
+// shardOrder returns job j's shard order for an epoch.
+func (rt *coordRuntime) shardOrder(j, epoch int) []dataset.ItemID {
+	s := dataset.NewRandomSampler(rt.shards[j], rt.cc.Base.Seed+int64(j)*977)
+	return s.EpochOrder(epoch)
+}
+
+// producer fetches and preps job j's shard, staging batches for all jobs.
+// Producer k handles batches k, k+P, ... of the shard. startEpoch lets a
+// recovery producer resume mid-run.
+func (rt *coordRuntime) producer(p *sim.Proc, j, k, startEpoch int) {
+	cc := rt.cc
+	base := cc.Base
+	for e := startEpoch; e < base.Epochs; e++ {
+		rt.staging.WaitEpochStart(p, e)
+		order := rt.shardOrder(j, e)
+		epochBase := e * cc.NumJobs * rt.batchesPerJob
+		for n := k; n < rt.batchesPerJob; n += rt.producers {
+			if cc.KillJob == j && rt.produced[j] >= cc.KillAfterBatches {
+				rt.jobDead = true
+				return
+			}
+			items := order[n*base.Batch : (n+1)*base.Batch]
+			res := rt.fetcher.FetchBatch(p, 0, items)
+			rt.jobs[j].fetch.Add(res)
+			raw := res.MemBytes + res.DiskBytes + res.NetBytes
+			rt.prepSrv[j].Request(p, raw, rt.prepRate, 0)
+			// Write the prepared batch into shared memory.
+			rt.cl.Servers[0].Staging.Request(p, rt.prepBatch, base.Spec.StagingBW, 0)
+			rt.staging.Put(p, &core.Batch{
+				Index: epochBase + n*cc.NumJobs + j,
+				Owner: j, Items: items, PreparedBytes: rt.prepBatch,
+			})
+			rt.produced[j]++
+		}
+	}
+}
+
+// recoveryProducer takes over a dead job's shard from where it stopped.
+func (rt *coordRuntime) recoveryProducer(p *sim.Proc, j int) {
+	cc := rt.cc
+	base := cc.Base
+	done := rt.produced[j]
+	epoch := done / rt.batchesPerJob
+	offset := done % rt.batchesPerJob
+	for e := epoch; e < base.Epochs; e++ {
+		rt.staging.WaitEpochStart(p, e)
+		order := rt.shardOrder(j, e)
+		epochBase := e * cc.NumJobs * rt.batchesPerJob
+		start := 0
+		if e == epoch {
+			start = offset
+		}
+		for n := start; n < rt.batchesPerJob; n++ {
+			items := order[n*base.Batch : (n+1)*base.Batch]
+			res := rt.fetcher.FetchBatch(p, 0, items)
+			raw := res.MemBytes + res.DiskBytes + res.NetBytes
+			rt.prepSrv[j].Request(p, raw, rt.prepRate, 0)
+			rt.cl.Servers[0].Staging.Request(p, rt.prepBatch, base.Spec.StagingBW, 0)
+			rt.staging.Put(p, &core.Batch{
+				Index: epochBase + n*cc.NumJobs + j,
+				Owner: j, Items: items, PreparedBytes: rt.prepBatch,
+			})
+		}
+	}
+}
+
+// consumer is GPU g of job j: it reads every staged batch exactly once.
+func (rt *coordRuntime) consumer(p *sim.Proc, j, g int) {
+	cc := rt.cc
+	base := cc.Base
+	js := rt.jobs[j]
+	for e := 0; e < base.Epochs; e++ {
+		epochBase := e * cc.NumJobs * rt.batchesPerJob
+		hi := epochBase + cc.NumJobs*rt.batchesPerJob
+		for it := 0; it < rt.itersPerGPU; it++ {
+			if cc.KillJob == j && rt.jobDead {
+				return // the killed job's consumers exit too
+			}
+			t0 := p.Now()
+			rt.staging.GetAny(p, j, epochBase, hi)
+			js.waitGet += p.Now() - t0
+			// Copy the prepared batch out of shared memory.
+			rt.cl.Servers[0].Staging.Request(p, rt.prepBatch, base.Spec.StagingBW, 0)
+			p.Sleep(rt.iterTime)
+			js.barrier.Wait(p)
+		}
+		js.samples += rt.itersPerGPU * base.Batch * cc.GPUsPerJob
+		if g == 0 {
+			js.snaps = append(js.snaps, snapshot{
+				t:       rt.eng.Now(),
+				disk:    rt.cl.TotalDiskBytes(),
+				fetch:   js.fetch,
+				samples: js.samples,
+			})
+			rt.staging.JobEpochDone(e)
+		}
+	}
+}
+
+func (rt *coordRuntime) result() *ConcurrentResult {
+	cc := rt.cc
+	res := &ConcurrentResult{
+		TotalDiskBytes:   rt.cl.TotalDiskBytes(),
+		StagingPeakBytes: rt.staging.PeakBytes(),
+		StagingTrace:     rt.staging.MemTrace,
+	}
+	if rt.detector != nil {
+		res.DetectedFailures = rt.detector.Detected
+	}
+	var rt0snaps []snapshot
+	for j := range rt.jobs {
+		r := &Result{}
+		prev := snapshot{}
+		for _, s := range rt.jobs[j].snaps {
+			dur := s.t - prev.t
+			epSamples := s.samples - prev.samples
+			iters := epSamples / (cc.Base.Batch * cc.GPUsPerJob)
+			compute := float64(iters) * rt.iterTime
+			es := EpochStats{
+				Duration: dur, ComputeTime: compute, StallTime: dur - compute,
+				DiskBytes: s.disk - prev.disk,
+				Hits:      s.fetch.Hits - prev.fetch.Hits,
+				Misses:    s.fetch.Misses - prev.fetch.Misses,
+				Samples:   epSamples,
+			}
+			if es.StallTime < 0 {
+				es.StallTime = 0
+			}
+			r.Epochs = append(r.Epochs, es)
+			prev = s
+		}
+		r.TotalDiskBytes = res.TotalDiskBytes
+		r.TotalTime = rt.eng.Now()
+		r.steadyState()
+		res.Jobs = append(res.Jobs, r)
+		if j == 0 {
+			rt0snaps = rt.jobs[j].snaps
+		}
+	}
+	if len(rt0snaps) >= 2 {
+		first := rt0snaps[0].disk
+		last := rt0snaps[len(rt0snaps)-1].disk
+		res.DiskPerEpoch = (last - first) / float64(len(rt0snaps)-1)
+	} else {
+		res.DiskPerEpoch = res.TotalDiskBytes
+	}
+	res.ReadAmplification = res.DiskPerEpoch / cc.Base.Dataset.TotalBytes
+	return res
+}

@@ -1,0 +1,375 @@
+package trainer
+
+import (
+	"fmt"
+
+	"datastall/internal/cluster"
+	"datastall/internal/core"
+	"datastall/internal/dataset"
+	"datastall/internal/loader"
+	"datastall/internal/prep"
+	"datastall/internal/sim"
+	"datastall/internal/stats"
+)
+
+// prepped is a staged pre-processed batch flowing producer -> GPU.
+type prepped struct {
+	rawBytes float64
+}
+
+// Run executes one training job (single- or multi-server) and returns its
+// statistics.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Model == nil || cfg.Dataset == nil {
+		return nil, fmt.Errorf("trainer: model and dataset are required")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.New()
+	cl := cluster.Build(eng, cfg.Spec, cfg.NumServers)
+	rt, err := newJobRuntime(cfg, eng, cl)
+	if err != nil {
+		return nil, err
+	}
+	rt.launch()
+	eng.Run()
+	return rt.result(), nil
+}
+
+// jobRuntime holds the live state of one running job.
+type jobRuntime struct {
+	cfg     Config
+	eng     *sim.Engine
+	cl      *cluster.Cluster
+	fetcher loader.Fetcher
+	// ownerShards is the epoch-0 partitioned-cache population assignment
+	// (CoorDL distributed only).
+	ownerShards []dataset.Shard
+
+	prepCfg   prep.Config
+	gpuPrepOn bool
+	// prepRatePerGPU is the aggregate prep throughput of one GPU's
+	// thread share; DALI parallelizes within a batch, so each batch is
+	// processed at the full rate through a per-GPU prep server.
+	prepRatePerGPU  float64
+	prepSrv         [][]*sim.BandwidthServer // [server][gpu]
+	producersPerGPU int
+
+	iterTime  float64 // GPU compute per iteration
+	commExtra float64 // unoverlapped gradient-exchange time per iteration
+	commBytes float64 // per-server bytes exchanged per iteration
+
+	barrier *sim.Barrier
+	// epochBarrier synchronizes producers and consumers at epoch
+	// boundaries (samplers re-shuffle and worker pools restart per epoch
+	// in PyTorch/DALI), which also keeps per-epoch counters exact.
+	epochBarrier *sim.Barrier
+	stores       [][]*sim.Store[prepped] // [server][gpu]
+
+	plans map[int]*epochPlan
+
+	// Cumulative counters (single-threaded simulation: plain fields).
+	fetch    loader.FetchResult
+	prepBusy float64
+	waitGet  float64
+
+	// Per-epoch snapshots taken by the coordinator GPU.
+	snaps []snapshot
+
+	cpuTrace *stats.TimeSeries
+}
+
+type snapshot struct {
+	t         float64
+	disk, net float64
+	diskReads int64
+	fetch     loader.FetchResult
+	samples   int
+}
+
+type epochPlan struct {
+	orders [][]dataset.ItemID // per server
+	iters  int
+}
+
+func newJobRuntime(cfg Config, eng *sim.Engine, cl *cluster.Cluster) (*jobRuntime, error) {
+	var f loader.Fetcher
+	var owner []dataset.Shard
+	switch {
+	case cfg.FetchMode == Synthetic:
+		f = loader.SyntheticFetcher{}
+	case cfg.FetchMode == FullyCached:
+		f = &loader.CachedFetcher{Dataset: cfg.Dataset, Cluster: cl}
+	case cfg.RecordBytes > 0:
+		f = loader.NewTFRecordFetcher(cfg.Dataset, cl, cfg.CacheBytes, cfg.RecordBytes, cfg.Seed)
+	case cfg.Loader == loader.CoorDL && cfg.NumServers > 1 && cfg.DisableRemoteFetch:
+		f = core.NewMinIOFetcher(cfg.Dataset, cl, cfg.CacheBytes)
+	case cfg.Loader == loader.CoorDL && cfg.NumServers > 1:
+		pf := core.NewPartitionedFetcher(cfg.Dataset, cl, cfg.CacheBytes, cfg.Seed)
+		f = pf
+		owner = pf.OwnerShards()
+	case cfg.Loader == loader.CoorDL:
+		f = core.NewMinIOFetcher(cfg.Dataset, cl, cfg.CacheBytes)
+	default:
+		pcf := loader.NewPageCacheFetcher(cfg.Dataset, cl, cfg.CacheBytes, cfg.Seed)
+		if cfg.Loader == loader.PyTorchDL {
+			pcf.SeeksPerItem = 3 // demand paging, Appendix E.2.1
+		}
+		f = pcf
+	}
+	return newJobRuntimeWith(cfg, eng, cl, f, owner)
+}
+
+// newJobRuntimeWith builds a job over a shared (possibly cross-job) fetcher;
+// used by RunConcurrent where several jobs contend on one server's caches.
+func newJobRuntimeWith(cfg Config, eng *sim.Engine, cl *cluster.Cluster, f loader.Fetcher, owner []dataset.Shard) (*jobRuntime, error) {
+	rt := &jobRuntime{cfg: cfg, eng: eng, cl: cl, plans: map[int]*epochPlan{}}
+	rt.fetcher = f
+	rt.ownerShards = owner
+
+	rt.prepCfg = cfg.prepConfig()
+	rt.gpuPrepOn = rt.prepCfg.GPUPrep
+	rt.producersPerGPU = cfg.ThreadsPerGPU
+	if rt.producersPerGPU > 4 {
+		rt.producersPerGPU = 4
+	}
+	if rt.producersPerGPU < 1 {
+		rt.producersPerGPU = 1
+	}
+	rt.prepRatePerGPU = prep.Rate(cfg.Model, rt.prepCfg)
+
+	rt.iterTime = cfg.Model.BatchTime(cfg.Spec.Gen, cfg.Batch, rt.gpuPrepOn)
+	if cfg.NumServers > 1 {
+		s := float64(cfg.NumServers)
+		rt.commBytes = 2 * (s - 1) / s * cfg.Model.GradientBytes
+		comm := rt.commBytes / cl.NIC(0).EffectiveBW()
+		// Gradient exchange overlaps with backward compute; only the
+		// excess shows up on the critical path (the paper rolls
+		// communication into compute time, §2).
+		if extra := comm - 0.5*rt.iterTime; extra > 0 {
+			rt.commExtra = extra
+		}
+	}
+
+	if pl := rt.plan(0); pl.iters < 1 {
+		return nil, fmt.Errorf("trainer: dataset %s too small for %d servers x %d GPUs x batch %d",
+			cfg.Dataset.Name, cfg.NumServers, cfg.GPUsPerServer, cfg.Batch)
+	}
+
+	rt.barrier = sim.NewBarrier(eng, cfg.NumServers*cfg.GPUsPerServer)
+	rt.epochBarrier = sim.NewBarrier(eng,
+		cfg.NumServers*cfg.GPUsPerServer*(1+rt.producersPerGPU))
+	rt.stores = make([][]*sim.Store[prepped], cfg.NumServers)
+	rt.prepSrv = make([][]*sim.BandwidthServer, cfg.NumServers)
+	for s := range rt.stores {
+		rt.stores[s] = make([]*sim.Store[prepped], cfg.GPUsPerServer)
+		rt.prepSrv[s] = make([]*sim.BandwidthServer, cfg.GPUsPerServer)
+		for g := range rt.stores[s] {
+			rt.stores[s][g] = sim.NewStore[prepped](eng, cfg.PrefetchDepth)
+			rt.prepSrv[s][g] = sim.NewBandwidthServer(eng)
+		}
+	}
+	if cfg.TraceDiskIO {
+		for i, srv := range cl.Servers {
+			srv.Disk.EnableTrace(fmt.Sprintf("disk-%d", i))
+		}
+	}
+	if cfg.TraceCPU {
+		rt.cpuTrace = &stats.TimeSeries{Name: "prep-busy"}
+	}
+	return rt, nil
+}
+
+// plan returns (and memoizes) the epoch's per-server item orders and the
+// iteration count. Old plans are dropped to bound memory.
+func (rt *jobRuntime) plan(epoch int) *epochPlan {
+	if pl, ok := rt.plans[epoch]; ok {
+		return pl
+	}
+	cfg := rt.cfg
+	pl := &epochPlan{}
+	switch {
+	case cfg.NumServers == 1 && cfg.Loader == loader.DALISeq && cfg.FetchMode == Normal:
+		s := dataset.NewSequentialSampler(dataset.FullShard(cfg.Dataset))
+		pl.orders = [][]dataset.ItemID{s.EpochOrder(epoch)}
+	case cfg.NumServers == 1:
+		s := dataset.NewRandomSampler(dataset.FullShard(cfg.Dataset), cfg.Seed)
+		pl.orders = [][]dataset.ItemID{s.EpochOrder(epoch)}
+	case epoch == 0 && rt.ownerShards != nil:
+		// CoorDL's first epoch processes the static owner shards so each
+		// server populates its partition of the cache (§4.2).
+		for _, sh := range rt.ownerShards {
+			pl.orders = append(pl.orders, sh.Items)
+		}
+	default:
+		for _, sh := range dataset.EpochShards(cfg.Dataset, cfg.NumServers, epoch, cfg.Seed) {
+			pl.orders = append(pl.orders, sh.Items)
+		}
+	}
+	perIter := cfg.Batch * cfg.GPUsPerServer
+	pl.iters = len(pl.orders[0]) / perIter
+	for _, o := range pl.orders {
+		if it := len(o) / perIter; it < pl.iters {
+			pl.iters = it
+		}
+	}
+	rt.plans[epoch] = pl
+	delete(rt.plans, epoch-2)
+	return pl
+}
+
+// launch spawns all producer and consumer processes.
+func (rt *jobRuntime) launch() {
+	cfg := rt.cfg
+	for s := 0; s < cfg.NumServers; s++ {
+		for g := 0; g < cfg.GPUsPerServer; g++ {
+			for k := 0; k < rt.producersPerGPU; k++ {
+				s, g, k := s, g, k
+				rt.eng.Go(fmt.Sprintf("prod-%d-%d-%d", s, g, k), func(p *sim.Proc) {
+					rt.producer(p, s, g, k)
+				})
+			}
+			s, g := s, g
+			rt.eng.Go(fmt.Sprintf("gpu-%d-%d", s, g), func(p *sim.Proc) {
+				rt.consumer(p, s, g)
+			})
+		}
+	}
+}
+
+// producer fetches and pre-processes this GPU's share of batches.
+func (rt *jobRuntime) producer(p *sim.Proc, server, g, k int) {
+	cfg := rt.cfg
+	for e := 0; e < cfg.Epochs; e++ {
+		pl := rt.plan(e)
+		order := pl.orders[server]
+		if e == 0 && g == 0 && rt.ownerShards != nil {
+			// Partitioned caching populates each server's cache with
+			// its *entire* owner shard in the first epoch (§4.2);
+			// drop-last truncation must not leave a tail uncached.
+			tail := order[pl.iters*cfg.Batch*cfg.GPUsPerServer:]
+			for c := k; c*cfg.Batch < len(tail); c += rt.producersPerGPU {
+				i := c * cfg.Batch
+				j := i + cfg.Batch
+				if j > len(tail) {
+					j = len(tail)
+				}
+				rt.fetch.Add(rt.fetcher.FetchBatch(p, server, tail[i:j]))
+			}
+		}
+		for it := k; it < pl.iters; it += rt.producersPerGPU {
+			bi := it*cfg.GPUsPerServer + g
+			items := order[bi*cfg.Batch : (bi+1)*cfg.Batch]
+			res := rt.fetcher.FetchBatch(p, server, items)
+			rt.fetch.Add(res)
+			raw := res.MemBytes + res.DiskBytes + res.NetBytes
+			if cfg.FetchMode != Synthetic && raw > 0 {
+				rt.prepSrv[server][g].Request(p, raw, rt.prepRatePerGPU, 0)
+				dur := raw / rt.prepRatePerGPU
+				rt.prepBusy += dur
+				if rt.cpuTrace != nil {
+					rt.cpuTrace.Add(p.Now(), dur)
+				}
+			}
+			rt.stores[server][g].Put(p, prepped{rawBytes: raw})
+		}
+		rt.epochBarrier.Wait(p)
+	}
+}
+
+// consumer is one GPU: it drains its staging store, computes, and
+// synchronizes with the job's other GPUs every iteration.
+func (rt *jobRuntime) consumer(p *sim.Proc, server, g int) {
+	cfg := rt.cfg
+	samples := 0
+	for e := 0; e < cfg.Epochs; e++ {
+		pl := rt.plan(e)
+		for it := 0; it < pl.iters; it++ {
+			t0 := p.Now()
+			if _, ok := rt.stores[server][g].Get(p); !ok {
+				return
+			}
+			rt.waitGet += p.Now() - t0
+			p.Sleep(rt.iterTime)
+			rt.barrier.Wait(p)
+			if rt.commExtra > 0 {
+				if g == 0 {
+					rt.cl.NIC(server).AccountBytes(rt.commBytes)
+				}
+				p.Sleep(rt.commExtra)
+			}
+		}
+		samples += pl.iters * cfg.Batch * cfg.GPUsPerServer * cfg.NumServers
+		// Snapshot before the epoch barrier: producers are parked there,
+		// so no next-epoch I/O has been issued yet.
+		if server == 0 && g == 0 {
+			rt.endEpoch(samples)
+		}
+		rt.epochBarrier.Wait(p)
+	}
+}
+
+// endEpoch snapshots cumulative counters; called by the coordinator GPU at
+// the epoch's final synchronization point.
+func (rt *jobRuntime) endEpoch(samples int) {
+	var reads int64
+	for _, srv := range rt.cl.Servers {
+		reads += srv.Disk.TotalRequests()
+	}
+	net := 0.0
+	for _, n := range rt.cl.Fabric.NICs {
+		net += n.TotalBytes()
+	}
+	rt.snaps = append(rt.snaps, snapshot{
+		t:         rt.eng.Now(),
+		disk:      rt.cl.TotalDiskBytes(),
+		net:       net / 2, // each transfer charged at both endpoints
+		diskReads: reads,
+		fetch:     rt.fetch,
+		samples:   samples,
+	})
+}
+
+// result converts snapshots into per-epoch stats.
+func (rt *jobRuntime) result() *Result {
+	r := &Result{}
+	prev := snapshot{}
+	perIter := rt.iterTime + rt.commExtra
+	for _, s := range rt.snaps {
+		dur := s.t - prev.t
+		epSamples := s.samples - prev.samples
+		iters := epSamples / (rt.cfg.Batch * rt.cfg.GPUsPerServer * rt.cfg.NumServers)
+		compute := float64(iters) * perIter
+		es := EpochStats{
+			Duration:    dur,
+			ComputeTime: compute,
+			StallTime:   dur - compute,
+			DiskBytes:   s.disk - prev.disk,
+			NetBytes:    s.net - prev.net,
+			MemBytes:    s.fetch.MemBytes - prev.fetch.MemBytes,
+			DiskReads:   int(s.diskReads - prev.diskReads),
+			Hits:        s.fetch.Hits - prev.fetch.Hits,
+			Misses:      s.fetch.Misses - prev.fetch.Misses,
+			RemoteHits:  s.fetch.RemoteHit - prev.fetch.RemoteHit,
+			Samples:     epSamples,
+		}
+		if es.StallTime < 0 {
+			es.StallTime = 0
+		}
+		r.Epochs = append(r.Epochs, es)
+		prev = s
+	}
+	r.TotalDiskBytes = rt.cl.TotalDiskBytes()
+	for _, n := range rt.cl.Fabric.NICs {
+		r.TotalNetBytes += n.TotalBytes()
+	}
+	r.TotalTime = rt.eng.Now()
+	if rt.cfg.TraceDiskIO {
+		r.DiskTrace = rt.cl.Servers[0].Disk.Trace
+	}
+	r.CPUTrace = rt.cpuTrace
+	r.steadyState()
+	return r
+}
