@@ -1,0 +1,38 @@
+# Same targets CI runs (.github/workflows/ci.yml), so local dev and CI
+# execute identical commands.
+
+GO ?= go
+
+.PHONY: all build test lint bench suite experiments-md clean
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+lint:
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+# One iteration of every benchmark, no unit tests: a compile-and-run smoke
+# of the full reproduction harness.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Full experiment suite, fanned across all CPUs; one run emits both the
+# JSON report (for artifacts) and EXPERIMENTS.md.
+suite:
+	$(GO) run ./cmd/runsuite -parallel 0 -json -md EXPERIMENTS.md > suite-report.json
+	@echo "wrote suite-report.json"
+
+experiments-md:
+	$(GO) run ./cmd/runsuite -md EXPERIMENTS.md
+
+clean:
+	rm -f suite-report.json

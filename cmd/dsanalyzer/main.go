@@ -4,22 +4,30 @@
 //
 //	dsanalyzer -model resnet18 -dataset imagenet-1k -cache 0.35
 //	dsanalyzer -model alexnet -whatif-gpu 2 -whatif-cores 2
+//	dsanalyzer -model all -parallel 8
+//
+// With -model all every supported model is profiled concurrently through the
+// shared suite orchestrator and rendered as one table, in model order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"datastall"
+	"datastall/internal/experiments"
+	"datastall/internal/stats"
 )
 
 func main() {
-	model := flag.String("model", "resnet18", "model name (see -models)")
+	model := flag.String("model", "resnet18", "model name (see -models), or 'all' to profile every model")
 	ds := flag.String("dataset", "", "dataset name (default: the model's Table 1 dataset)")
 	server := flag.String("server", string(datastall.ServerSSDV100), "server SKU")
 	cache := flag.Float64("cache", 0.35, "cache size as a fraction of the dataset")
 	scale := flag.Float64("scale", 0.01, "dataset scale for the simulation")
+	parallel := flag.Int("parallel", 0, "workers for -model all (0 = one per CPU)")
 	whatifGPU := flag.Float64("whatif-gpu", 0, "predict throughput with N-times faster GPUs")
 	whatifCores := flag.Float64("whatif-cores", 0, "predict throughput with N-times the prep CPUs")
 	models := flag.Bool("models", false, "list models and datasets")
@@ -28,6 +36,13 @@ func main() {
 	if *models {
 		fmt.Println("models: ", datastall.Models())
 		fmt.Println("datasets:", datastall.Datasets())
+		return
+	}
+	if *model == "all" {
+		if *whatifGPU > 0 || *whatifCores > 0 {
+			fmt.Fprintln(os.Stderr, "dsanalyzer: -whatif-gpu/-whatif-cores apply to a single model; ignored with -model all")
+		}
+		profileAll(*ds, datastall.Server(*server), *cache, *scale, *parallel)
 		return
 	}
 
@@ -59,5 +74,81 @@ func main() {
 	if *whatifCores > 0 {
 		fmt.Printf("  what-if %gx prep CPUs:    %8.0f samples/s\n",
 			*whatifCores, p.WhatIfMoreCores(*cache, *whatifCores))
+	}
+}
+
+// profileAll profiles every model through the suite orchestrator: one
+// ad-hoc experiment per model, fanned across the worker pool, merged into a
+// single table in model order. ds overrides each model's default dataset
+// when non-empty.
+func profileAll(ds string, server datastall.Server, cache, scale float64, parallel int) {
+	var exps []*experiments.Experiment
+	for _, name := range datastall.Models() {
+		name := name
+		exps = append(exps, &experiments.Experiment{
+			ID:    name,
+			Title: "DS-Analyzer profile for " + name,
+			Paper: "differential stall attribution (§3.2)",
+			Run: func(o experiments.Options) (*experiments.Report, error) {
+				p, err := datastall.AnalyzeStalls(datastall.TrainConfig{
+					Model: name, Dataset: ds, Server: server,
+					CacheFraction: cache, Scale: scale, Seed: o.Seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				r := &experiments.Report{Table: &stats.Table{}}
+				r.Values = map[string]float64{
+					"gpu_rate":      p.GPURate,
+					"prep_rate":     p.PrepRate,
+					"fetch_rate":    p.FetchRate,
+					"prep_stall":    p.PrepStallFraction * 100,
+					"fetch_stall":   p.FetchStallFraction * 100,
+					"optimal_cache": p.OptimalCacheFraction * 100,
+				}
+				return r, nil
+			},
+		})
+	}
+
+	suite := &experiments.Suite{
+		Experiments: exps,
+		Parallel:    parallel,
+		Progress: func(er *experiments.ExperimentResult) {
+			fmt.Fprintf(os.Stderr, "dsanalyzer: %-14s %-6s (%.2fs)\n", er.ID, er.Status, er.WallSeconds)
+		},
+	}
+	res, err := suite.Run(context.Background())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsanalyzer: %v\n", err)
+		os.Exit(1)
+	}
+
+	t := &stats.Table{
+		Title: fmt.Sprintf("DS-Analyzer profiles on %s (cache %.0f%%)", server, cache*100),
+		Columns: []string{"model", "G samples/s", "P samples/s", "F samples/s",
+			"prep stall %", "fetch stall %", "optimal cache %"},
+	}
+	byID := make(map[string]*experiments.ExperimentResult, len(res.Results))
+	for _, er := range res.Results {
+		byID[er.ID] = er
+	}
+	failed := 0
+	// Emit rows in Models() (paper Table 1) order, not the suite's
+	// alphabetical ID order.
+	for _, name := range datastall.Models() {
+		er := byID[name]
+		if er.Status != experiments.StatusOK {
+			fmt.Fprintf(os.Stderr, "dsanalyzer: %s: %v\n", er.ID, er.Err)
+			failed++
+			continue
+		}
+		v := er.Report.Values
+		t.AddRow(er.ID, v["gpu_rate"], v["prep_rate"], v["fetch_rate"],
+			v["prep_stall"], v["fetch_stall"], v["optimal_cache"])
+	}
+	fmt.Print(t.String())
+	if failed > 0 {
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,111 @@
+// Command runsuite runs the full experiment suite (or a subset) across a
+// bounded worker pool and emits paper-style tables, a machine-readable JSON
+// report, or EXPERIMENTS.md:
+//
+//	runsuite                         # every experiment, one worker per CPU
+//	runsuite -ids fig2,fig5,table6   # a subset
+//	runsuite -parallel 8 -json > suite.json
+//	runsuite -md EXPERIMENTS.md      # regenerate the experiments index
+//	runsuite -json -md EXPERIMENTS.md > suite.json   # both from one run
+//
+// Results are collected concurrently but emitted in experiment ID order, so
+// for a given -seed the output is byte-identical for any -parallel (add
+// -timings to include wall-clock data in the JSON report). One failing
+// experiment is reported without aborting the rest; the exit status is
+// non-zero if any experiment failed or was skipped on -timeout.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"datastall"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	ids := flag.String("ids", "", "comma-separated experiment ids (default: all)")
+	scale := flag.Float64("scale", 0, "dataset scale (0 = per-experiment default)")
+	epochs := flag.Int("epochs", 0, "epochs per training run (0 = default 3)")
+	seed := flag.Int64("seed", 0, "simulation seed (0 = default 1)")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = one per CPU)")
+	jsonOut := flag.Bool("json", false, "emit the JSON suite report on stdout")
+	timings := flag.Bool("timings", false, "include wall-clock timings in the JSON report (breaks byte-for-byte reproducibility)")
+	mdOut := flag.String("md", "", "write the suite as markdown (EXPERIMENTS.md) to this file")
+	timeout := flag.Duration("timeout", 0, "overall suite deadline, e.g. 10m (0 = none)")
+	quiet := flag.Bool("q", false, "suppress per-experiment progress on stderr")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-18s %s\n", "ID", "TITLE")
+		for _, e := range datastall.Experiments() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := datastall.SuiteOptions{
+		Scale: *scale, Epochs: *epochs, Seed: *seed,
+		Parallel: *parallel, Timeout: *timeout,
+	}
+	if *ids != "" {
+		opts.IDs = strings.Split(*ids, ",")
+		for i := range opts.IDs {
+			opts.IDs[i] = strings.TrimSpace(opts.IDs[i])
+		}
+	}
+	if !*quiet {
+		opts.Progress = func(e datastall.SuiteExperiment) {
+			switch e.Status {
+			case "ok":
+				fmt.Fprintf(os.Stderr, "runsuite: %-18s ok     (%.2fs)\n", e.ID, e.WallSeconds)
+			case "error":
+				fmt.Fprintf(os.Stderr, "runsuite: %-18s FAILED (%.2fs): %v\n", e.ID, e.WallSeconds, e.Err)
+			}
+		}
+	}
+
+	start := time.Now()
+	rep, err := datastall.RunSuite(context.Background(), opts)
+	if err != nil && rep == nil {
+		fmt.Fprintf(os.Stderr, "runsuite: %v\n", err)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runsuite: %v\n", err)
+	}
+
+	// -md composes with -json (or text): one suite run can emit both.
+	if *mdOut != "" {
+		if werr := os.WriteFile(*mdOut, []byte(rep.Markdown()), 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "runsuite: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "runsuite: wrote %s\n", *mdOut)
+	}
+	switch {
+	case *jsonOut:
+		b, jerr := rep.JSON(*timings)
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "runsuite: %v\n", jerr)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", b)
+	case *mdOut != "":
+		// Markdown already written; no stdout report.
+	default:
+		for _, e := range rep.Experiments {
+			fmt.Printf("%s\n", e)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "runsuite: %d ok, %d failed, %d skipped on %d worker(s) in %.2fs\n",
+		rep.OK, rep.Failed, rep.Skipped, rep.Parallel, time.Since(start).Seconds())
+	if rep.Failed > 0 || rep.Skipped > 0 {
+		os.Exit(1)
+	}
+}

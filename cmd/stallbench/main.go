@@ -2,14 +2,18 @@
 //
 //	stallbench -list
 //	stallbench -run fig2
-//	stallbench -run all -scale 0.01 > results.txt
+//	stallbench -run all -parallel 8 -scale 0.01 > results.txt
 //
 // Each experiment prints a paper-style table plus the published result it
 // reproduces; -scale trades fidelity margin for runtime (1.0 = paper-sized
-// datasets).
+// datasets). With -run all the suite fans out across -parallel workers via
+// the shared orchestrator; output stays in experiment ID order (and is
+// byte-identical for any -parallel at a given -seed), with per-experiment
+// wall clocks reported on stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +28,7 @@ func main() {
 	scale := flag.Float64("scale", 0, "dataset scale (0 = per-experiment default)")
 	epochs := flag.Int("epochs", 0, "epochs per training run (0 = default 3)")
 	seed := flag.Int64("seed", 0, "simulation seed")
+	parallel := flag.Int("parallel", 0, "workers for -run all (0 = one per CPU)")
 	flag.Parse()
 
 	switch {
@@ -34,14 +39,32 @@ func main() {
 			fmt.Printf("%-18s   paper: %s\n", "", e.Paper)
 		}
 	case *run == "all":
-		for _, e := range datastall.Experiments() {
-			runOne(e.ID, *scale, *epochs, *seed)
-		}
+		runAll(*scale, *epochs, *seed, *parallel)
 	case *run != "":
 		runOne(*run, *scale, *epochs, *seed)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runAll fans the whole registry across the suite orchestrator.
+func runAll(scale float64, epochs int, seed int64, parallel int) {
+	rep, err := datastall.RunSuite(context.Background(), datastall.SuiteOptions{
+		Scale: scale, Epochs: epochs, Seed: seed, Parallel: parallel,
+		Progress: func(e datastall.SuiteExperiment) {
+			fmt.Fprintf(os.Stderr, "stallbench: %-18s %-6s (%.2fs)\n", e.ID, e.Status, e.WallSeconds)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stallbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, e := range rep.Experiments {
+		fmt.Printf("%s\n", e)
+	}
+	if rep.Failed > 0 {
+		os.Exit(1)
 	}
 }
 
@@ -54,11 +77,6 @@ func runOne(id string, scale float64, epochs int, seed int64) {
 		fmt.Fprintf(os.Stderr, "stallbench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("== %s: %s ==\n", rep.ID, rep.Title)
-	fmt.Printf("paper: %s\n", rep.Paper)
-	fmt.Print(rep.Text)
-	if rep.Notes != "" {
-		fmt.Printf("notes: %s\n", rep.Notes)
-	}
-	fmt.Printf("(%.2fs wall clock)\n\n", time.Since(start).Seconds())
+	fmt.Printf("%s\n", rep)
+	fmt.Fprintf(os.Stderr, "stallbench: %s done in %.2fs\n", id, time.Since(start).Seconds())
 }

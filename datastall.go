@@ -12,7 +12,7 @@
 //   - DS-Analyzer: differential stall attribution and what-if prediction;
 //   - runners for every table and figure in the paper's evaluation.
 //
-// Quick start:
+// Quick start (library):
 //
 //	res, err := datastall.Train(datastall.TrainConfig{
 //		Model:   "resnet18",
@@ -23,9 +23,31 @@
 //		Scale:   0.01,
 //	})
 //
-// All simulations are bit-deterministic for a given Seed. Scale shrinks the
-// dataset (and cache with it) so full experiments run in seconds while every
-// ratio — hit rates, stall fractions, speedups — is preserved.
+// Quick start (paper reproduction): RunSuite fans every registered
+// table/figure experiment across a bounded worker pool, isolates failures,
+// and reassembles results in experiment ID order:
+//
+//	rep, err := datastall.RunSuite(ctx, datastall.SuiteOptions{Parallel: 8})
+//	jsonBytes, _ := rep.JSON(false) // machine-readable report
+//
+// Command-line entry points (go run ./cmd/<name>):
+//
+//   - runsuite: the full experiment suite in parallel; -json emits the suite
+//     report, -md regenerates EXPERIMENTS.md, -ids selects a subset. CI runs
+//     "make suite" (this binary) and uploads the JSON report as an artifact.
+//   - stallbench: single experiments, or -run all through the same
+//     orchestrator.
+//   - dsanalyzer: differential stall profiles and what-if questions for one
+//     model, or every model concurrently with -model all.
+//   - coordlsim: one training job, epoch by epoch, under a chosen loader.
+//
+// Build, test, lint and bench via the Makefile ("make all"); CI runs the
+// identical targets.
+//
+// All simulations are bit-deterministic for a given Seed — results are
+// byte-identical for any worker count. Scale shrinks the dataset (and cache
+// with it) so full experiments run in seconds while every ratio — hit rates,
+// stall fractions, speedups — is preserved.
 package datastall
 
 import (

@@ -1,6 +1,10 @@
 package datastall
 
 import (
+	"context"
+	"fmt"
+	"time"
+
 	"datastall/internal/experiments"
 )
 
@@ -38,6 +42,16 @@ type ExperimentReport struct {
 	Notes string
 }
 
+// String renders the report the way the CLIs print it: a "== id: title =="
+// header, the paper claim, the result table, and any notes.
+func (r *ExperimentReport) String() string {
+	s := fmt.Sprintf("== %s: %s ==\npaper: %s\n%s", r.ID, r.Title, r.Paper, r.Text)
+	if r.Notes != "" {
+		s += "notes: " + r.Notes + "\n"
+	}
+	return s
+}
+
 // ExperimentOptions tunes an experiment run; the zero value uses each
 // experiment's fast defaults.
 type ExperimentOptions struct {
@@ -62,4 +76,126 @@ func RunExperiment(id string, opts ExperimentOptions) (*ExperimentReport, error)
 		ID: r.ID, Title: r.Title, Paper: r.Paper,
 		Text: r.Table.String(), Values: r.Values, Notes: r.Notes,
 	}, nil
+}
+
+// SuiteOptions configures a parallel run of many experiments.
+type SuiteOptions struct {
+	// IDs selects a subset of the registry; nil runs every experiment.
+	IDs []string
+	// Scale / Epochs / Seed apply to every experiment, as in
+	// ExperimentOptions.
+	Scale  float64
+	Epochs int
+	Seed   int64
+	// Parallel bounds the worker pool (<= 0: one worker per CPU).
+	Parallel int
+	// Timeout, when > 0, bounds the whole suite; experiments not started
+	// in time are reported as skipped.
+	Timeout time.Duration
+	// Progress, when non-nil, is called as each experiment finishes (in
+	// completion order, from a single goroutine). Progress reports omit
+	// the rendered Text (only the final SuiteReport carries it) so
+	// progress ticks don't pay for table formatting.
+	Progress func(SuiteExperiment)
+}
+
+// SuiteExperiment is one experiment's outcome within a suite run.
+type SuiteExperiment struct {
+	// Status is "ok", "error" or "skipped".
+	Status string
+	// Err is set when Status is "error"; the rest of the suite still ran.
+	Err error
+	// WallSeconds is the experiment's real (not simulated) runtime.
+	WallSeconds float64
+	// ExperimentReport carries the experiment output. ID, Title and Paper
+	// are always set; Text, Values and Notes only when Status is "ok".
+	*ExperimentReport
+}
+
+// String renders the outcome like ExperimentReport.String, substituting the
+// failure or skip state for the table when the experiment did not complete.
+func (e SuiteExperiment) String() string {
+	switch e.Status {
+	case "error":
+		return fmt.Sprintf("== %s: %s ==\npaper: %s\nFAILED: %v\n", e.ID, e.Title, e.Paper, e.Err)
+	case "skipped":
+		return fmt.Sprintf("== %s: %s ==\npaper: %s\nskipped (suite interrupted before this experiment started)\n",
+			e.ID, e.Title, e.Paper)
+	}
+	return e.ExperimentReport.String()
+}
+
+// SuiteReport is a completed suite run, in experiment ID order.
+type SuiteReport struct {
+	Experiments []SuiteExperiment
+	// OK, Failed and Skipped count outcomes.
+	OK, Failed, Skipped int
+	// Parallel is the worker count used; WallSeconds the real runtime.
+	Parallel    int
+	WallSeconds float64
+
+	inner *experiments.SuiteResult
+}
+
+// Values merges every successful experiment's metrics into one map keyed
+// "<experiment id>.<metric>". Deterministic for a given seed, independent of
+// Parallel.
+func (r *SuiteReport) Values() map[string]float64 { return r.inner.AggregateValues() }
+
+// JSON renders the machine-readable suite report. With includeTiming false
+// the bytes are identical across runs and worker counts for a given seed.
+func (r *SuiteReport) JSON(includeTiming bool) ([]byte, error) { return r.inner.JSON(includeTiming) }
+
+// Markdown renders the suite as an EXPERIMENTS.md document.
+func (r *SuiteReport) Markdown() string { return r.inner.Markdown() }
+
+// RunSuite fans the selected experiments across a bounded worker pool with
+// per-experiment error isolation, collecting results in ID order so output
+// is reproducible for any worker count. A non-nil error (alongside a still
+// complete report) means ctx expired before every experiment started.
+func RunSuite(ctx context.Context, opts SuiteOptions) (*SuiteReport, error) {
+	s := &experiments.Suite{
+		Options:  experiments.Options{Scale: opts.Scale, Epochs: opts.Epochs, Seed: opts.Seed},
+		Parallel: opts.Parallel,
+		Timeout:  opts.Timeout,
+	}
+	if opts.IDs != nil {
+		sel, err := experiments.SelectIDs(opts.IDs)
+		if err != nil {
+			return nil, err
+		}
+		s.Experiments = sel
+	}
+	if opts.Progress != nil {
+		s.Progress = func(er *experiments.ExperimentResult) {
+			opts.Progress(toSuiteExperiment(er, false))
+		}
+	}
+	res, runErr := s.Run(ctx)
+	out := &SuiteReport{
+		OK: res.OK, Failed: res.Failed, Skipped: res.Skipped,
+		Parallel: res.Parallel, WallSeconds: res.WallSeconds,
+		inner: res,
+	}
+	for _, er := range res.Results {
+		out.Experiments = append(out.Experiments, toSuiteExperiment(er, true))
+	}
+	return out, runErr
+}
+
+// toSuiteExperiment converts an orchestrator result; renderText gates the
+// (comparatively expensive) table formatting, skipped for progress ticks.
+func toSuiteExperiment(er *experiments.ExperimentResult, renderText bool) SuiteExperiment {
+	se := SuiteExperiment{
+		Status: string(er.Status), Err: er.Err, WallSeconds: er.WallSeconds,
+		ExperimentReport: &ExperimentReport{ID: er.ID, Title: er.Title, Paper: er.Paper},
+	}
+	if er.Report != nil {
+		if renderText {
+			se.ExperimentReport.Text = er.Report.Table.String()
+		}
+		se.ExperimentReport.Values = er.Report.Values
+		se.ExperimentReport.Notes = er.Report.Notes
+	}
+	return se
 }

@@ -1,0 +1,3 @@
+module datastall
+
+go 1.24

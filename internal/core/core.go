@@ -98,8 +98,11 @@ func (f *PartitionedFetcher) OwnerShards() []dataset.Shard {
 // owner only).
 func (f *PartitionedFetcher) FetchBatch(p *sim.Proc, server int, items []dataset.ItemID) loader.FetchResult {
 	var r loader.FetchResult
-	remoteBytes := make(map[int]float64)
-	remoteItems := make(map[int]int)
+	// Per-server accumulators, iterated in server order below: remote
+	// fetches must hit the NIC queues in a reproducible order or simulated
+	// timing varies run to run (map iteration order is randomized).
+	remoteBytes := make([]float64, len(f.Cluster.Servers))
+	remoteItems := make([]int, len(f.Cluster.Servers))
 	for _, id := range items {
 		sz := f.Dataset.ItemBytes(id)
 		loc, src := f.Part.Lookup(server, id)
@@ -122,7 +125,9 @@ func (f *PartitionedFetcher) FetchBatch(p *sim.Proc, server int, items []dataset
 	srv := f.Cluster.Servers[server]
 	srv.Disk.ReadRandom(p, r.DiskBytes, r.DiskItems)
 	for src, bytes := range remoteBytes {
-		f.Cluster.Fabric.RemoteFetch(p, server, src, bytes, remoteItems[src])
+		if bytes > 0 {
+			f.Cluster.Fabric.RemoteFetch(p, server, src, bytes, remoteItems[src])
+		}
 	}
 	srv.Mem.Read(p, r.MemBytes)
 	return r
@@ -411,7 +416,13 @@ func (fd *FailureDetector) overdueOwners() []int {
 	}
 	var owners []int
 	seen := map[int]bool{}
-	for _, idx := range overdue {
+	// Walk waiting jobs in ID order: map iteration order would make the
+	// owner candidate list (and recovery timing) nondeterministic.
+	for job := 0; job < fd.Staging.nJobs; job++ {
+		idx, ok := overdue[job]
+		if !ok {
+			continue
+		}
 		owner := idx % fd.Staging.nJobs
 		if !seen[owner] {
 			seen[owner] = true

@@ -1,0 +1,146 @@
+// Machine-readable renderings of a suite run: a JSON report for CI
+// artifacts and a markdown report that generates EXPERIMENTS.md.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"datastall/internal/stats"
+)
+
+// suiteJSON is the wire form of a SuiteResult. Timing fields are emitted
+// only when requested so that the default report is byte-identical across
+// runs and worker counts for a given seed. Options are recorded as their
+// effective values (seed/epochs defaults filled in); a missing scale means
+// each experiment used its own default.
+type suiteJSON struct {
+	Scale       float64           `json:"scale,omitempty"`
+	Epochs      int               `json:"epochs"`
+	Seed        int64             `json:"seed"`
+	OK          int               `json:"ok"`
+	Failed      int               `json:"failed"`
+	Skipped     int               `json:"skipped"`
+	Parallel    int               `json:"parallel,omitempty"`
+	WallSeconds float64           `json:"wall_seconds,omitempty"`
+	Experiments []*experimentJSON `json:"experiments"`
+}
+
+type experimentJSON struct {
+	ID          string             `json:"id"`
+	Title       string             `json:"title"`
+	Paper       string             `json:"paper"`
+	Status      Status             `json:"status"`
+	Error       string             `json:"error,omitempty"`
+	Notes       string             `json:"notes,omitempty"`
+	Values      map[string]float64 `json:"values,omitempty"`
+	Table       *stats.TableJSON   `json:"table,omitempty"`
+	WallSeconds float64            `json:"wall_seconds,omitempty"`
+}
+
+// JSON renders the suite as an indented JSON report. With includeTiming
+// false the bytes depend only on the experiment set, Options and each
+// experiment's determinism — not on Parallel or the wall clock — so two runs
+// with the same seed compare byte-for-byte; includeTiming true adds
+// per-experiment and total wall seconds plus the worker count.
+func (r *SuiteResult) JSON(includeTiming bool) ([]byte, error) {
+	// Record what the experiments actually ran with, not the raw zero
+	// options; a zero scale stays omitted (per-experiment defaults).
+	eff := r.Options.withDefaults(r.Options.Scale)
+	out := &suiteJSON{
+		Scale:  eff.Scale,
+		Epochs: eff.Epochs,
+		Seed:   eff.Seed,
+		OK:     r.OK, Failed: r.Failed, Skipped: r.Skipped,
+	}
+	if includeTiming {
+		out.Parallel = r.Parallel
+		out.WallSeconds = r.WallSeconds
+	}
+	for _, er := range r.Results {
+		ej := &experimentJSON{
+			ID: er.ID, Title: er.Title, Paper: er.Paper, Status: er.Status,
+		}
+		if er.Err != nil {
+			ej.Error = er.Err.Error()
+		}
+		if er.Report != nil {
+			ej.Notes = er.Report.Notes
+			ej.Values = er.Report.Values
+			ej.Table = er.Report.Table.JSON()
+		}
+		if includeTiming {
+			ej.WallSeconds = er.WallSeconds
+		}
+		out.Experiments = append(out.Experiments, ej)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Markdown renders the suite as an EXPERIMENTS.md document: a status index
+// followed by one section per experiment with its paper claim and result
+// table. The output is deterministic for a given seed (no timestamps or
+// wall times), so the file diffs cleanly across regenerations.
+func (r *SuiteResult) Markdown() string {
+	var b strings.Builder
+	b.WriteString("# Experiments\n\n")
+	b.WriteString("Every table and figure of the paper, reproduced by `cmd/runsuite`.\n")
+	b.WriteString("Regenerate with `go run ./cmd/runsuite -md EXPERIMENTS.md`")
+	fmt.Fprintf(&b, " (%s, %s, %s).\n\n",
+		orDefault("scale", r.Options.Scale != 0, fmt.Sprintf("%g", r.Options.Scale)),
+		orDefault("epochs", r.Options.Epochs != 0, fmt.Sprintf("%d", r.Options.Epochs)),
+		orDefault("seed", r.Options.Seed != 0, fmt.Sprintf("%d", r.Options.Seed)))
+	fmt.Fprintf(&b, "%d ok, %d failed, %d skipped.\n\n", r.OK, r.Failed, r.Skipped)
+
+	idx := &stats.Table{Columns: []string{"ID", "Status", "Title"}}
+	for _, er := range r.Results {
+		heading := fmt.Sprintf("%s: %s", er.ID, er.Title)
+		idx.AddRow(fmt.Sprintf("[%s](#%s)", er.ID, mdAnchor(heading)), string(er.Status), er.Title)
+	}
+	b.WriteString(idx.Markdown())
+	b.WriteString("\n")
+
+	for _, er := range r.Results {
+		fmt.Fprintf(&b, "## %s: %s\n\n", er.ID, er.Title)
+		fmt.Fprintf(&b, "**Paper:** %s\n\n", er.Paper)
+		switch er.Status {
+		case StatusOK:
+			b.WriteString(er.Report.Table.Markdown())
+			if er.Report.Notes != "" {
+				fmt.Fprintf(&b, "\nNotes: %s\n", er.Report.Notes)
+			}
+		case StatusError:
+			fmt.Fprintf(&b, "**Failed:** %v\n", er.Err)
+		case StatusSkipped:
+			b.WriteString("**Skipped** (suite interrupted before this experiment started).\n")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// orDefault renders an option value, or "name default" for a zero option
+// (each experiment fills its own defaults).
+func orDefault(name string, set bool, v string) string {
+	if !set {
+		return name + " default"
+	}
+	return name + " " + v
+}
+
+// mdAnchor slugifies a heading the way GitHub does: lowercase, spaces to
+// dashes, punctuation dropped.
+func mdAnchor(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= '0' && r <= '9'):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Status classifies the outcome of one experiment inside a suite run.
+type Status string
+
+// Experiment outcomes.
+const (
+	// StatusOK means the experiment completed and produced a report.
+	StatusOK Status = "ok"
+	// StatusError means the experiment ran but returned an error (or
+	// panicked); the rest of the suite is unaffected.
+	StatusError Status = "error"
+	// StatusSkipped means the suite's context expired before the
+	// experiment was started.
+	StatusSkipped Status = "skipped"
+)
+
+// Suite runs a set of experiments across a bounded worker pool. Experiments
+// are independent deterministic simulations, so the suite fans them out
+// across workers and re-assembles results in ID order: for a given
+// Options.Seed the aggregate output is byte-identical for any Parallel.
+type Suite struct {
+	// Experiments to run; nil means the full registry (List()).
+	Experiments []*Experiment
+	// Options applies to every experiment (per-experiment defaults still
+	// fill zero fields).
+	Options Options
+	// Parallel bounds the worker pool; <= 0 means runtime.NumCPU().
+	Parallel int
+	// Timeout, when > 0, bounds the whole run. Experiments not yet
+	// started when it expires are marked StatusSkipped; in-flight ones
+	// finish (simulations are not interruptible mid-run).
+	Timeout time.Duration
+	// Progress, when non-nil, is called from a single goroutine as each
+	// experiment finishes, in completion (not ID) order.
+	Progress func(*ExperimentResult)
+}
+
+// ExperimentResult is one experiment's outcome within a suite.
+type ExperimentResult struct {
+	ID     string
+	Title  string
+	Paper  string
+	Status Status
+	// Report is the experiment output when Status == StatusOK.
+	Report *Report
+	// Err holds the failure when Status == StatusError.
+	Err error
+	// WallSeconds is the experiment's real (not simulated) runtime.
+	WallSeconds float64
+}
+
+// SuiteResult is a completed suite run. Results are in experiment ID order
+// regardless of worker count or completion order.
+type SuiteResult struct {
+	Results []*ExperimentResult
+	Options Options
+	// Parallel is the worker count actually used.
+	Parallel int
+	// WallSeconds is the whole suite's real runtime.
+	WallSeconds float64
+	// OK, Failed and Skipped count experiment outcomes.
+	OK, Failed, Skipped int
+}
+
+// AggregateValues merges every successful experiment's Values into one map
+// keyed "<experiment id>.<value key>". Map iteration aside, the contents are
+// deterministic for a given seed: each experiment is seeded independently of
+// scheduling.
+func (r *SuiteResult) AggregateValues() map[string]float64 {
+	out := map[string]float64{}
+	for _, er := range r.Results {
+		if er.Report == nil {
+			continue
+		}
+		for k, v := range er.Report.Values {
+			out[er.ID+"."+k] = v
+		}
+	}
+	return out
+}
+
+// Run executes the suite. The returned SuiteResult is always complete (one
+// entry per experiment, in ID order); the error is non-nil only when ctx —
+// or the Timeout-derived deadline — expired before every experiment started,
+// in which case unstarted experiments carry StatusSkipped.
+func (s *Suite) Run(ctx context.Context) (*SuiteResult, error) {
+	exps := s.Experiments
+	if exps == nil {
+		exps = List()
+	} else {
+		exps = append([]*Experiment(nil), exps...)
+		sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	}
+	workers := s.Parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(exps) && len(exps) > 0 {
+		workers = len(exps)
+	}
+	if s.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.Timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	results := make([]*ExperimentResult, len(exps))
+	indices := make(chan int)
+	done := make(chan *ExperimentResult)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				res := runSuiteExperiment(ctx, exps[i], s.Options)
+				results[i] = res
+				done <- res
+			}
+		}()
+	}
+
+	// Feed indices until the context dies; the remainder are skipped.
+	go func() {
+		defer close(indices)
+		for i := range exps {
+			select {
+			case indices <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for res := range done {
+		if s.Progress != nil {
+			s.Progress(res)
+		}
+	}
+
+	out := &SuiteResult{
+		Results:     results,
+		Options:     s.Options,
+		Parallel:    workers,
+		WallSeconds: time.Since(start).Seconds(),
+	}
+	for i, e := range exps {
+		if out.Results[i] == nil {
+			out.Results[i] = &ExperimentResult{
+				ID: e.ID, Title: e.Title, Paper: e.Paper,
+				Status: StatusSkipped,
+			}
+		}
+		switch out.Results[i].Status {
+		case StatusOK:
+			out.OK++
+		case StatusError:
+			out.Failed++
+		case StatusSkipped:
+			out.Skipped++
+		}
+	}
+	if out.Skipped > 0 {
+		return out, fmt.Errorf("experiments: suite interrupted, %d of %d experiments skipped: %w",
+			out.Skipped, len(exps), ctx.Err())
+	}
+	return out, nil
+}
+
+// runSuiteExperiment executes one experiment, isolating errors and panics so
+// a single failure cannot take down the suite or its worker.
+func runSuiteExperiment(ctx context.Context, e *Experiment, o Options) (res *ExperimentResult) {
+	start := time.Now()
+	res = &ExperimentResult{ID: e.ID, Title: e.Title, Paper: e.Paper}
+	defer func() {
+		if p := recover(); p != nil {
+			res.Status = StatusError
+			res.Err = fmt.Errorf("experiment %s: panic: %v", e.ID, p)
+		}
+		res.WallSeconds = time.Since(start).Seconds()
+	}()
+	if err := ctx.Err(); err != nil {
+		res.Status = StatusSkipped
+		return res
+	}
+	o = o.withDefaults(e.DefaultScale)
+	rep, err := e.Run(o)
+	if err != nil {
+		res.Status = StatusError
+		res.Err = fmt.Errorf("experiment %s: %w", e.ID, err)
+		return res
+	}
+	rep.ID, rep.Title, rep.Paper = e.ID, e.Title, e.Paper
+	res.Status = StatusOK
+	res.Report = rep
+	return res
+}
+
+// SelectIDs resolves a set of experiment IDs into registry entries, for
+// building a Suite over a subset of the registry.
+func SelectIDs(ids []string) ([]*Experiment, error) {
+	out := make([]*Experiment, 0, len(ids))
+	for _, id := range ids {
+		e, err := ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

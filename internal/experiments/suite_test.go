@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"datastall/internal/stats"
+)
+
+// fakeExp builds an ad-hoc experiment for orchestrator tests.
+func fakeExp(id string, run func(Options) (*Report, error)) *Experiment {
+	return &Experiment{
+		ID: id, Title: "fake " + id, Paper: "n/a", DefaultScale: 0.01, Run: run,
+	}
+}
+
+func okExp(id string, v float64) *Experiment {
+	return fakeExp(id, func(o Options) (*Report, error) {
+		r := &Report{Table: &stats.Table{}}
+		r.set("v", v*float64(o.Seed))
+		return r, nil
+	})
+}
+
+func TestSuiteDeterministicAcrossWorkerCounts(t *testing.T) {
+	ids := []string{"fig2", "fig5", "table6"}
+	run := func(parallel int) *SuiteResult {
+		sel, err := SelectIDs(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &Suite{Experiments: sel, Options: Options{Seed: 7}, Parallel: parallel}
+		res, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		if res.OK != len(ids) {
+			t.Fatalf("parallel=%d: %d ok, want %d", parallel, res.OK, len(ids))
+		}
+		return res
+	}
+	serial := run(1)
+	fanned := run(8)
+
+	sv, fv := serial.AggregateValues(), fanned.AggregateValues()
+	if len(sv) == 0 || len(sv) != len(fv) {
+		t.Fatalf("aggregate sizes differ: %d vs %d", len(sv), len(fv))
+	}
+	for k, v := range sv {
+		if fv[k] != v {
+			t.Errorf("%s: parallel=1 %v, parallel=8 %v", k, v, fv[k])
+		}
+	}
+
+	sj, err := serial.JSON(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj, err := fanned.JSON(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, fj) {
+		t.Error("JSON reports differ between parallel=1 and parallel=8")
+	}
+	if serial.Markdown() != fanned.Markdown() {
+		t.Error("markdown reports differ between parallel=1 and parallel=8")
+	}
+}
+
+func TestSuiteErrorIsolation(t *testing.T) {
+	boom := errors.New("boom")
+	s := &Suite{
+		Experiments: []*Experiment{
+			okExp("a-ok", 1),
+			fakeExp("b-err", func(Options) (*Report, error) { return nil, boom }),
+			fakeExp("c-panic", func(Options) (*Report, error) { panic("kaput") }),
+			okExp("d-ok", 2),
+		},
+		Options:  Options{Seed: 3},
+		Parallel: 4,
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatalf("a failing experiment must not fail the suite: %v", err)
+	}
+	if res.OK != 2 || res.Failed != 2 || res.Skipped != 0 {
+		t.Fatalf("got %d ok / %d failed / %d skipped, want 2/2/0", res.OK, res.Failed, res.Skipped)
+	}
+	byID := map[string]*ExperimentResult{}
+	for _, er := range res.Results {
+		byID[er.ID] = er
+	}
+	if byID["b-err"].Status != StatusError || !errors.Is(byID["b-err"].Err, boom) {
+		t.Errorf("b-err: got %v / %v", byID["b-err"].Status, byID["b-err"].Err)
+	}
+	if byID["c-panic"].Status != StatusError || !strings.Contains(fmt.Sprint(byID["c-panic"].Err), "panic") {
+		t.Errorf("c-panic: got %v / %v", byID["c-panic"].Status, byID["c-panic"].Err)
+	}
+	for _, id := range []string{"a-ok", "d-ok"} {
+		if byID[id].Status != StatusOK || byID[id].Report == nil {
+			t.Errorf("%s: got %v, want ok with report", id, byID[id].Status)
+		}
+	}
+}
+
+func TestSuiteTimeoutCancelsCleanly(t *testing.T) {
+	var exps []*Experiment
+	for i := 0; i < 6; i++ {
+		id := fmt.Sprintf("slow-%d", i)
+		exps = append(exps, fakeExp(id, func(Options) (*Report, error) {
+			time.Sleep(40 * time.Millisecond)
+			return &Report{Table: &stats.Table{}}, nil
+		}))
+	}
+	s := &Suite{Experiments: exps, Parallel: 1, Timeout: 60 * time.Millisecond}
+	res, err := s.Run(context.Background())
+	if err == nil {
+		t.Fatal("want a context error when the deadline skips experiments")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if res == nil || len(res.Results) != len(exps) {
+		t.Fatal("result must still cover every experiment")
+	}
+	if res.Skipped == 0 || res.OK == 0 {
+		t.Fatalf("want a mix of ok and skipped, got %d ok / %d skipped", res.OK, res.Skipped)
+	}
+	for i, er := range res.Results {
+		if want := fmt.Sprintf("slow-%d", i); er.ID != want {
+			t.Errorf("result %d is %s, want %s (ID order)", i, er.ID, want)
+		}
+	}
+}
+
+func TestSuiteOrdersAdHocExperimentsByID(t *testing.T) {
+	s := &Suite{
+		Experiments: []*Experiment{okExp("zz", 1), okExp("aa", 2), okExp("mm", 3)},
+		Parallel:    3,
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, er := range res.Results {
+		got = append(got, er.ID)
+	}
+	if want := "aa,mm,zz"; strings.Join(got, ",") != want {
+		t.Errorf("order %v, want %s", got, want)
+	}
+}
+
+func TestSuiteProgressSeesEveryCompletion(t *testing.T) {
+	var seen []string
+	s := &Suite{
+		Experiments: []*Experiment{okExp("a", 1), okExp("b", 2)},
+		Parallel:    2,
+		Progress:    func(er *ExperimentResult) { seen = append(seen, er.ID) },
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 {
+		t.Errorf("progress saw %v, want both experiments", seen)
+	}
+}
+
+func TestSelectIDsUnknown(t *testing.T) {
+	if _, err := SelectIDs([]string{"fig2", "nope"}); err == nil {
+		t.Error("unknown id should error")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 )
 
 // TimeSeries records (time, value) points in simulated time, used for the
@@ -177,6 +178,55 @@ func (t *Table) String() string {
 		out += line(r)
 	}
 	return out
+}
+
+// TableJSON is the wire form of a Table for machine-readable reports.
+type TableJSON struct {
+	Title   string     `json:"title,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// JSON returns the table's wire form (cells stay pre-formatted strings, so
+// JSON output matches the rendered tables digit-for-digit).
+func (t *Table) JSON() *TableJSON {
+	return &TableJSON{Title: t.Title, Columns: t.Columns, Rows: t.Rows}
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table, with the
+// title as bold text above it.
+func (t *Table) Markdown() string {
+	out := ""
+	if t.Title != "" {
+		out += "**" + t.Title + "**\n\n"
+	}
+	row := func(cells []string) string {
+		s := "|"
+		for i := range t.Columns {
+			c := ""
+			if i < len(cells) {
+				c = mdEscape(cells[i])
+			}
+			s += " " + c + " |"
+		}
+		return s + "\n"
+	}
+	out += row(t.Columns)
+	sep := "|"
+	for range t.Columns {
+		sep += " --- |"
+	}
+	out += sep + "\n"
+	for _, r := range t.Rows {
+		out += row(r)
+	}
+	return out
+}
+
+// mdEscape keeps cell text from breaking the markdown table structure.
+func mdEscape(s string) string {
+	s = strings.ReplaceAll(s, "|", "\\|")
+	return strings.ReplaceAll(s, "\n", " ")
 }
 
 func dashes(n int) string {

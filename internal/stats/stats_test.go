@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -120,5 +121,32 @@ func TestSummaryOrderingProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"a", "b"}}
+	tb.AddRow("x|y", 1.5)
+	got := tb.Markdown()
+	want := "**T**\n\n| a | b |\n| --- | --- |\n| x\\|y | 1.5 |\n"
+	if got != want {
+		t.Errorf("Markdown() = %q, want %q", got, want)
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"a"}}
+	tb.AddRow(12345.0)
+	b, err := json.Marshal(tb.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TableJSON
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Cells stay pre-formatted strings, digit-for-digit with the text table.
+	if back.Title != "T" || len(back.Rows) != 1 || back.Rows[0][0] != "12345" {
+		t.Errorf("round trip got %+v", back)
 	}
 }
