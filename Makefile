@@ -3,15 +3,33 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench suite experiments-md clean
+# Coverage floor (%) enforced on the concurrency-critical packages.
+COVER_FLOOR ?= 70
+COVER_PKGS  ?= internal/cache internal/loader
+
+.PHONY: all build test cover lint bench benchjson suite experiments-md clean
 
 all: lint build test
 
 build:
 	$(GO) build ./...
 
+# -count=2 reruns every test with a warm cache bypassed: the second run of
+# the race battery gets different goroutine interleavings for free.
 test:
-	$(GO) test -race ./...
+	$(GO) test -race -count=2 ./...
+
+# Per-package coverage floor on the packages the concurrent pipeline lives
+# in; a refactor that strands their tests fails here, not in review.
+cover:
+	@set -e; for pkg in $(COVER_PKGS); do \
+		out=cover-$$(basename $$pkg).out; \
+		$(GO) test -coverprofile=$$out ./$$pkg; \
+		pct=$$($(GO) tool cover -func=$$out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+		echo "$$pkg coverage: $$pct% (floor $(COVER_FLOOR)%)"; \
+		awk -v p=$$pct -v f=$(COVER_FLOOR) 'BEGIN{exit !(p>=f)}' || \
+			{ echo "FAIL: $$pkg below coverage floor"; exit 1; }; \
+	done
 
 lint:
 	@fmt_out=$$(gofmt -l .); \
@@ -25,6 +43,11 @@ lint:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
+# Concurrent-loader benchmark: sharded vs single-mutex lookup throughput and
+# pipeline epoch wall time at 1/2/4/8 workers, written to BENCH_1.json.
+benchjson:
+	$(GO) run ./cmd/stallbench -bench -bench-out BENCH_1.json
+
 # Full experiment suite, fanned across all CPUs; one run emits both the
 # JSON report (for artifacts) and EXPERIMENTS.md.
 suite:
@@ -35,4 +58,4 @@ experiments-md:
 	$(GO) run ./cmd/runsuite -md EXPERIMENTS.md
 
 clean:
-	rm -f suite-report.json
+	rm -f suite-report.json cover-*.out

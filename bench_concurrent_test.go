@@ -1,0 +1,111 @@
+// Concurrency benchmarks for the sharded-cache loader backend. Unlike the
+// experiment benchmarks in bench_test.go (which replay the paper through the
+// analytic simulator), these measure real goroutine parallelism on the host:
+//
+//	go test -bench 'MinIOLookup' -cpu 1,2,4,8 .
+//	go test -bench PipelineEpoch .
+//
+// cmd/stallbench -bench runs the same measurements outside the testing
+// framework and writes BENCH_1.json (the perf-trajectory seed).
+package datastall_test
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"datastall/internal/cache"
+	"datastall/internal/dataset"
+	"datastall/internal/loader"
+)
+
+const benchItems = 1 << 15
+
+func newSharded(capBytes float64) cache.Cache { return cache.NewShardedMinIO(capBytes, 0) }
+func newLocked(capBytes float64) cache.Cache  { return cache.NewLocked(cache.NewMinIO(capBytes)) }
+
+// benchmarkLookup measures Lookup throughput via RunParallel; select the
+// goroutine count with -cpu.
+func benchmarkLookup(b *testing.B, build func(capBytes float64) cache.Cache) {
+	c, ids := loader.BenchCacheWorkload(benchItems, build)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Lookup(ids[(i*7)&(benchItems-1)])
+			i++
+		}
+	})
+}
+
+func BenchmarkShardedMinIOLookup(b *testing.B) { benchmarkLookup(b, newSharded) }
+
+// BenchmarkSingleMutexMinIOLookup is the baseline the acceptance criterion
+// compares against: the same MinIO policy behind one big mutex.
+func BenchmarkSingleMutexMinIOLookup(b *testing.B) { benchmarkLookup(b, newLocked) }
+
+// BenchmarkPipelineEpoch measures steady-state epoch wall time of the
+// concurrent fetch->prep pipeline at 1/2/4/8 workers.
+func BenchmarkPipelineEpoch(b *testing.B) {
+	d := &dataset.Dataset{Name: "bench", NumItems: benchItems, TotalBytes: benchItems * 1024}
+	order := dataset.NewRandomSampler(dataset.FullShard(d), 1).EpochOrder(0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := cache.NewShardedMinIO(d.TotalBytes/2, 0)
+			loader.MeasureEpochWall(d, c, order, workers, 128) // warmup epoch
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := loader.MeasureEpochWall(d, c, order, workers, 128)
+				if rep.Fetch.Hits+rep.Fetch.Misses != len(order) {
+					b.Fatalf("lost items: %d/%d", rep.Fetch.Hits+rep.Fetch.Misses, len(order))
+				}
+			}
+			b.ReportMetric(float64(len(order))/b.Elapsed().Seconds()*float64(b.N)/1e6, "Mitems/s")
+		})
+	}
+}
+
+// TestShardedLookupSpeedup asserts the PR's perf criterion: at 8 goroutines
+// the sharded cache sustains >= 3x the lookup throughput of the
+// single-mutex wrapper. Hardware-dependent throughput ratios have no place
+// in the default correctness gate (a busy host can miss 3x with no code
+// defect), so the assertion is opt-in via DATASTALL_PERF_TESTS=1 — CI's
+// dedicated bench job sets it; BENCH_1.json records the trajectory. Lock
+// contention cannot manifest without parallel CPUs, so it also skips below
+// 4 CPUs and under the race detector.
+func TestShardedLookupSpeedup(t *testing.T) {
+	if os.Getenv("DATASTALL_PERF_TESTS") == "" {
+		t.Skip("perf assertion; set DATASTALL_PERF_TESTS=1 to run")
+	}
+	if testing.Short() {
+		t.Skip("throughput measurement; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race detector serializes goroutines; throughput ratios are meaningless (use `make benchjson`)")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("GOMAXPROCS=%d: need >= 4 CPUs for mutex contention to manifest", runtime.GOMAXPROCS(0))
+	}
+	const (
+		workers = 8
+		ops     = 200_000
+	)
+	sharded, sids := loader.BenchCacheWorkload(benchItems, newSharded)
+	locked, lids := loader.BenchCacheWorkload(benchItems, newLocked)
+	best := 0.0
+	for attempt := 0; attempt < 3; attempt++ {
+		s := loader.MeasureLookupThroughput(sharded, sids, workers, ops)
+		l := loader.MeasureLookupThroughput(locked, lids, workers, ops)
+		if ratio := s / l; ratio > best {
+			best = ratio
+		}
+		if best >= 3 {
+			break
+		}
+	}
+	t.Logf("sharded/single-mutex lookup throughput at %d goroutines: %.2fx", workers, best)
+	if best < 3 {
+		t.Errorf("sharded cache only %.2fx faster than single mutex at %d goroutines, want >= 3x", best, workers)
+	}
+}

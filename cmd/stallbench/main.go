@@ -1,8 +1,10 @@
-// Command stallbench reproduces the paper's tables and figures.
+// Command stallbench reproduces the paper's tables and figures, and
+// benchmarks the concurrent loader backend.
 //
 //	stallbench -list
 //	stallbench -run fig2
 //	stallbench -run all -parallel 8 -scale 0.01 > results.txt
+//	stallbench -bench -bench-out BENCH_1.json
 //
 // Each experiment prints a paper-style table plus the published result it
 // reproduces; -scale trades fidelity margin for runtime (1.0 = paper-sized
@@ -10,6 +12,11 @@
 // the shared orchestrator; output stays in experiment ID order (and is
 // byte-identical for any -parallel at a given -seed), with per-experiment
 // wall clocks reported on stderr.
+//
+// -bench measures the concurrent data-loading pipeline on the host (real
+// goroutines, not the simulator): sharded vs single-mutex cache lookup
+// throughput and pipeline epoch wall time at 1/2/4/8 workers, written as
+// JSON to -bench-out to seed the perf trajectory (BENCH_*.json).
 package main
 
 import (
@@ -29,6 +36,8 @@ func main() {
 	epochs := flag.Int("epochs", 0, "epochs per training run (0 = default 3)")
 	seed := flag.Int64("seed", 0, "simulation seed")
 	parallel := flag.Int("parallel", 0, "workers for -run all (0 = one per CPU)")
+	bench := flag.Bool("bench", false, "benchmark the concurrent loader backend")
+	benchOut := flag.String("bench-out", "BENCH_1.json", "output file for -bench results")
 	flag.Parse()
 
 	switch {
@@ -38,6 +47,8 @@ func main() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)
 			fmt.Printf("%-18s   paper: %s\n", "", e.Paper)
 		}
+	case *bench:
+		runBench(*benchOut)
 	case *run == "all":
 		runAll(*scale, *epochs, *seed, *parallel)
 	case *run != "":

@@ -36,7 +36,9 @@
 //     report, -md regenerates EXPERIMENTS.md, -ids selects a subset. CI runs
 //     "make suite" (this binary) and uploads the JSON report as an artifact.
 //   - stallbench: single experiments, or -run all through the same
-//     orchestrator.
+//     orchestrator; -bench measures the concurrent loader backend (sharded
+//     vs single-mutex cache throughput, pipeline epoch wall time) and
+//     writes BENCH_1.json.
 //   - dsanalyzer: differential stall profiles and what-if questions for one
 //     model, or every model concurrently with -model all.
 //   - coordlsim: one training job, epoch by epoch, under a chosen loader.
@@ -47,7 +49,14 @@
 // All simulations are bit-deterministic for a given Seed — results are
 // byte-identical for any worker count. Scale shrinks the dataset (and cache
 // with it) so full experiments run in seconds while every ratio — hit rates,
-// stall fractions, speedups — is preserved.
+// stall fractions, speedups — is preserved. The full-suite output is pinned
+// by golden_test.go against testdata/golden-suite.json.
+//
+// Besides the analytic simulation, trainer jobs can run on a concurrent
+// backend (trainer.Config.Backend = BackendConcurrent) that executes the
+// data-loading path on real goroutines: a bounded-channel fetch->prep
+// pipeline per server over lock-striped sharded caches. See README.md for
+// the concurrency model and the backend-equivalence property tests.
 package datastall
 
 import (

@@ -170,6 +170,24 @@ func NewPartitioned(d *dataset.Dataset, nServers int, capBytes float64, seed int
 // Owner returns the server that owns (may cache) item id.
 func (p *Partitioned) Owner(id dataset.ItemID) int { return int(p.owner[id]) }
 
+// OwnerShards returns the static per-server owner shards in ascending item
+// order — the epoch-0 cache-population orders (§4.2).
+func (p *Partitioned) OwnerShards() []dataset.Shard {
+	return ownerShardsOf(p.owner, len(p.caches))
+}
+
+// ownerShardsOf groups items by owning server, ascending by item ID. Both
+// partitioned caches derive their epoch-0 population orders through this one
+// function, so the analytic and concurrent backends can never disagree on
+// the order (the backend-equivalence property tests depend on that).
+func ownerShardsOf(owner []int32, nServers int) []dataset.Shard {
+	shards := make([]dataset.Shard, nServers)
+	for id, o := range owner {
+		shards[o].Items = append(shards[o].Items, dataset.ItemID(id))
+	}
+	return shards
+}
+
 // Server returns server s's local MinIO cache.
 func (p *Partitioned) Server(s int) *MinIO { return p.caches[s] }
 

@@ -1,0 +1,379 @@
+// Concurrent cache implementations: ShardedMinIO and ShardedPartitioned are
+// goroutine-safe counterparts of MinIO and Partitioned for the concurrent
+// loader backend, and Locked is the single-big-lock adapter used both as the
+// benchmark baseline and to share the page-cache simulation across workers.
+//
+// Concurrency model: a ShardedMinIO stripes its item map and hit/miss
+// counters across P cache-line-padded shards, each guarded by its own
+// RWMutex, so lookups of different items rarely contend. The byte budget is
+// a single CAS word shared by all shards — Insert reserves bytes under the
+// stripe's write lock once the item is known absent, so UsedBytes() can
+// never exceed CapBytes() at any interleaving, and (unlike a per-shard
+// budget split) an equal-sized workload caches exactly floor(cap/item)
+// items, byte-for-byte the same as the single-threaded MinIO reference
+// model. Counters are atomics: hits+misses always equals the number of
+// Lookup calls, exactly.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"datastall/internal/dataset"
+	"datastall/internal/xatomic"
+)
+
+// Interface conformance for both MinIO implementations and the adapter.
+var (
+	_ Cache = (*MinIO)(nil)
+	_ Cache = (*ShardedMinIO)(nil)
+	_ Cache = (*Locked)(nil)
+)
+
+// minioShard is one lock stripe with its own hit/miss counters (a single
+// global counter pair would put one contended cache line back on the hot
+// path the striping exists to remove). The padding keeps neighbouring
+// shards on different cache lines so uncontended stripes don't false-share.
+type minioShard struct {
+	mu           sync.RWMutex
+	items        map[dataset.ItemID]float64
+	hits, misses atomic.Int64
+	_            [80]byte
+}
+
+// ShardedMinIO is a lock-striped, goroutine-safe MinIO cache (§4.1
+// semantics: insert until full, never evict). The zero value is not usable;
+// call NewShardedMinIO.
+type ShardedMinIO struct {
+	capBytes float64
+	shards   []minioShard
+	mask     uint32
+
+	// used is the reserved byte count; all budget movement goes through
+	// its CAS loops (xatomic.Float64.TryAdd is the reservation primitive).
+	used xatomic.Float64
+
+	rejected atomic.Int64 // cold path: full-cache inserts only
+}
+
+// DefaultShards is the shard count NewShardedMinIO uses when asked for <= 0.
+const DefaultShards = 64
+
+// MaxShards caps the stripe count (shards are ~136 bytes each; past a few
+// thousand stripes contention is gone and more just wastes memory).
+const MaxShards = 1 << 16
+
+// NewShardedMinIO returns an empty sharded MinIO cache with the given byte
+// capacity. nShards is rounded up to a power of two and clamped to
+// [1, MaxShards]; <= 0 selects DefaultShards.
+func NewShardedMinIO(capBytes float64, nShards int) *ShardedMinIO {
+	if nShards <= 0 {
+		nShards = DefaultShards
+	}
+	if nShards > MaxShards {
+		nShards = MaxShards
+	}
+	n := 1
+	for n < nShards {
+		n <<= 1
+	}
+	c := &ShardedMinIO{capBytes: capBytes, shards: make([]minioShard, n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		c.shards[i].items = make(map[dataset.ItemID]float64)
+	}
+	return c
+}
+
+// NumShards returns the lock-stripe count.
+func (c *ShardedMinIO) NumShards() int { return len(c.shards) }
+
+// shardFor mixes the id so consecutive IDs spread across stripes.
+func (c *ShardedMinIO) shardFor(id dataset.ItemID) *minioShard {
+	h := uint64(uint32(id)) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return &c.shards[uint32(h)&c.mask]
+}
+
+// reserve atomically claims bytes of budget; false if it would exceed cap.
+func (c *ShardedMinIO) reserve(bytes float64) bool {
+	return c.used.TryAdd(bytes, c.capBytes)
+}
+
+// Lookup implements Cache.
+func (c *ShardedMinIO) Lookup(id dataset.ItemID) bool {
+	sh := c.shardFor(id)
+	sh.mu.RLock()
+	_, ok := sh.items[id]
+	sh.mu.RUnlock()
+	if ok {
+		sh.hits.Add(1)
+	} else {
+		sh.misses.Add(1)
+	}
+	return ok
+}
+
+// Insert implements Cache: first-come-first-cached, never evict. The budget
+// is reserved under the shard's write lock, only once the item is known to
+// be absent: same-id inserts serialize on the stripe, so duplicate/rejected
+// accounting is exactly the reference model's, and a successful reservation
+// is always followed by the insert — UsedBytes <= CapBytes holds at every
+// interleaving with no release path to race on.
+func (c *ShardedMinIO) Insert(id dataset.ItemID, bytes float64) {
+	sh := c.shardFor(id)
+	sh.mu.RLock()
+	_, dup := sh.items[id]
+	sh.mu.RUnlock()
+	if dup {
+		return
+	}
+	sh.mu.Lock()
+	if _, dup := sh.items[id]; dup {
+		sh.mu.Unlock()
+		return
+	}
+	if !c.reserve(bytes) {
+		sh.mu.Unlock()
+		c.rejected.Add(1)
+		return
+	}
+	sh.items[id] = bytes
+	sh.mu.Unlock()
+}
+
+// Contains implements Cache.
+func (c *ShardedMinIO) Contains(id dataset.ItemID) bool {
+	sh := c.shardFor(id)
+	sh.mu.RLock()
+	_, ok := sh.items[id]
+	sh.mu.RUnlock()
+	return ok
+}
+
+// UsedBytes implements Cache.
+func (c *ShardedMinIO) UsedBytes() float64 { return c.used.Load() }
+
+// CapBytes implements Cache.
+func (c *ShardedMinIO) CapBytes() float64 { return c.capBytes }
+
+// Hits implements Cache (sums the per-stripe counters).
+func (c *ShardedMinIO) Hits() int64 {
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].hits.Load()
+	}
+	return t
+}
+
+// Misses implements Cache (sums the per-stripe counters).
+func (c *ShardedMinIO) Misses() int64 {
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].misses.Load()
+	}
+	return t
+}
+
+// Rejected returns inserts refused because the cache was full.
+func (c *ShardedMinIO) Rejected() int64 { return c.rejected.Load() }
+
+// Len returns the number of cached items (locks every shard; not a hot path).
+func (c *ShardedMinIO) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.items)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// ResetStats implements Cache.
+func (c *ShardedMinIO) ResetStats() {
+	for i := range c.shards {
+		c.shards[i].hits.Store(0)
+		c.shards[i].misses.Store(0)
+	}
+	c.rejected.Store(0)
+}
+
+// HitRate returns hits/(hits+misses).
+func (c *ShardedMinIO) HitRate() float64 {
+	h, m := c.Hits(), c.Misses()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Locked wraps any single-threaded Cache in one big mutex, making it safe
+// for concurrent use. It is the benchmark baseline ShardedMinIO is measured
+// against, and how the page-cache simulation (whose recency lists cannot be
+// striped without changing eviction order) is shared across loader workers.
+type Locked struct {
+	mu    sync.Mutex
+	inner Cache
+}
+
+// NewLocked wraps inner; the wrapper must be the only path to inner from
+// then on.
+func NewLocked(inner Cache) *Locked { return &Locked{inner: inner} }
+
+// Lookup implements Cache.
+func (l *Locked) Lookup(id dataset.ItemID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Lookup(id)
+}
+
+// Insert implements Cache.
+func (l *Locked) Insert(id dataset.ItemID, bytes float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.Insert(id, bytes)
+}
+
+// Contains implements Cache.
+func (l *Locked) Contains(id dataset.ItemID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Contains(id)
+}
+
+// UsedBytes implements Cache.
+func (l *Locked) UsedBytes() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.UsedBytes()
+}
+
+// CapBytes implements Cache.
+func (l *Locked) CapBytes() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.CapBytes()
+}
+
+// Hits implements Cache.
+func (l *Locked) Hits() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Hits()
+}
+
+// Misses implements Cache.
+func (l *Locked) Misses() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Misses()
+}
+
+// ResetStats implements Cache.
+func (l *Locked) ResetStats() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.ResetStats()
+}
+
+// serverCounters are one server's partitioned-lookup counters, padded so
+// servers on different NUMA-ish cache lines don't false-share.
+type serverCounters struct {
+	local, remote, miss atomic.Int64
+	_                   [104]byte
+}
+
+// ShardedPartitioned is the goroutine-safe counterpart of Partitioned: the
+// same static owner sharding and remote-DRAM routing (§4.2), but over
+// ShardedMinIO per-server caches with atomic classification counters, so
+// many loader workers on many servers can fetch concurrently.
+type ShardedPartitioned struct {
+	caches []*ShardedMinIO
+	owner  []int32 // item -> owning server (immutable after construction)
+	stats  []serverCounters
+}
+
+// NewShardedPartitioned builds the concurrent partitioned cache for nServers
+// over d: capBytes of ShardedMinIO (nShards stripes each) per server, with
+// the same seeded random disjoint owner shards as NewPartitioned.
+func NewShardedPartitioned(d *dataset.Dataset, nServers int, capBytes float64, nShards int, seed int64) *ShardedPartitioned {
+	p := &ShardedPartitioned{
+		caches: make([]*ShardedMinIO, nServers),
+		owner:  make([]int32, d.NumItems),
+		stats:  make([]serverCounters, nServers),
+	}
+	for i := range p.caches {
+		p.caches[i] = NewShardedMinIO(capBytes, nShards)
+	}
+	shards := dataset.SplitRandom(d, nServers, seed)
+	for s, sh := range shards {
+		for _, id := range sh.Items {
+			p.owner[id] = int32(s)
+		}
+	}
+	return p
+}
+
+// Owner returns the server that owns (may cache) item id.
+func (p *ShardedPartitioned) Owner(id dataset.ItemID) int { return int(p.owner[id]) }
+
+// Server returns server s's local sharded MinIO cache.
+func (p *ShardedPartitioned) Server(s int) *ShardedMinIO { return p.caches[s] }
+
+// NumServers returns the server count.
+func (p *ShardedPartitioned) NumServers() int { return len(p.caches) }
+
+// Lookup classifies a fetch of id by server s; for a RemoteHit the second
+// result is the serving server. Safe for concurrent use.
+func (p *ShardedPartitioned) Lookup(s int, id dataset.ItemID) (Location, int) {
+	if p.caches[s].Lookup(id) {
+		p.stats[s].local.Add(1)
+		return LocalHit, s
+	}
+	o := int(p.owner[id])
+	if o != s && p.caches[o].Contains(id) {
+		p.stats[s].remote.Add(1)
+		return RemoteHit, o
+	}
+	p.stats[s].miss.Add(1)
+	return Miss, -1
+}
+
+// Insert offers id (fetched from storage by server s); only the owner
+// caches, exactly as Partitioned.Insert.
+func (p *ShardedPartitioned) Insert(s int, id dataset.ItemID, bytes float64) {
+	if int(p.owner[id]) != s {
+		return
+	}
+	p.caches[s].Insert(id, bytes)
+}
+
+// Stats returns (local, remote, miss) counters for server s.
+func (p *ShardedPartitioned) Stats(s int) (local, remote, miss int64) {
+	return p.stats[s].local.Load(), p.stats[s].remote.Load(), p.stats[s].miss.Load()
+}
+
+// ResetStats clears all per-server counters (after the warmup epoch).
+func (p *ShardedPartitioned) ResetStats() {
+	for i := range p.caches {
+		p.caches[i].ResetStats()
+		p.stats[i].local.Store(0)
+		p.stats[i].remote.Store(0)
+		p.stats[i].miss.Store(0)
+	}
+}
+
+// AggregateUsedBytes returns cached bytes across all servers.
+func (p *ShardedPartitioned) AggregateUsedBytes() float64 {
+	t := 0.0
+	for _, c := range p.caches {
+		t += c.UsedBytes()
+	}
+	return t
+}
+
+// OwnerShards returns the static per-server owner shards in ascending item
+// order — the epoch-0 cache-population orders (§4.2).
+func (p *ShardedPartitioned) OwnerShards() []dataset.Shard {
+	return ownerShardsOf(p.owner, len(p.caches))
+}

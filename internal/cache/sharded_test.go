@@ -1,0 +1,276 @@
+package cache
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"datastall/internal/dataset"
+	"datastall/internal/pagecache"
+)
+
+// residentBytes sums the bytes actually stored in the shard maps (bypassing
+// the budget word), for reconciliation checks.
+func (c *ShardedMinIO) residentBytes() float64 {
+	t := 0.0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for _, b := range sh.items {
+			t += b
+		}
+		sh.mu.RUnlock()
+	}
+	return t
+}
+
+// TestShardedMinIOMatchesReference replays one random op sequence through
+// ShardedMinIO and the single-threaded MinIO reference model: identical
+// hits, misses, used bytes, and residency at every step.
+func TestShardedMinIOMatchesReference(t *testing.T) {
+	for _, shards := range []int{1, 4, 64} {
+		ref := NewMinIO(1000)
+		sh := NewShardedMinIO(1000, shards)
+		rng := rand.New(rand.NewSource(7))
+		for op := 0; op < 20000; op++ {
+			id := dataset.ItemID(rng.Intn(300))
+			if rng.Intn(2) == 0 {
+				if got, want := sh.Lookup(id), ref.Lookup(id); got != want {
+					t.Fatalf("shards=%d op %d: Lookup(%d) = %v, reference %v", shards, op, id, got, want)
+				}
+			} else {
+				bytes := float64(1 + rng.Intn(20))
+				ref.Insert(id, bytes)
+				sh.Insert(id, bytes)
+			}
+			if sh.UsedBytes() != ref.UsedBytes() {
+				t.Fatalf("shards=%d op %d: UsedBytes %v != reference %v", shards, op, sh.UsedBytes(), ref.UsedBytes())
+			}
+		}
+		if sh.Hits() != ref.Hits() || sh.Misses() != ref.Misses() {
+			t.Fatalf("shards=%d: hits/misses %d/%d != reference %d/%d",
+				shards, sh.Hits(), sh.Misses(), ref.Hits(), ref.Misses())
+		}
+		if sh.Rejected() != ref.Rejected() {
+			t.Fatalf("shards=%d: rejected %d != reference %d", shards, sh.Rejected(), ref.Rejected())
+		}
+		if sh.Len() != ref.Len() {
+			t.Fatalf("shards=%d: len %d != reference %d", shards, sh.Len(), ref.Len())
+		}
+	}
+}
+
+// TestShardedMinIORace hammers one cache from many goroutines and checks the
+// two safety invariants the concurrent backend depends on, continuously and
+// at quiescence: UsedBytes never exceeds CapBytes, and hits+misses accounts
+// for every Lookup exactly. Run under -race this is the data-race battery
+// for the lock-striping and the CAS budget.
+func TestShardedMinIORace(t *testing.T) {
+	const (
+		goroutines = 16
+		opsPerG    = 5000
+		capBytes   = 4096
+		idSpace    = 1024
+	)
+	c := NewShardedMinIO(capBytes, 16)
+	var lookups atomic.Int64
+	var stop atomic.Bool
+
+	// Invariant watcher: observes UsedBytes at arbitrary interleavings.
+	var watcher sync.WaitGroup
+	watcher.Add(1)
+	go func() {
+		defer watcher.Done()
+		for !stop.Load() {
+			if u := c.UsedBytes(); u > c.CapBytes() {
+				t.Errorf("UsedBytes %v > CapBytes %v", u, c.CapBytes())
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for op := 0; op < opsPerG; op++ {
+				id := dataset.ItemID(rng.Intn(idSpace))
+				switch rng.Intn(3) {
+				case 0:
+					c.Lookup(id)
+					lookups.Add(1)
+				case 1:
+					c.Insert(id, float64(1+rng.Intn(16)))
+				default:
+					c.Contains(id)
+				}
+			}
+		}(int64(g) + 1)
+	}
+	wg.Wait()
+	stop.Store(true)
+	watcher.Wait()
+
+	if got, want := c.Hits()+c.Misses(), lookups.Load(); got != want {
+		t.Fatalf("hits+misses = %d, want exactly %d lookups", got, want)
+	}
+	if u := c.UsedBytes(); u > c.CapBytes() {
+		t.Fatalf("UsedBytes %v > CapBytes %v at quiescence", u, c.CapBytes())
+	}
+	// At quiescence every reserved byte is resident: no budget leaked on
+	// the duplicate-insert race path.
+	if got, want := c.residentBytes(), c.UsedBytes(); got != want {
+		t.Fatalf("resident bytes %v != reserved bytes %v (budget leak)", got, want)
+	}
+}
+
+// TestShardedMinIOConcurrentEpoch drives a full disjoint epoch (every item
+// once) from N workers: the cache must fill to exactly floor(cap/item) items
+// regardless of scheduling, matching the single-threaded model.
+func TestShardedMinIOConcurrentEpoch(t *testing.T) {
+	const (
+		items    = 4096
+		itemSz   = 4.0
+		capBytes = 1000 * itemSz
+		workers  = 8
+	)
+	for _, shards := range []int{1, 8, 64} {
+		c := NewShardedMinIO(capBytes, shards)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= items {
+						return
+					}
+					id := dataset.ItemID(i)
+					if !c.Lookup(id) {
+						c.Insert(id, itemSz)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if got := c.Len(); got != 1000 {
+			t.Fatalf("shards=%d: cached %d items, want exactly floor(cap/item) = 1000", shards, got)
+		}
+		if got := c.UsedBytes(); got != capBytes {
+			t.Fatalf("shards=%d: UsedBytes %v, want %v", shards, got, capBytes)
+		}
+		if h, m := c.Hits(), c.Misses(); h != 0 || m != items {
+			t.Fatalf("shards=%d: warmup epoch hits/misses %d/%d, want 0/%d", shards, h, m, items)
+		}
+	}
+}
+
+// TestShardedPartitionedRace hammers the distributed cache from goroutines
+// spread across servers; checks per-server classification accounting and the
+// per-server byte budgets.
+func TestShardedPartitionedRace(t *testing.T) {
+	d := &dataset.Dataset{Name: "t", NumItems: 2048, TotalBytes: 2048 * 8}
+	const nServers = 4
+	p := NewShardedPartitioned(d, nServers, 200*8, 8, 42)
+
+	var lookups [nServers]atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			s := int(seed) % nServers
+			for op := 0; op < 4000; op++ {
+				id := dataset.ItemID(rng.Intn(d.NumItems))
+				loc, _ := p.Lookup(s, id)
+				lookups[s].Add(1)
+				if loc == Miss {
+					p.Insert(s, id, d.ItemBytes(id))
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+
+	for s := 0; s < nServers; s++ {
+		local, remote, miss := p.Stats(s)
+		if got, want := local+remote+miss, lookups[s].Load(); got != want {
+			t.Fatalf("server %d: local+remote+miss = %d, want exactly %d lookups", s, got, want)
+		}
+		c := p.Server(s)
+		if c.UsedBytes() > c.CapBytes() {
+			t.Fatalf("server %d: UsedBytes %v > CapBytes %v", s, c.UsedBytes(), c.CapBytes())
+		}
+	}
+}
+
+// TestLockedWrapsPageCache checks the big-lock adapter under concurrency:
+// the page cache's recency lists must survive -race and respect capacity.
+func TestLockedWrapsPageCache(t *testing.T) {
+	inner := pagecache.New(pagecache.TwoList, 512, 99)
+	c := NewLocked(inner)
+	var lookups atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for op := 0; op < 3000; op++ {
+				id := dataset.ItemID(rng.Intn(256))
+				if !c.Lookup(id) {
+					c.Insert(id, float64(1+rng.Intn(8)))
+				}
+				lookups.Add(1)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got, want := c.Hits()+c.Misses(), lookups.Load(); got != want {
+		t.Fatalf("hits+misses = %d, want %d", got, want)
+	}
+	if c.UsedBytes() > c.CapBytes() {
+		t.Fatalf("UsedBytes %v > CapBytes %v", c.UsedBytes(), c.CapBytes())
+	}
+}
+
+// TestShardedMinIOZeroAndTinyCapacity: degenerate capacities must neither
+// panic nor admit items they have no budget for.
+func TestShardedMinIOZeroAndTinyCapacity(t *testing.T) {
+	for _, capBytes := range []float64{0, 0.5, -10} {
+		c := NewShardedMinIO(capBytes, 4)
+		for i := 0; i < 100; i++ {
+			id := dataset.ItemID(i)
+			c.Lookup(id)
+			c.Insert(id, 1)
+		}
+		if c.Len() != 0 {
+			t.Fatalf("cap=%v: cached %d items, want 0", capBytes, c.Len())
+		}
+		if c.Rejected() != 100 {
+			t.Fatalf("cap=%v: rejected %d, want 100", capBytes, c.Rejected())
+		}
+	}
+}
+
+// TestShardedMinIOShardRounding: shard counts round up to powers of two.
+func TestShardedMinIOShardRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultShards}, {-3, DefaultShards}, {1, 1}, {2, 2}, {3, 4}, {9, 16}, {64, 64},
+		// Absurd values clamp instead of overflowing the rounding loop or
+		// allocating gigabytes of stripes.
+		{MaxShards + 1, MaxShards}, {1 << 40, MaxShards}, {int(^uint(0) >> 1), MaxShards},
+	} {
+		if got := NewShardedMinIO(10, tc.in).NumShards(); got != tc.want {
+			t.Errorf("NumShards(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

@@ -85,12 +85,7 @@ func NewPartitionedFetcher(d *dataset.Dataset, c *cluster.Cluster, capBytes floa
 // each server populates its local MinIO cache with the shard assigned to
 // it", §4.2).
 func (f *PartitionedFetcher) OwnerShards() []dataset.Shard {
-	shards := make([]dataset.Shard, len(f.Cluster.Servers))
-	for id := 0; id < f.Dataset.NumItems; id++ {
-		o := f.Part.Owner(dataset.ItemID(id))
-		shards[o].Items = append(shards[o].Items, dataset.ItemID(id))
-	}
-	return shards
+	return f.Part.OwnerShards()
 }
 
 // FetchBatch implements loader.Fetcher: local MinIO hit -> DRAM; remote hit

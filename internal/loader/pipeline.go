@@ -1,0 +1,176 @@
+// Concurrent loader backend: a goroutine fetch -> prep worker pipeline that
+// drives an epoch through bounded channels, instead of the simulator's
+// per-epoch analytic loop. The analytic backend computes what the hardware
+// model *predicts*; this backend executes the same cache policies on real
+// goroutines and measures what the host actually does, which is what the
+// race battery and the lookup-throughput benchmarks exercise.
+//
+// Pipeline shape (one epoch):
+//
+//	feed --batches--> [Workers x fetch] --results--> [PrepWorkers x prep]
+//
+// Both channels are bounded by QueueDepth, so a slow prep stage
+// back-pressures fetch workers exactly like the simulator's bounded staging
+// stores. RunEpoch is a full barrier: it returns only after every batch has
+// been fetched and prepped, so per-epoch counters are exact.
+package loader
+
+import (
+	"sync"
+	"time"
+
+	"datastall/internal/dataset"
+)
+
+// BatchFetch resolves one minibatch for the concurrent backend. worker is
+// the fetch-worker index (stable across the epoch); implementations must be
+// safe for concurrent use.
+type BatchFetch func(worker int, items []dataset.ItemID) FetchResult
+
+// Pipeline is the concurrent epoch driver. Zero-value fields get safe
+// defaults (1 worker, depth 2x workers, whole epoch as one batch).
+type Pipeline struct {
+	// Workers is the fetch-stage goroutine count.
+	Workers int
+	// PrepWorkers is the prep-stage goroutine count (defaults to Workers).
+	PrepWorkers int
+	// Batch is the minibatch size in items.
+	Batch int
+	// QueueDepth bounds both inter-stage channels, in batches
+	// (defaults to 2x Workers).
+	QueueDepth int
+	// Fetch resolves one batch; required.
+	Fetch BatchFetch
+	// Prep, if non-nil, runs in the prep stage for every fetched batch
+	// (e.g. prep.Pool.Process); must be safe for concurrent use.
+	Prep func(r FetchResult)
+}
+
+// EpochReport aggregates one epoch of pipeline execution.
+type EpochReport struct {
+	// Fetch is the exact sum of every batch's FetchResult.
+	Fetch FetchResult
+	// Batches is the number of minibatches driven through the pipeline.
+	Batches int
+	// Items is the number of items fetched.
+	Items int
+	// WallSeconds is the real (host) time the epoch took.
+	WallSeconds float64
+}
+
+// Add accumulates o into r (epoch roll-ups).
+func (r *EpochReport) Add(o EpochReport) {
+	r.Fetch.Add(o.Fetch)
+	r.Batches += o.Batches
+	r.Items += o.Items
+	if o.WallSeconds > r.WallSeconds {
+		r.WallSeconds = o.WallSeconds // concurrent servers overlap
+	}
+}
+
+// maxWorkers and maxQueueDepth bound goroutine and channel allocation: a
+// misconfigured (or fuzzed) knob must degrade to a big-but-sane pipeline,
+// not exhaust memory spawning 2^30 goroutines.
+const (
+	maxWorkers    = 1024
+	maxQueueDepth = 4096
+)
+
+func (p *Pipeline) workers() (fetch, prep, depth, batch int) {
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	fetch = p.Workers
+	if fetch < 1 {
+		fetch = 1
+	}
+	fetch = clamp(fetch, 1, maxWorkers)
+	prep = p.PrepWorkers
+	if prep < 1 {
+		prep = fetch
+	}
+	prep = clamp(prep, 1, maxWorkers)
+	depth = p.QueueDepth
+	if depth < 1 {
+		depth = 2 * fetch
+	}
+	depth = clamp(depth, 1, maxQueueDepth)
+	batch = p.Batch
+	if batch < 1 {
+		batch = 0 // whole order as one batch
+	}
+	return
+}
+
+// RunEpoch drives order through the fetch and prep stages and blocks until
+// every batch has completed both. An empty order returns a zero report.
+func (p *Pipeline) RunEpoch(order []dataset.ItemID) EpochReport {
+	if p.Fetch == nil {
+		panic("loader: Pipeline.Fetch is required")
+	}
+	nFetch, nPrep, depth, batch := p.workers()
+	if batch == 0 {
+		batch = len(order)
+	}
+	start := time.Now()
+	rep := EpochReport{}
+	if len(order) == 0 {
+		return rep
+	}
+
+	feed := make(chan []dataset.ItemID, depth)
+	fetched := make(chan FetchResult, depth)
+
+	var fetchWG, prepWG sync.WaitGroup
+	var mu sync.Mutex // guards rep merges
+
+	for w := 0; w < nFetch; w++ {
+		fetchWG.Add(1)
+		go func(worker int) {
+			defer fetchWG.Done()
+			for items := range feed {
+				fetched <- p.Fetch(worker, items)
+			}
+		}(w)
+	}
+	for w := 0; w < nPrep; w++ {
+		prepWG.Add(1)
+		go func() {
+			defer prepWG.Done()
+			local := EpochReport{}
+			for r := range fetched {
+				if p.Prep != nil {
+					p.Prep(r)
+				}
+				local.Fetch.Add(r)
+				local.Batches++
+			}
+			mu.Lock()
+			rep.Fetch.Add(local.Fetch)
+			rep.Batches += local.Batches
+			mu.Unlock()
+		}()
+	}
+
+	for i := 0; i < len(order); i += batch {
+		j := i + batch
+		if j > len(order) {
+			j = len(order)
+		}
+		feed <- order[i:j]
+	}
+	close(feed)
+	fetchWG.Wait()
+	close(fetched)
+	prepWG.Wait()
+
+	rep.Items = len(order)
+	rep.WallSeconds = time.Since(start).Seconds()
+	return rep
+}

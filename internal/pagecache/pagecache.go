@@ -12,6 +12,11 @@
 //     it thrashes — delivering well below capacity-ratio hits — which is the
 //     paper's key finding (Fig 3, Table 6).
 //   - Random: random replacement, included for ablations.
+//
+// A Cache is NOT safe for concurrent use: the recency lists cannot be
+// lock-striped without changing eviction order (and with it the simulated
+// hit rates). The concurrent loader backend shares one per server behind a
+// single mutex via cache.Locked instead.
 package pagecache
 
 import (

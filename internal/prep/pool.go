@@ -1,0 +1,67 @@
+// Concurrent prep accounting: Pool is the prep-stage counterpart of the
+// sharded caches. Many pipeline prep workers call Process concurrently; the
+// pool charges each batch its modeled decode cost (bytes / Rate) and
+// accumulates busy time on a CAS float64, so the concurrent backend reports
+// the same aggregate prep-busy seconds the analytic backend would for the
+// same bytes — without a lock on the hot path.
+package prep
+
+import (
+	"sync/atomic"
+
+	"datastall/internal/gpu"
+	"datastall/internal/xatomic"
+)
+
+// Pool tracks pre-processing work performed by concurrent prep workers.
+type Pool struct {
+	rate float64 // bytes/sec aggregate throughput of the prep stage
+
+	busy    xatomic.Float64 // accumulated busy seconds
+	bytes   xatomic.Float64 // accumulated raw bytes
+	batches atomic.Int64
+}
+
+// NewPool returns a pool processing at the modeled Rate(m, cfg).
+func NewPool(m *gpu.Model, cfg Config) *Pool {
+	return NewPoolRate(Rate(m, cfg))
+}
+
+// NewPoolRate returns a pool with an explicit aggregate rate in bytes/sec.
+// A non-positive rate disables time accounting (bytes are still counted).
+func NewPoolRate(rate float64) *Pool { return &Pool{rate: rate} }
+
+// Rate returns the pool's aggregate throughput in bytes/sec.
+func (p *Pool) Rate() float64 { return p.rate }
+
+// Process charges one batch of rawBytes to the pool and returns the seconds
+// of prep time it cost under the rate model. Safe for concurrent use.
+func (p *Pool) Process(rawBytes float64) float64 {
+	if rawBytes <= 0 {
+		return 0
+	}
+	p.batches.Add(1)
+	p.bytes.Add(rawBytes)
+	if p.rate <= 0 {
+		return 0
+	}
+	d := rawBytes / p.rate
+	p.busy.Add(d)
+	return d
+}
+
+// BusySeconds returns accumulated modeled prep time.
+func (p *Pool) BusySeconds() float64 { return p.busy.Load() }
+
+// ProcessedBytes returns accumulated raw bytes.
+func (p *Pool) ProcessedBytes() float64 { return p.bytes.Load() }
+
+// Batches returns the number of batches processed.
+func (p *Pool) Batches() int64 { return p.batches.Load() }
+
+// Reset clears all counters (after the warmup epoch).
+func (p *Pool) Reset() {
+	p.busy.Store(0)
+	p.bytes.Store(0)
+	p.batches.Store(0)
+}

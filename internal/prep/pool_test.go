@@ -1,0 +1,71 @@
+package prep
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"datastall/internal/gpu"
+)
+
+func TestPoolMatchesBatchTime(t *testing.T) {
+	m := gpu.MustByName("resnet18")
+	cfg := Config{Framework: DALI, Threads: 3, PhysicalCores: 3}
+	p := NewPool(m, cfg)
+	const raw = 1e9
+	got := p.Process(raw)
+	if want := BatchTime(m, cfg, raw); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Process charged %v s, BatchTime says %v", got, want)
+	}
+	if p.BusySeconds() != got || p.ProcessedBytes() != raw || p.Batches() != 1 {
+		t.Fatalf("counters busy=%v bytes=%v batches=%d", p.BusySeconds(), p.ProcessedBytes(), p.Batches())
+	}
+}
+
+// TestPoolConcurrentAccumulation: N workers charging batches concurrently
+// must lose nothing on the CAS float accumulators (run under -race).
+func TestPoolConcurrentAccumulation(t *testing.T) {
+	p := NewPoolRate(100) // 100 bytes/sec: each 1-byte batch costs 0.01s
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				p.Process(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Batches() != workers*perW {
+		t.Fatalf("batches %d, want %d", p.Batches(), workers*perW)
+	}
+	if got, want := p.ProcessedBytes(), float64(workers*perW); got != want {
+		t.Fatalf("bytes %v, want %v", got, want)
+	}
+	// Equal-sized charges commute exactly in FP, so the sum is exact.
+	if got, want := p.BusySeconds(), float64(workers*perW)/100; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("busy %v, want %v", got, want)
+	}
+}
+
+func TestPoolDegenerate(t *testing.T) {
+	p := NewPoolRate(0)
+	if d := p.Process(100); d != 0 {
+		t.Fatalf("zero-rate pool charged %v s", d)
+	}
+	if p.ProcessedBytes() != 100 {
+		t.Fatalf("bytes %v, want 100", p.ProcessedBytes())
+	}
+	if d := p.Process(-5); d != 0 || p.Batches() != 1 {
+		t.Fatalf("negative bytes must be ignored (d=%v batches=%d)", d, p.Batches())
+	}
+	p.Reset()
+	if p.BusySeconds() != 0 || p.ProcessedBytes() != 0 || p.Batches() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+}

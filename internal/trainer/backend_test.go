@@ -1,0 +1,272 @@
+package trainer
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"datastall/internal/cluster"
+	"datastall/internal/dataset"
+	"datastall/internal/gpu"
+	"datastall/internal/loader"
+	"datastall/internal/prep"
+)
+
+// equalSizeDataset returns a dataset whose items are all exactly the same
+// size (sizeSpread 0). In that regime MinIO's cached-item count is exactly
+// floor(cap/item) no matter what order concurrent workers insert, which is
+// what makes the analytic and concurrent backends' statistics comparable
+// epoch by epoch.
+func equalSizeDataset(items int) *dataset.Dataset {
+	return &dataset.Dataset{Name: "prop", Task: "image", NumItems: items, TotalBytes: float64(items) * 1024}
+}
+
+func propConfig(d *dataset.Dataset, servers, workers, shards int, seed int64) Config {
+	return Config{
+		Model: gpu.MustByName("resnet18"), Dataset: d,
+		Spec:       cluster.ConfigSSDV100(),
+		NumServers: servers, GPUsPerServer: 1,
+		Batch: 16, Epochs: 3,
+		ThreadsPerGPU: workers,
+		Loader:        loader.CoorDL,
+		CacheBytes:    float64(d.NumItems) / 4 * 1024, // cache 1/4 of the items
+		CacheShards:   shards,
+		Seed:          seed,
+	}
+}
+
+// TestPropertyConcurrentMatchesAnalyticMinIO is the backend-equivalence
+// property test: for any (seed, shard count, worker count), the concurrent
+// pipeline over ShardedMinIO must report exactly the per-epoch hit/miss
+// counts of the single-threaded analytic reference model.
+func TestPropertyConcurrentMatchesAnalyticMinIO(t *testing.T) {
+	d := equalSizeDataset(2048)
+	for _, seed := range []int64{1, 7, 12345} {
+		ref, err := Run(propConfig(d, 1, 2, 0, seed)) // analytic: workers/shards irrelevant
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, shards := range []int{1, 8, 64} {
+				cfg := propConfig(d, 1, workers, shards, seed)
+				cfg.Backend = BackendConcurrent
+				got, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.Epochs) != len(ref.Epochs) {
+					t.Fatalf("seed=%d w=%d sh=%d: %d epochs, want %d",
+						seed, workers, shards, len(got.Epochs), len(ref.Epochs))
+				}
+				for e := range ref.Epochs {
+					re, ge := ref.Epochs[e], got.Epochs[e]
+					if ge.Hits != re.Hits || ge.Misses != re.Misses {
+						t.Errorf("seed=%d workers=%d shards=%d epoch %d: hits/misses %d/%d, analytic reference %d/%d",
+							seed, workers, shards, e, ge.Hits, ge.Misses, re.Hits, re.Misses)
+					}
+					if ge.MemBytes != re.MemBytes || ge.DiskBytes != re.DiskBytes {
+						t.Errorf("seed=%d workers=%d shards=%d epoch %d: mem/disk bytes %v/%v, reference %v/%v",
+							seed, workers, shards, e, ge.MemBytes, ge.DiskBytes, re.MemBytes, re.DiskBytes)
+					}
+					if ge.Samples != re.Samples {
+						t.Errorf("epoch %d: samples %d, reference %d", e, ge.Samples, re.Samples)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyConcurrentPartitioned: for distributed CoorDL the *total*
+// cluster-wide classification must match the analytic reference per epoch
+// (hits+remote and misses; the local/remote split legitimately depends on
+// which server cached an item first when owners race, but cluster totals
+// cannot).
+func TestPropertyConcurrentPartitioned(t *testing.T) {
+	d := equalSizeDataset(4096)
+	for _, servers := range []int{2, 4} {
+		ref, err := Run(propConfig(d, servers, 2, 0, 11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			cfg := propConfig(d, servers, workers, 8, 11)
+			cfg.Backend = BackendConcurrent
+			got, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for e := range ref.Epochs {
+				re, ge := ref.Epochs[e], got.Epochs[e]
+				if ge.Hits+ge.RemoteHits != re.Hits+re.RemoteHits || ge.Misses != re.Misses {
+					t.Errorf("servers=%d workers=%d epoch %d: (local+remote)/miss %d/%d, reference %d/%d",
+						servers, workers, e, ge.Hits+ge.RemoteHits, ge.Misses,
+						re.Hits+re.RemoteHits, re.Misses)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentBackendModes smoke-checks the remaining fetch paths.
+func TestConcurrentBackendModes(t *testing.T) {
+	d := equalSizeDataset(1024)
+	base := propConfig(d, 1, 4, 8, 5)
+	base.Backend = BackendConcurrent
+
+	syn := base
+	syn.FetchMode = Synthetic
+	r, err := Run(syn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Epochs[0].Misses != 0 || r.Epochs[0].DiskBytes != 0 {
+		t.Fatalf("synthetic mode fetched from disk: %+v", r.Epochs[0])
+	}
+
+	fc := base
+	fc.FetchMode = FullyCached
+	r, err = Run(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Epochs[0].Misses != 0 || r.Epochs[0].MemBytes == 0 {
+		t.Fatalf("fully-cached mode: %+v", r.Epochs[0])
+	}
+
+	for _, k := range []loader.Kind{loader.DALIShuffle, loader.DALISeq, loader.PyTorchDL} {
+		b := base
+		b.Loader = k
+		r, err = Run(b)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		total := 0
+		for _, e := range r.Epochs {
+			total += e.Hits + e.Misses
+		}
+		if total == 0 {
+			t.Fatalf("%v: no lookups recorded", k)
+		}
+	}
+	if r.PrepBusySeconds <= 0 {
+		t.Fatal("concurrent backend did not account prep time")
+	}
+
+	tf := base
+	tf.RecordBytes = 1 << 20
+	if _, err := Run(tf); err == nil || !strings.Contains(err.Error(), "concurrent backend") {
+		t.Fatalf("TFRecord + concurrent backend must be rejected, got %v", err)
+	}
+}
+
+// TestPropertyBaselineLoadersSingleWorker pins the baseline (page-cache)
+// fetch path of the concurrent backend against the analytic reference. The
+// two-list recency policy is interleaving-dependent, so exact equality is
+// only defined at one worker (sequential visit order, like the simulator) —
+// which is precisely what catches the two fetcher-selection switches
+// (newJobRuntime / concurrentFetchers) drifting apart in seeds or seek
+// constants.
+func TestPropertyBaselineLoadersSingleWorker(t *testing.T) {
+	d := equalSizeDataset(2048)
+	for _, k := range []loader.Kind{loader.DALIShuffle, loader.DALISeq, loader.PyTorchDL} {
+		cfg := propConfig(d, 1, 1, 0, 21)
+		cfg.Loader = k
+		cfg.PrefetchDepth = 1
+		ref, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc := cfg
+		cc.Backend = BackendConcurrent
+		got, err := Run(cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := range ref.Epochs {
+			// DiskReads differs by design: the analytic backend counts
+			// device requests (one per batch), the concurrent backend
+			// counts per-item seeks. Cache behaviour is the parity surface.
+			re, ge := ref.Epochs[e], got.Epochs[e]
+			if ge.Hits != re.Hits || ge.Misses != re.Misses || ge.DiskBytes != re.DiskBytes {
+				t.Errorf("%v epoch %d: hits/misses/diskbytes %d/%d/%v, analytic %d/%d/%v",
+					k, e, ge.Hits, ge.Misses, ge.DiskBytes, re.Hits, re.Misses, re.DiskBytes)
+			}
+		}
+	}
+}
+
+// TestConcurrentPrepBusyParity: PrepBusySeconds must equal the analytic
+// accounting (every batch charged raw/perGPURate) for the same bytes —
+// including with multiple GPUs per server, where the pool rate must stay
+// per-GPU.
+func TestConcurrentPrepBusyParity(t *testing.T) {
+	d := equalSizeDataset(2048)
+	for _, gpus := range []int{1, 2, 4} {
+		cfg := propConfig(d, 1, 2, 8, 5)
+		cfg.GPUsPerServer = gpus
+		cfg.Backend = BackendConcurrent
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := 0.0
+		for _, e := range r.Epochs {
+			raw += e.MemBytes + e.DiskBytes + e.NetBytes
+		}
+		want := raw / prep.Rate(cfg.Model, cfg.withDefaults().prepConfig())
+		if diff := math.Abs(r.PrepBusySeconds - want); diff > 1e-9*want {
+			t.Errorf("gpus=%d: PrepBusySeconds %v, analytic accounting %v", gpus, r.PrepBusySeconds, want)
+		}
+	}
+
+	// Distributed CoorDL with owner shards not divisible by the batch: the
+	// epoch-0 tail populates the cache but must NOT be charged prep,
+	// exactly like the analytic tail loop.
+	dOdd := equalSizeDataset(2050) // 2 servers -> 1025-item shards, batch 16 -> 1-item tails
+	cfg := propConfig(dOdd, 2, 2, 8, 5)
+	cfg.Backend = BackendConcurrent
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, tailItems := 0.0, 0
+	for e, es := range r.Epochs {
+		raw += es.MemBytes + es.DiskBytes + es.NetBytes
+		fetched := es.Hits + es.RemoteHits + es.Misses
+		if e == 0 && fetched <= es.Samples {
+			t.Fatalf("expected an epoch-0 tail beyond the %d samples, fetched %d", es.Samples, fetched)
+		}
+		if e == 0 {
+			tailItems = fetched - es.Samples
+		}
+	}
+	rawPrepped := raw - float64(tailItems)*dOdd.AvgItemBytes()
+	want := rawPrepped / prep.Rate(cfg.Model, cfg.withDefaults().prepConfig())
+	if diff := math.Abs(r.PrepBusySeconds - want); diff > 1e-9*want {
+		t.Errorf("distributed tail: PrepBusySeconds %v, analytic accounting %v (tail of %d items must be uncharged)",
+			r.PrepBusySeconds, want, tailItems)
+	}
+}
+
+// TestConcurrentBackendDeterministicStats: same config twice yields the
+// same counters (wall time varies, statistics must not).
+func TestConcurrentBackendDeterministicStats(t *testing.T) {
+	d := equalSizeDataset(2048)
+	cfg := propConfig(d, 1, 8, 16, 3)
+	cfg.Backend = BackendConcurrent
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range a.Epochs {
+		if a.Epochs[e].Hits != b.Epochs[e].Hits || a.Epochs[e].Misses != b.Epochs[e].Misses {
+			t.Fatalf("epoch %d: run-to-run drift: %d/%d vs %d/%d",
+				e, a.Epochs[e].Hits, a.Epochs[e].Misses, b.Epochs[e].Hits, b.Epochs[e].Misses)
+		}
+	}
+}

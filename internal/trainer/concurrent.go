@@ -71,6 +71,13 @@ func RunConcurrent(cc ConcurrentConfig) (*ConcurrentResult, error) {
 	if cc.NumJobs < 1 || cc.GPUsPerJob < 1 {
 		return nil, fmt.Errorf("trainer: need >= 1 job and GPU per job")
 	}
+	if cc.Base.Backend == BackendConcurrent {
+		// HP-search jobs share one simulation engine (cross-job cache and
+		// staging contention is the whole point); they have no concurrent
+		// execution path yet, and silently running analytic would
+		// misrepresent the requested backend.
+		return nil, fmt.Errorf("trainer: HP-search jobs are not supported by the concurrent backend")
+	}
 	base := cc.Base
 	base.NumServers = 1
 	base.GPUsPerServer = cc.GPUsPerJob

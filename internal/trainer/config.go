@@ -32,6 +32,32 @@ const (
 	FullyCached
 )
 
+// Backend selects how a job is executed.
+type Backend int
+
+// Execution backends. Both drive the same samplers, cache policies, and
+// prep-cost model; they differ in what "time" means.
+const (
+	// BackendAnalytic runs the discrete-event simulation (the default):
+	// single-threaded, deterministic, and timed by the hardware model.
+	// All paper reproductions use this backend.
+	BackendAnalytic Backend = iota
+	// BackendConcurrent executes the data-loading path for real: a
+	// goroutine fetch->prep worker pipeline per server over sharded,
+	// goroutine-safe caches. Cache statistics match the analytic backend
+	// (exactly, for MinIO over equal-sized items); Duration is host
+	// wall-clock, and compute/stall times are not modeled.
+	BackendConcurrent
+)
+
+// String returns the backend name.
+func (b Backend) String() string {
+	if b == BackendConcurrent {
+		return "concurrent"
+	}
+	return "analytic"
+}
+
 // GPUPrepMode controls DALI's GPU-side pre-processing pipeline.
 type GPUPrepMode int
 
@@ -78,6 +104,14 @@ type Config struct {
 	PrefetchDepth int
 
 	Seed int64
+
+	// Backend selects analytic simulation (default) or real concurrent
+	// execution of the loading path.
+	Backend Backend
+	// CacheShards is the lock-stripe count for the concurrent backend's
+	// sharded caches (0 = cache.DefaultShards). Ignored by the analytic
+	// backend.
+	CacheShards int
 
 	// RecordBytes > 0 selects the TFRecord-style serialized format
 	// (§3.3.3): items are packed into record files of this size, read
@@ -134,6 +168,9 @@ func (c Config) Validate() error {
 	}
 	if c.NumServers < 1 || c.Epochs < 1 {
 		return fmt.Errorf("trainer: need >= 1 server and epoch")
+	}
+	if c.Backend == BackendConcurrent && c.RecordBytes > 0 {
+		return fmt.Errorf("trainer: TFRecord format is not supported by the concurrent backend")
 	}
 	return nil
 }
@@ -214,6 +251,11 @@ type Result struct {
 	TotalDiskBytes float64
 	TotalNetBytes  float64
 	TotalTime      float64
+
+	// PrepBusySeconds is the modeled prep time accumulated by the
+	// concurrent backend's prep pools (zero under the analytic backend,
+	// which accounts prep inside the simulation clock).
+	PrepBusySeconds float64
 }
 
 // steadyState fills the aggregate fields from Epochs.

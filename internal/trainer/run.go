@@ -27,6 +27,9 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Backend == BackendConcurrent {
+		return runConcurrent(cfg)
+	}
 	eng := sim.New()
 	cl := cluster.Build(eng, cfg.Spec, cfg.NumServers)
 	rt, err := newJobRuntime(cfg, eng, cl)
@@ -115,7 +118,7 @@ func newJobRuntime(cfg Config, eng *sim.Engine, cl *cluster.Cluster) (*jobRuntim
 	default:
 		pcf := loader.NewPageCacheFetcher(cfg.Dataset, cl, cfg.CacheBytes, cfg.Seed)
 		if cfg.Loader == loader.PyTorchDL {
-			pcf.SeeksPerItem = 3 // demand paging, Appendix E.2.1
+			pcf.SeeksPerItem = loader.PyTorchSeeksPerItem
 		}
 		f = pcf
 	}
@@ -188,36 +191,54 @@ func (rt *jobRuntime) plan(epoch int) *epochPlan {
 	if pl, ok := rt.plans[epoch]; ok {
 		return pl
 	}
-	cfg := rt.cfg
-	pl := &epochPlan{}
-	switch {
-	case cfg.NumServers == 1 && cfg.Loader == loader.DALISeq && cfg.FetchMode == Normal:
-		s := dataset.NewSequentialSampler(dataset.FullShard(cfg.Dataset))
-		pl.orders = [][]dataset.ItemID{s.EpochOrder(epoch)}
-	case cfg.NumServers == 1:
-		s := dataset.NewRandomSampler(dataset.FullShard(cfg.Dataset), cfg.Seed)
-		pl.orders = [][]dataset.ItemID{s.EpochOrder(epoch)}
-	case epoch == 0 && rt.ownerShards != nil:
-		// CoorDL's first epoch processes the static owner shards so each
-		// server populates its partition of the cache (§4.2).
-		for _, sh := range rt.ownerShards {
-			pl.orders = append(pl.orders, sh.Items)
-		}
-	default:
-		for _, sh := range dataset.EpochShards(cfg.Dataset, cfg.NumServers, epoch, cfg.Seed) {
-			pl.orders = append(pl.orders, sh.Items)
-		}
-	}
-	perIter := cfg.Batch * cfg.GPUsPerServer
-	pl.iters = len(pl.orders[0]) / perIter
-	for _, o := range pl.orders {
-		if it := len(o) / perIter; it < pl.iters {
-			pl.iters = it
-		}
-	}
+	pl := &epochPlan{orders: epochOrders(rt.cfg, rt.ownerShards, epoch)}
+	pl.iters = epochIters(rt.cfg, pl.orders)
 	rt.plans[epoch] = pl
 	delete(rt.plans, epoch-2)
 	return pl
+}
+
+// epochOrders returns the per-server item visit orders for one epoch. It is
+// the sampling policy shared by both backends: the analytic simulation and
+// the concurrent pipeline drive identical orders, which is what makes their
+// cache statistics comparable.
+func epochOrders(cfg Config, ownerShards []dataset.Shard, epoch int) [][]dataset.ItemID {
+	switch {
+	case cfg.NumServers == 1 && cfg.Loader == loader.DALISeq && cfg.FetchMode == Normal:
+		s := dataset.NewSequentialSampler(dataset.FullShard(cfg.Dataset))
+		return [][]dataset.ItemID{s.EpochOrder(epoch)}
+	case cfg.NumServers == 1:
+		s := dataset.NewRandomSampler(dataset.FullShard(cfg.Dataset), cfg.Seed)
+		return [][]dataset.ItemID{s.EpochOrder(epoch)}
+	case epoch == 0 && ownerShards != nil:
+		// CoorDL's first epoch processes the static owner shards so each
+		// server populates its partition of the cache (§4.2).
+		orders := make([][]dataset.ItemID, 0, len(ownerShards))
+		for _, sh := range ownerShards {
+			orders = append(orders, sh.Items)
+		}
+		return orders
+	default:
+		shards := dataset.EpochShards(cfg.Dataset, cfg.NumServers, epoch, cfg.Seed)
+		orders := make([][]dataset.ItemID, 0, len(shards))
+		for _, sh := range shards {
+			orders = append(orders, sh.Items)
+		}
+		return orders
+	}
+}
+
+// epochIters returns the per-server iteration count for the given orders
+// (drop-last semantics, bounded by the shortest server order).
+func epochIters(cfg Config, orders [][]dataset.ItemID) int {
+	perIter := cfg.Batch * cfg.GPUsPerServer
+	iters := len(orders[0]) / perIter
+	for _, o := range orders {
+		if it := len(o) / perIter; it < iters {
+			iters = it
+		}
+	}
+	return iters
 }
 
 // launch spawns all producer and consumer processes.

@@ -1,0 +1,50 @@
+// Package xatomic provides the lock-free float64 accumulator shared by the
+// concurrent caches and the prep pool: a CAS loop over math.Float64bits.
+// Keeping the pattern in one place means NaN/overflow behaviour is decided
+// once, not per call site.
+package xatomic
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Float64 is an atomic float64 built on a uint64 bit pattern. The zero
+// value is 0.0 and ready to use.
+type Float64 struct {
+	bits atomic.Uint64
+}
+
+// Load returns the current value.
+func (f *Float64) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Store sets the value.
+func (f *Float64) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds v and returns the new value.
+func (f *Float64) Add(v float64) float64 {
+	for {
+		old := f.bits.Load()
+		next := math.Float64frombits(old) + v
+		if f.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return next
+		}
+	}
+}
+
+// TryAdd atomically adds v only if the result would not exceed limit;
+// reports whether the add happened. This is the budget-reservation
+// primitive: a successful TryAdd can never push the value past limit, at
+// any interleaving.
+func (f *Float64) TryAdd(v, limit float64) bool {
+	for {
+		old := f.bits.Load()
+		next := math.Float64frombits(old) + v
+		if next > limit {
+			return false
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return true
+		}
+	}
+}

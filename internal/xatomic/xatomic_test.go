@@ -1,0 +1,64 @@
+package xatomic
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFloat64Basics(t *testing.T) {
+	var f Float64
+	if f.Load() != 0 {
+		t.Fatalf("zero value = %v, want 0", f.Load())
+	}
+	if got := f.Add(2.5); got != 2.5 {
+		t.Fatalf("Add returned %v, want 2.5", got)
+	}
+	f.Store(-1)
+	if f.Load() != -1 {
+		t.Fatalf("Store/Load = %v, want -1", f.Load())
+	}
+}
+
+func TestTryAddBoundary(t *testing.T) {
+	var f Float64
+	if !f.TryAdd(10, 10) {
+		t.Fatal("TryAdd to exactly the limit must succeed")
+	}
+	if f.TryAdd(0.001, 10) {
+		t.Fatal("TryAdd past the limit must fail")
+	}
+	if f.Load() != 10 {
+		t.Fatalf("failed TryAdd mutated the value: %v", f.Load())
+	}
+	if !f.TryAdd(-4, 10) || f.Load() != 6 {
+		t.Fatalf("negative TryAdd (release) failed: %v", f.Load())
+	}
+}
+
+// TestTryAddNeverExceedsLimit is the reservation invariant under contention
+// (run with -race): concurrent TryAdds can never push the value past limit.
+func TestTryAddNeverExceedsLimit(t *testing.T) {
+	var f Float64
+	const limit = 1000.0
+	var wg sync.WaitGroup
+	var admitted sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 10000; i++ {
+				if f.TryAdd(1, limit) {
+					n++
+				}
+			}
+			admitted.Store(g, n)
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	admitted.Range(func(_, v any) bool { total += v.(int); return true })
+	if f.Load() != limit || total != int(limit) {
+		t.Fatalf("admitted %d totalling %v, want exactly %v", total, f.Load(), limit)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package datastall_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// throughput assertions skip under it (its runtime serializes goroutines
+// through internal locks, distorting contention measurements).
+const raceEnabled = true
