@@ -7,7 +7,7 @@ GO ?= go
 COVER_FLOOR ?= 70
 COVER_PKGS  ?= internal/cache internal/loader
 
-.PHONY: all build test cover lint bench benchjson suite experiments-md clean
+.PHONY: all build test cover lint bench benchjson bench2 allocguard profile suite experiments-md clean
 
 all: lint build test
 
@@ -48,6 +48,28 @@ bench:
 benchjson:
 	$(GO) run ./cmd/stallbench -bench -bench-out BENCH_1.json
 
+# Old-vs-new hot-path comparison: event dispatch on the frozen boxed-heap
+# engine vs the slice-heap engine (goroutine and callback flavours), the
+# cache fetch loop on map-backed vs dense MinIO, and full-suite wall time,
+# written to BENCH_2.json. Allocation counts are host-independent, so the
+# reduction ratios are comparable across machines.
+bench2:
+	$(GO) run ./cmd/stallbench -bench2 -bench2-out BENCH_2.json
+
+# Zero-allocation guards on the hot paths (steady-state cache Lookup, page
+# cache churn, sim event dispatch). Run WITHOUT -race: the detector
+# allocates shadow state on paths that are allocation-free in normal
+# builds, so the guards skip themselves under instrumentation.
+allocguard:
+	$(GO) test -count=1 -run 'TestAllocs' ./internal/sim ./internal/cache ./internal/pagecache
+
+# CPU + allocation profiles of one serial full-suite run -> cpu.pprof,
+# mem.pprof. Inspect with `go tool pprof -top cpu.pprof` (or mem.pprof
+# with -sample_index=alloc_objects for allocation counts).
+profile:
+	$(GO) run ./cmd/stallbench -run all -parallel 1 -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof mem.pprof"
+
 # Full experiment suite, fanned across all CPUs; one run emits both the
 # JSON report (for artifacts) and EXPERIMENTS.md.
 suite:
@@ -58,4 +80,4 @@ experiments-md:
 	$(GO) run ./cmd/runsuite -md EXPERIMENTS.md
 
 clean:
-	rm -f suite-report.json cover-*.out
+	rm -f suite-report.json cover-*.out cpu.pprof mem.pprof

@@ -44,8 +44,8 @@ type epochPoint struct {
 }
 
 // runBench measures the concurrent loader pipeline on this host and writes
-// the JSON report to out.
-func runBench(out string) {
+// the JSON report to out; returns the process exit code.
+func runBench(out string) int {
 	const (
 		items        = 1 << 15
 		opsPerWorker = 400_000
@@ -112,12 +112,13 @@ func runBench(out string) {
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stallbench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "stallbench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Fprintf(os.Stderr, "stallbench: wrote %s (speedup at 8 workers: %.2fx on %d CPUs)\n",
 		out, rep.SpeedupAt8, rep.NumCPU)
+	return 0
 }

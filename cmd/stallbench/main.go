@@ -1,10 +1,12 @@
 // Command stallbench reproduces the paper's tables and figures, and
-// benchmarks the concurrent loader backend.
+// benchmarks the simulator and loader hot paths.
 //
 //	stallbench -list
 //	stallbench -run fig2
 //	stallbench -run all -parallel 8 -scale 0.01 > results.txt
 //	stallbench -bench -bench-out BENCH_1.json
+//	stallbench -bench2 -bench2-out BENCH_2.json
+//	stallbench -run all -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Each experiment prints a paper-style table plus the published result it
 // reproduces; -scale trades fidelity margin for runtime (1.0 = paper-sized
@@ -16,7 +18,17 @@
 // -bench measures the concurrent data-loading pipeline on the host (real
 // goroutines, not the simulator): sharded vs single-mutex cache lookup
 // throughput and pipeline epoch wall time at 1/2/4/8 workers, written as
-// JSON to -bench-out to seed the perf trajectory (BENCH_*.json).
+// JSON to -bench-out (BENCH_1.json in the perf trajectory).
+//
+// -bench2 measures the zero-allocation hot paths old-vs-new: event
+// scheduling/dispatch on the frozen pre-rewrite engine vs the slice-backed
+// heap (goroutine and callback process flavours), the cache fetch loop on
+// the map-backed vs dense MinIO, and full-suite wall time, written as JSON
+// to -bench2-out (BENCH_2.json).
+//
+// -cpuprofile/-memprofile write pprof profiles of whatever work the other
+// flags select — the profiling workflow behind every hot-path PR
+// (`make profile` bundles the common invocation).
 package main
 
 import (
@@ -24,21 +36,57 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"datastall"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	list := flag.Bool("list", false, "list available experiments")
-	run := flag.String("run", "", "experiment id to run, or 'all'")
+	runID := flag.String("run", "", "experiment id to run, or 'all'")
 	scale := flag.Float64("scale", 0, "dataset scale (0 = per-experiment default)")
 	epochs := flag.Int("epochs", 0, "epochs per training run (0 = default 3)")
 	seed := flag.Int64("seed", 0, "simulation seed")
 	parallel := flag.Int("parallel", 0, "workers for -run all (0 = one per CPU)")
 	bench := flag.Bool("bench", false, "benchmark the concurrent loader backend")
 	benchOut := flag.String("bench-out", "BENCH_1.json", "output file for -bench results")
+	bench2 := flag.Bool("bench2", false, "benchmark zero-alloc hot paths old-vs-new (engine, cache, suite)")
+	bench2Out := flag.String("bench2-out", "BENCH_2.json", "output file for -bench2 results")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stallbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "stallbench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stallbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "stallbench: %v\n", err)
+			}
+		}()
+	}
 
 	switch {
 	case *list:
@@ -47,20 +95,23 @@ func main() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)
 			fmt.Printf("%-18s   paper: %s\n", "", e.Paper)
 		}
+		return 0
 	case *bench:
-		runBench(*benchOut)
-	case *run == "all":
-		runAll(*scale, *epochs, *seed, *parallel)
-	case *run != "":
-		runOne(*run, *scale, *epochs, *seed)
+		return runBench(*benchOut)
+	case *bench2:
+		return runBench2(*bench2Out)
+	case *runID == "all":
+		return runAll(*scale, *epochs, *seed, *parallel)
+	case *runID != "":
+		return runOne(*runID, *scale, *epochs, *seed)
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 }
 
 // runAll fans the whole registry across the suite orchestrator.
-func runAll(scale float64, epochs int, seed int64, parallel int) {
+func runAll(scale float64, epochs int, seed int64, parallel int) int {
 	rep, err := datastall.RunSuite(context.Background(), datastall.SuiteOptions{
 		Scale: scale, Epochs: epochs, Seed: seed, Parallel: parallel,
 		Progress: func(e datastall.SuiteExperiment) {
@@ -69,25 +120,27 @@ func runAll(scale float64, epochs int, seed int64, parallel int) {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stallbench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	for _, e := range rep.Experiments {
 		fmt.Printf("%s\n", e)
 	}
 	if rep.Failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func runOne(id string, scale float64, epochs int, seed int64) {
+func runOne(id string, scale float64, epochs int, seed int64) int {
 	start := time.Now()
 	rep, err := datastall.RunExperiment(id, datastall.ExperimentOptions{
 		Scale: scale, Epochs: epochs, Seed: seed,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stallbench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("%s\n", rep)
 	fmt.Fprintf(os.Stderr, "stallbench: %s done in %.2fs\n", id, time.Since(start).Seconds())
+	return 0
 }

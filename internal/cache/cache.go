@@ -34,10 +34,19 @@ type Cache interface {
 // is not which items are cached but that cached items are never evicted
 // before use; MinIO therefore delivers exactly (capacity/dataset) hits per
 // epoch — the thrashing-free minimum disk I/O.
+//
+// ItemIDs are dense small integers (0..NumItems-1), so residency is a
+// []uint8 indexed directly by ID instead of a map: Lookup is one
+// bounds-checked load — no hashing, no bucket chasing, and zero allocations
+// in steady state (map lookups dominated the old Lookup profile). The
+// slice grows on demand; pre-size it with NewMinIOSized when the dataset
+// size is known. Negative IDs are never resident and never cached.
+// MapMinIO is the retained map-backed reference implementation.
 type MinIO struct {
 	capBytes  float64
 	usedBytes float64
-	items     map[dataset.ItemID]float64
+	present   []uint8
+	count     int
 
 	hits, misses int64
 	rejected     int64 // inserts refused because the cache was full
@@ -45,12 +54,22 @@ type MinIO struct {
 
 // NewMinIO returns an empty MinIO cache with the given byte capacity.
 func NewMinIO(capBytes float64) *MinIO {
-	return &MinIO{capBytes: capBytes, items: make(map[dataset.ItemID]float64)}
+	return &MinIO{capBytes: capBytes}
+}
+
+// NewMinIOSized returns an empty MinIO cache with its residency slice
+// pre-sized for numItems dense IDs, so inserts never reallocate.
+func NewMinIOSized(capBytes float64, numItems int) *MinIO {
+	m := NewMinIO(capBytes)
+	if numItems > 0 {
+		m.present = make([]uint8, numItems)
+	}
+	return m
 }
 
 // Lookup implements Cache.
 func (m *MinIO) Lookup(id dataset.ItemID) bool {
-	if _, ok := m.items[id]; ok {
+	if i := int(id); uint(i) < uint(len(m.present)) && m.present[i] != 0 {
 		m.hits++
 		return true
 	}
@@ -60,21 +79,48 @@ func (m *MinIO) Lookup(id dataset.ItemID) bool {
 
 // Insert implements Cache: first-come-first-cached, never evict.
 func (m *MinIO) Insert(id dataset.ItemID, bytes float64) {
-	if _, ok := m.items[id]; ok {
+	i := int(id)
+	if i < 0 {
+		return
+	}
+	if i < len(m.present) && m.present[i] != 0 {
 		return
 	}
 	if m.usedBytes+bytes > m.capBytes {
 		m.rejected++
 		return
 	}
-	m.items[id] = bytes
+	if i >= len(m.present) {
+		m.grow(i + 1)
+	}
+	m.present[i] = 1
+	m.count++
 	m.usedBytes += bytes
+}
+
+// grow extends the residency slice to at least n entries (amortized
+// doubling, so ad-hoc IDs stay cheap when the cache wasn't pre-sized).
+func (m *MinIO) grow(n int) {
+	if n <= cap(m.present) {
+		m.present = m.present[:n]
+		return
+	}
+	newCap := 2 * cap(m.present)
+	if newCap < n {
+		newCap = n
+	}
+	if newCap < 64 {
+		newCap = 64
+	}
+	np := make([]uint8, n, newCap)
+	copy(np, m.present)
+	m.present = np
 }
 
 // Contains implements Cache.
 func (m *MinIO) Contains(id dataset.ItemID) bool {
-	_, ok := m.items[id]
-	return ok
+	i := int(id)
+	return uint(i) < uint(len(m.present)) && m.present[i] != 0
 }
 
 // UsedBytes implements Cache.
@@ -93,7 +139,7 @@ func (m *MinIO) Misses() int64 { return m.misses }
 func (m *MinIO) Rejected() int64 { return m.rejected }
 
 // Len returns the number of cached items.
-func (m *MinIO) Len() int { return len(m.items) }
+func (m *MinIO) Len() int { return m.count }
 
 // ResetStats implements Cache.
 func (m *MinIO) ResetStats() { m.hits, m.misses, m.rejected = 0, 0, 0 }
@@ -106,6 +152,78 @@ func (m *MinIO) HitRate() float64 {
 	}
 	return float64(m.hits) / float64(t)
 }
+
+// MapMinIO is the original map-backed MinIO implementation, retained as
+// the reference model (with the same negative-ID guard the dense MinIO
+// applies): the equivalence tests replay identical op sequences through it
+// and the dense MinIO, and the old-vs-new benchmarks (BENCH_2.json)
+// quantify what the dense layout saves. New code should use MinIO.
+type MapMinIO struct {
+	capBytes  float64
+	usedBytes float64
+	items     map[dataset.ItemID]float64
+
+	hits, misses int64
+	rejected     int64
+}
+
+// NewMapMinIO returns an empty map-backed MinIO cache.
+func NewMapMinIO(capBytes float64) *MapMinIO {
+	return &MapMinIO{capBytes: capBytes, items: make(map[dataset.ItemID]float64)}
+}
+
+// Lookup implements Cache.
+func (m *MapMinIO) Lookup(id dataset.ItemID) bool {
+	if _, ok := m.items[id]; ok {
+		m.hits++
+		return true
+	}
+	m.misses++
+	return false
+}
+
+// Insert implements Cache: first-come-first-cached, never evict.
+func (m *MapMinIO) Insert(id dataset.ItemID, bytes float64) {
+	if id < 0 {
+		return
+	}
+	if _, ok := m.items[id]; ok {
+		return
+	}
+	if m.usedBytes+bytes > m.capBytes {
+		m.rejected++
+		return
+	}
+	m.items[id] = bytes
+	m.usedBytes += bytes
+}
+
+// Contains implements Cache.
+func (m *MapMinIO) Contains(id dataset.ItemID) bool {
+	_, ok := m.items[id]
+	return ok
+}
+
+// UsedBytes implements Cache.
+func (m *MapMinIO) UsedBytes() float64 { return m.usedBytes }
+
+// CapBytes implements Cache.
+func (m *MapMinIO) CapBytes() float64 { return m.capBytes }
+
+// Hits implements Cache.
+func (m *MapMinIO) Hits() int64 { return m.hits }
+
+// Misses implements Cache.
+func (m *MapMinIO) Misses() int64 { return m.misses }
+
+// Rejected returns inserts refused because the cache was full.
+func (m *MapMinIO) Rejected() int64 { return m.rejected }
+
+// Len returns the number of cached items.
+func (m *MapMinIO) Len() int { return len(m.items) }
+
+// ResetStats implements Cache.
+func (m *MapMinIO) ResetStats() { m.hits, m.misses, m.rejected = 0, 0, 0 }
 
 // Location classifies where a partitioned-cache lookup was satisfied.
 type Location int
@@ -156,7 +274,7 @@ func NewPartitioned(d *dataset.Dataset, nServers int, capBytes float64, seed int
 		misses:     make([]int64, nServers),
 	}
 	for i := range p.caches {
-		p.caches[i] = NewMinIO(capBytes)
+		p.caches[i] = NewMinIOSized(capBytes, d.NumItems)
 	}
 	shards := dataset.SplitRandom(d, nServers, seed)
 	for s, sh := range shards {

@@ -6,39 +6,93 @@
 // Concurrency model: a ShardedMinIO stripes its item map and hit/miss
 // counters across P cache-line-padded shards, each guarded by its own
 // RWMutex, so lookups of different items rarely contend. The byte budget is
-// a single CAS word shared by all shards — Insert reserves bytes under the
-// stripe's write lock once the item is known absent, so UsedBytes() can
-// never exceed CapBytes() at any interleaving, and (unlike a per-shard
-// budget split) an equal-sized workload caches exactly floor(cap/item)
-// items, byte-for-byte the same as the single-threaded MinIO reference
-// model. Counters are atomics: hits+misses always equals the number of
-// Lookup calls, exactly.
+// striped too: each stripe owns a quota (the quotas sum exactly to the
+// capacity), and its used/quota fields are plain integers — fixed-point
+// budget units of 2^-20 bytes, so every transfer and comparison is exact,
+// with no float rounding that could mint or destroy budget — mutated only
+// under the stripe's write lock. The Insert fast path therefore touches no
+// shared mutable word at all: the global CAS budget float this replaced
+// was the one cache line every insert in the system contended on. A stripe
+// that exhausts its quota borrows spare quota from the other stripes on a
+// mutex-serialized slow path; integer transfers conserve total quota
+// exactly, so the single-budget semantics are preserved: an insert is
+// rejected iff the global spare budget is short, UsedBytes() can never
+// exceed CapBytes() at any interleaving (MinIO never evicts, so per-stripe
+// used units are monotone), and an equal-sized workload caches exactly
+// floor(cap/item) items — matching the single-threaded MinIO reference
+// model (bit-for-bit whenever sizes are exactly representable in units,
+// which covers every integer or dyadic byte size). Once the budget is
+// globally exhausted, a monotone spare ceiling (one read-mostly atomic,
+// never written on the fast path) lets full-cache inserts reject
+// immediately instead of stampeding the borrow mutex. Lookup counters are
+// per-stripe atomics: hits+misses always equals the number of Lookup
+// calls, exactly.
 package cache
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
 	"datastall/internal/dataset"
-	"datastall/internal/xatomic"
 )
 
-// Interface conformance for both MinIO implementations and the adapter.
+// Interface conformance for the MinIO implementations and the adapter.
 var (
 	_ Cache = (*MinIO)(nil)
+	_ Cache = (*MapMinIO)(nil)
 	_ Cache = (*ShardedMinIO)(nil)
 	_ Cache = (*Locked)(nil)
 )
 
+// budgetScale converts bytes to fixed-point budget units (2^-20 bytes per
+// unit): integer budget arithmetic is exact, so quota transfers can never
+// mint or destroy capacity the way float rounding could. Item sizes are
+// rounded up (never under-charge) and the capacity down (never
+// over-grant); sizes that are exact in units — any integer or dyadic
+// fraction of a byte — convert losslessly, which keeps the reference-model
+// equivalence bit-for-bit for such workloads. A TiB-scale capacity is
+// ~2^60 units, well inside int64.
+const budgetScale = 1 << 20
+
+// toUnitsCeil converts an item size to budget units, rounding up.
+func toUnitsCeil(bytes float64) int64 {
+	u := math.Ceil(bytes * budgetScale)
+	if u >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if u <= math.MinInt64 {
+		return math.MinInt64
+	}
+	return int64(u)
+}
+
+// toUnitsFloor converts a capacity to budget units, rounding down.
+func toUnitsFloor(bytes float64) int64 {
+	u := math.Floor(bytes * budgetScale)
+	if u >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if u <= math.MinInt64 {
+		return math.MinInt64
+	}
+	return int64(u)
+}
+
 // minioShard is one lock stripe with its own hit/miss counters (a single
 // global counter pair would put one contended cache line back on the hot
-// path the striping exists to remove). The padding keeps neighbouring
-// shards on different cache lines so uncontended stripes don't false-share.
+// path the striping exists to remove) and its own slice of the byte budget.
+// quota, used and rejected are guarded by mu — plain fields, no atomics on
+// the insert path. The padding keeps the struct at 128 bytes (two cache
+// lines) so neighbouring shards never false-share.
 type minioShard struct {
 	mu           sync.RWMutex
 	items        map[dataset.ItemID]float64
+	quota        int64 // this stripe's share of the budget, in units (mu)
+	used         int64 // resident units, used <= quota always (mu)
+	rejected     int64 // inserts refused: global budget exhausted (mu)
 	hits, misses atomic.Int64
-	_            [80]byte
+	_            [56]byte
 }
 
 // ShardedMinIO is a lock-striped, goroutine-safe MinIO cache (§4.1
@@ -46,20 +100,29 @@ type minioShard struct {
 // call NewShardedMinIO.
 type ShardedMinIO struct {
 	capBytes float64
+	capUnits int64
 	shards   []minioShard
 	mask     uint32
 
-	// used is the reserved byte count; all budget movement goes through
-	// its CAS loops (xatomic.Float64.TryAdd is the reservation primitive).
-	used xatomic.Float64
+	// spareCeiling is an upper bound on the global spare budget, in units.
+	// Spare is monotone non-increasing (inserts only consume; failed
+	// borrow sweeps conserve), so after a sweep observes spare = g every
+	// request larger than g can reject without touching borrowMu — the
+	// fast path only ever READS this word, so the cache line stays shared
+	// across cores instead of bouncing.
+	spareCeiling atomic.Int64
 
-	rejected atomic.Int64 // cold path: full-cache inserts only
+	// borrowMu serializes the quota-borrowing slow path: one borrower at a
+	// time gathers spare quota across stripes, so rejection decisions are
+	// made against a consistent view of the global spare budget.
+	borrowMu sync.Mutex
+	borrows  int64 // slow-path invocations (borrowMu)
 }
 
 // DefaultShards is the shard count NewShardedMinIO uses when asked for <= 0.
 const DefaultShards = 64
 
-// MaxShards caps the stripe count (shards are ~136 bytes each; past a few
+// MaxShards caps the stripe count (shards are 128 bytes each; past a few
 // thousand stripes contention is gone and more just wastes memory).
 const MaxShards = 1 << 16
 
@@ -77,9 +140,25 @@ func NewShardedMinIO(capBytes float64, nShards int) *ShardedMinIO {
 	for n < nShards {
 		n <<= 1
 	}
-	c := &ShardedMinIO{capBytes: capBytes, shards: make([]minioShard, n), mask: uint32(n - 1)}
+	c := &ShardedMinIO{
+		capBytes: capBytes,
+		capUnits: toUnitsFloor(capBytes),
+		shards:   make([]minioShard, n),
+		mask:     uint32(n - 1),
+	}
+	c.spareCeiling.Store(math.MaxInt64)
+	// Integer quota split: base units everywhere, the remainder spread one
+	// unit at a time — the quotas sum to exactly capUnits by construction.
+	base := c.capUnits / int64(n)
+	rem := c.capUnits - base*int64(n) // same sign as capUnits
 	for i := range c.shards {
 		c.shards[i].items = make(map[dataset.ItemID]float64)
+		c.shards[i].quota = base
+		if int64(i) < rem {
+			c.shards[i].quota++
+		} else if int64(i) < -rem {
+			c.shards[i].quota--
+		}
 	}
 	return c
 }
@@ -92,11 +171,6 @@ func (c *ShardedMinIO) shardFor(id dataset.ItemID) *minioShard {
 	h := uint64(uint32(id)) * 0x9E3779B97F4A7C15
 	h ^= h >> 29
 	return &c.shards[uint32(h)&c.mask]
-}
-
-// reserve atomically claims bytes of budget; false if it would exceed cap.
-func (c *ShardedMinIO) reserve(bytes float64) bool {
-	return c.used.TryAdd(bytes, c.capBytes)
 }
 
 // Lookup implements Cache.
@@ -113,12 +187,14 @@ func (c *ShardedMinIO) Lookup(id dataset.ItemID) bool {
 	return ok
 }
 
-// Insert implements Cache: first-come-first-cached, never evict. The budget
-// is reserved under the shard's write lock, only once the item is known to
-// be absent: same-id inserts serialize on the stripe, so duplicate/rejected
-// accounting is exactly the reference model's, and a successful reservation
-// is always followed by the insert — UsedBytes <= CapBytes holds at every
-// interleaving with no release path to race on.
+// Insert implements Cache: first-come-first-cached, never evict. The fast
+// path funds the insert entirely from the home stripe's quota under the
+// stripe's write lock — no shared mutable word, no cross-stripe traffic.
+// Same-id inserts serialize on the stripe, so duplicate accounting is
+// exactly the reference model's, and used <= quota holds per stripe at
+// every interleaving, which bounds UsedBytes by CapBytes globally. Once
+// the cache is full (the permanent steady state: MinIO never evicts),
+// the spare-ceiling read rejects in O(1) instead of sweeping stripes.
 func (c *ShardedMinIO) Insert(id dataset.ItemID, bytes float64) {
 	sh := c.shardFor(id)
 	sh.mu.RLock()
@@ -127,18 +203,78 @@ func (c *ShardedMinIO) Insert(id dataset.ItemID, bytes float64) {
 	if dup {
 		return
 	}
+	u := toUnitsCeil(bytes)
 	sh.mu.Lock()
 	if _, dup := sh.items[id]; dup {
 		sh.mu.Unlock()
 		return
 	}
-	if !c.reserve(bytes) {
+	if sh.used+u <= sh.quota {
+		sh.items[id] = bytes
+		sh.used += u
 		sh.mu.Unlock()
-		c.rejected.Add(1)
 		return
 	}
-	sh.items[id] = bytes
+	if u > c.spareCeiling.Load() {
+		// The global spare budget was already observed below u and spare
+		// only ever shrinks: reject without touching the borrow path.
+		sh.rejected++
+		sh.mu.Unlock()
+		return
+	}
 	sh.mu.Unlock()
+	c.insertSlow(sh, id, bytes, u)
+}
+
+// insertSlow is the stripe-quota-exhausted path: under borrowMu it gathers
+// spare quota (quota - used) from every stripe — the home stripe included —
+// into a private pot, then transfers the pot to the home stripe and retries
+// the insert there. Integer quota moves between stripes, so the total never
+// changes, and spare only shrinks concurrently (inserts are the only other
+// budget movement and they consume); if even a serialized full sweep
+// cannot gather u units of spare, the global budget really is exhausted,
+// the insert is rejected — the exact reference-model condition — and the
+// observed spare becomes the new spare ceiling so subsequent full-cache
+// inserts of anything larger reject on the fast path. A failed gather's
+// pot is left on the home stripe's quota: nothing is lost, later (smaller)
+// requests will find it there.
+func (c *ShardedMinIO) insertSlow(home *minioShard, id dataset.ItemID, bytes float64, u int64) {
+	c.borrowMu.Lock()
+	defer c.borrowMu.Unlock()
+	c.borrows++
+	gathered := int64(0)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		if spare := sh.quota - sh.used; spare > 0 {
+			take := spare
+			if gathered+take > u {
+				take = u - gathered
+			}
+			sh.quota -= take
+			gathered += take
+		}
+		sh.mu.Unlock()
+		if gathered >= u {
+			break
+		}
+	}
+	if gathered < u {
+		// Full sweep: the whole cache's spare is exactly gathered units.
+		c.spareCeiling.Store(gathered)
+	}
+	home.mu.Lock()
+	defer home.mu.Unlock()
+	home.quota += gathered
+	if _, dup := home.items[id]; dup {
+		return // raced duplicate; the pot stays as home spare
+	}
+	if home.used+u > home.quota {
+		home.rejected++
+		return
+	}
+	home.items[id] = bytes
+	home.used += u
 }
 
 // Contains implements Cache.
@@ -150,8 +286,20 @@ func (c *ShardedMinIO) Contains(id dataset.ItemID) bool {
 	return ok
 }
 
-// UsedBytes implements Cache.
-func (c *ShardedMinIO) UsedBytes() float64 { return c.used.Load() }
+// UsedBytes implements Cache (sums the per-stripe counters; per-stripe
+// used units are monotone, so the non-atomic snapshot never overstates the
+// final total and UsedBytes <= CapBytes holds for any observation). The
+// result is exact whenever item sizes are exact in budget units.
+func (c *ShardedMinIO) UsedBytes() float64 {
+	t := int64(0)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		t += sh.used
+		sh.mu.RUnlock()
+	}
+	return float64(t) / budgetScale
+}
 
 // CapBytes implements Cache.
 func (c *ShardedMinIO) CapBytes() float64 { return c.capBytes }
@@ -175,7 +323,23 @@ func (c *ShardedMinIO) Misses() int64 {
 }
 
 // Rejected returns inserts refused because the cache was full.
-func (c *ShardedMinIO) Rejected() int64 { return c.rejected.Load() }
+func (c *ShardedMinIO) Rejected() int64 {
+	var t int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		t += sh.rejected
+		sh.mu.RUnlock()
+	}
+	return t
+}
+
+// Borrows returns how many inserts took the quota-borrowing slow path.
+func (c *ShardedMinIO) Borrows() int64 {
+	c.borrowMu.Lock()
+	defer c.borrowMu.Unlock()
+	return c.borrows
+}
 
 // Len returns the number of cached items (locks every shard; not a hot path).
 func (c *ShardedMinIO) Len() int {
@@ -192,10 +356,13 @@ func (c *ShardedMinIO) Len() int {
 // ResetStats implements Cache.
 func (c *ShardedMinIO) ResetStats() {
 	for i := range c.shards {
-		c.shards[i].hits.Store(0)
-		c.shards[i].misses.Store(0)
+		sh := &c.shards[i]
+		sh.hits.Store(0)
+		sh.misses.Store(0)
+		sh.mu.Lock()
+		sh.rejected = 0
+		sh.mu.Unlock()
 	}
-	c.rejected.Store(0)
 }
 
 // HitRate returns hits/(hits+misses).

@@ -6,13 +6,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"unsafe"
 
 	"datastall/internal/dataset"
 	"datastall/internal/pagecache"
 )
 
 // residentBytes sums the bytes actually stored in the shard maps (bypassing
-// the budget word), for reconciliation checks.
+// the per-stripe used counters), for reconciliation checks.
 func (c *ShardedMinIO) residentBytes() float64 {
 	t := 0.0
 	for i := range c.shards {
@@ -24,6 +25,42 @@ func (c *ShardedMinIO) residentBytes() float64 {
 		sh.mu.RUnlock()
 	}
 	return t
+}
+
+// quotaSum totals the per-stripe quotas in budget units; borrowing moves
+// quota between stripes but must conserve the total at exactly capUnits.
+func (c *ShardedMinIO) quotaSum() int64 {
+	t := int64(0)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		t += sh.quota
+		sh.mu.RUnlock()
+	}
+	return t
+}
+
+// TestShardPadding pins minioShard at exactly two cache lines: a field
+// added without re-sizing the padding would make adjacent stripes share a
+// line and silently reintroduce the false sharing the padding removes.
+func TestShardPadding(t *testing.T) {
+	if got := unsafe.Sizeof(minioShard{}); got != 128 {
+		t.Fatalf("minioShard = %d bytes, want 128 (adjust the padding)", got)
+	}
+}
+
+// stripeInvariant checks used <= quota on every stripe.
+func (c *ShardedMinIO) stripeInvariant(t *testing.T) {
+	t.Helper()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		u, q := sh.used, sh.quota
+		sh.mu.RUnlock()
+		if u > q {
+			t.Fatalf("stripe %d: used %v > quota %v", i, u, q)
+		}
+	}
 }
 
 // TestShardedMinIOMatchesReference replays one random op sequence through
@@ -169,6 +206,144 @@ func TestShardedMinIOConcurrentEpoch(t *testing.T) {
 		if h, m := c.Hits(), c.Misses(); h != 0 || m != items {
 			t.Fatalf("shards=%d: warmup epoch hits/misses %d/%d, want 0/%d", shards, h, m, items)
 		}
+	}
+}
+
+// TestShardedQuotaConservation: after hammering (including the borrow slow
+// path), the per-stripe quotas still sum to exactly CapBytes, every stripe
+// respects used <= quota, and the resident bytes reconcile with the used
+// counters — no budget leaked or minted by quota transfers.
+func TestShardedQuotaConservation(t *testing.T) {
+	const (
+		items    = 4096
+		itemSz   = 4.0
+		capBytes = 1000 * itemSz
+	)
+	for _, shards := range []int{1, 8, 64} {
+		c := NewShardedMinIO(capBytes, shards)
+		if got := c.quotaSum(); got != c.capUnits {
+			t.Fatalf("shards=%d: initial quota sum %v != capUnits %v", shards, got, c.capUnits)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for op := 0; op < 5000; op++ {
+					id := dataset.ItemID(rng.Intn(items))
+					if !c.Lookup(id) {
+						c.Insert(id, itemSz)
+					}
+				}
+			}(int64(w) + 1)
+		}
+		wg.Wait()
+		if got := c.quotaSum(); got != c.capUnits {
+			t.Fatalf("shards=%d: quota sum %v != capUnits %v after borrowing", shards, got, c.capUnits)
+		}
+		c.stripeInvariant(t)
+		if got, want := c.residentBytes(), c.UsedBytes(); got != want {
+			t.Fatalf("shards=%d: resident bytes %v != used bytes %v", shards, got, want)
+		}
+		if u := c.UsedBytes(); u > c.CapBytes() {
+			t.Fatalf("shards=%d: UsedBytes %v > CapBytes %v", shards, u, c.CapBytes())
+		}
+	}
+}
+
+// TestShardedBorrowPath: a workload whose stripe occupancy is necessarily
+// uneven (capacity == dataset bytes, so every stripe must hold exactly its
+// hash share) exercises quota borrowing and still caches every item — the
+// per-stripe split must never reject what the global budget can fund.
+func TestShardedBorrowPath(t *testing.T) {
+	const (
+		items  = 4096
+		itemSz = 4.0
+	)
+	for _, shards := range []int{8, 64} {
+		c := NewShardedMinIO(items*itemSz, shards)
+		for i := 0; i < items; i++ {
+			c.Insert(dataset.ItemID(i), itemSz)
+		}
+		if got := c.Len(); got != items {
+			t.Fatalf("shards=%d: cached %d items, want all %d (rejected %d)",
+				shards, got, items, c.Rejected())
+		}
+		if got := c.UsedBytes(); got != items*itemSz {
+			t.Fatalf("shards=%d: UsedBytes %v, want %v", shards, got, items*itemSz)
+		}
+		if c.Borrows() == 0 {
+			t.Fatalf("shards=%d: expected the exact-fit workload to exercise the borrow path", shards)
+		}
+		if got := c.quotaSum(); got != c.capUnits {
+			t.Fatalf("shards=%d: quota sum %v != capUnits %v", shards, got, c.capUnits)
+		}
+		c.stripeInvariant(t)
+	}
+}
+
+// TestShardedFractionalSizesConserveBudget: item sizes that are not exactly
+// representable in binary (0.1 bytes) must not let quota transfers mint or
+// destroy budget — the integer fixed-point units make every transfer exact,
+// so conservation and UsedBytes <= CapBytes hold unconditionally, and the
+// cached count lands within one item of the float reference model (unit
+// quantization rounds item charges up, never down).
+func TestShardedFractionalSizesConserveBudget(t *testing.T) {
+	const (
+		items  = 2000
+		itemSz = 0.1
+		capB   = 100.0
+	)
+	for _, shards := range []int{8, 64} {
+		c := NewShardedMinIO(capB, shards)
+		ref := NewMinIO(capB)
+		for i := 0; i < items; i++ {
+			id := dataset.ItemID(i)
+			c.Insert(id, itemSz)
+			ref.Insert(id, itemSz)
+		}
+		if got := c.quotaSum(); got != c.capUnits {
+			t.Fatalf("shards=%d: quota sum %v != capUnits %v (budget minted/destroyed)",
+				shards, got, c.capUnits)
+		}
+		c.stripeInvariant(t)
+		if u := c.UsedBytes(); u > c.CapBytes() {
+			t.Fatalf("shards=%d: UsedBytes %v > CapBytes %v", shards, u, c.CapBytes())
+		}
+		if diff := c.Len() - ref.Len(); diff > 1 || diff < -1 {
+			t.Fatalf("shards=%d: cached %d items, reference %d (quantization must cost at most one)",
+				shards, c.Len(), ref.Len())
+		}
+	}
+}
+
+// TestShardedFullCacheFastReject: once a full sweep observes the budget
+// exhausted, further inserts of anything at least that large reject on the
+// fast path without taking the borrow mutex — a permanently full cache (the
+// MinIO steady state) must not stampede the slow path every epoch.
+func TestShardedFullCacheFastReject(t *testing.T) {
+	const (
+		items  = 1024
+		itemSz = 4.0
+	)
+	c := NewShardedMinIO(items*itemSz, 16)
+	for i := 0; i < items; i++ {
+		c.Insert(dataset.ItemID(i), itemSz) // exact fit
+	}
+	c.Insert(dataset.ItemID(items), itemSz) // first overflow: sweeps, sets the ceiling
+	base := c.Borrows()
+	for i := 1; i <= 200; i++ {
+		c.Insert(dataset.ItemID(items+i), itemSz)
+	}
+	if got := c.Borrows(); got != base {
+		t.Fatalf("full-cache inserts took the borrow path %d more times, want 0", got-base)
+	}
+	if got := c.Rejected(); got != 201 {
+		t.Fatalf("rejected %d, want 201", got)
+	}
+	if got := c.Len(); got != items {
+		t.Fatalf("cached %d, want %d", got, items)
 	}
 }
 

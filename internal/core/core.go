@@ -29,11 +29,12 @@ type MinIOFetcher struct {
 	Caches  []*cache.MinIO // one per server, shared across jobs
 }
 
-// NewMinIOFetcher builds MinIO caches of capBytes per server.
+// NewMinIOFetcher builds MinIO caches of capBytes per server, pre-sized for
+// the dataset's dense ID range so inserts never reallocate.
 func NewMinIOFetcher(d *dataset.Dataset, c *cluster.Cluster, capBytes float64) *MinIOFetcher {
 	f := &MinIOFetcher{Dataset: d, Cluster: c}
 	for range c.Servers {
-		f.Caches = append(f.Caches, cache.NewMinIO(capBytes))
+		f.Caches = append(f.Caches, cache.NewMinIOSized(capBytes, d.NumItems))
 	}
 	return f
 }

@@ -137,6 +137,11 @@ type Sampler interface {
 	// EpochOrder returns the item visit order for the given epoch. The
 	// returned slice is owned by the caller.
 	EpochOrder(epoch int) []ItemID
+	// EpochOrderInto writes the epoch's visit order into buf (grown if its
+	// capacity is short) and returns it — the allocation-free path for
+	// callers that recycle order buffers across epochs. The contents are
+	// identical to EpochOrder's.
+	EpochOrderInto(epoch int, buf []ItemID) []ItemID
 	// Len returns the number of items per epoch.
 	Len() int
 }
@@ -156,15 +161,40 @@ func FullShard(d *Dataset) Shard {
 	return Shard{Items: items}
 }
 
+// permInto writes the same permutation rand.Perm(n) would produce for rng
+// into out (grown if its capacity is short) and returns it. It replicates
+// rand.Perm's exact draw sequence — j := Intn(i+1); m[i] = m[j]; m[j] = i —
+// directly over ItemIDs, so no scratch []int is allocated and shard
+// contents are bit-identical to the historical ones.
+func permInto(rng *rand.Rand, n int, out []ItemID) []ItemID {
+	if cap(out) < n {
+		out = make([]ItemID, n)
+	} else {
+		out = out[:n]
+	}
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		out[i] = out[j]
+		out[j] = ItemID(i)
+	}
+	return out
+}
+
 // SplitRandom splits the dataset into n random, disjoint, near-equal shards
 // using the epoch-independent seed. This is the per-job static sharding used
 // by partitioned caching and coordinated prep.
 func SplitRandom(d *Dataset, n int, seed int64) []Shard {
-	perm := rand.New(rand.NewSource(seed)).Perm(d.NumItems)
+	perm := permInto(rand.New(rand.NewSource(seed)), d.NumItems, nil)
 	shards := make([]Shard, n)
+	for s := range shards {
+		// Shard s receives items perm[s], perm[s+n], ... — exactly
+		// ceil((NumItems-s)/n) of them; pre-size so the fill never
+		// reallocates.
+		shards[s].Items = make([]ItemID, 0, (d.NumItems-s+n-1)/n)
+	}
 	for i, p := range perm {
 		s := i % n
-		shards[s].Items = append(shards[s].Items, ItemID(p))
+		shards[s].Items = append(shards[s].Items, p)
 	}
 	return shards
 }
@@ -187,11 +217,21 @@ func (s *RandomSampler) Len() int { return len(s.shard.Items) }
 
 // EpochOrder implements Sampler.
 func (s *RandomSampler) EpochOrder(epoch int) []ItemID {
+	return s.EpochOrderInto(epoch, nil)
+}
+
+// EpochOrderInto implements Sampler: same permutation, caller's buffer.
+func (s *RandomSampler) EpochOrderInto(epoch int, buf []ItemID) []ItemID {
 	rng := rand.New(rand.NewSource(s.seed + int64(epoch)*7919))
-	out := make([]ItemID, len(s.shard.Items))
-	copy(out, s.shard.Items)
-	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
-	return out
+	n := len(s.shard.Items)
+	if cap(buf) < n {
+		buf = make([]ItemID, n)
+	} else {
+		buf = buf[:n]
+	}
+	copy(buf, s.shard.Items)
+	rng.Shuffle(n, func(i, j int) { buf[i], buf[j] = buf[j], buf[i] })
+	return buf
 }
 
 // SequentialSampler visits the shard in file order every epoch with a small
@@ -211,16 +251,39 @@ func (s *SequentialSampler) Len() int { return len(s.shard.Items) }
 
 // EpochOrder implements Sampler.
 func (s *SequentialSampler) EpochOrder(epoch int) []ItemID {
-	out := make([]ItemID, len(s.shard.Items))
-	copy(out, s.shard.Items)
-	return out
+	return s.EpochOrderInto(epoch, nil)
+}
+
+// EpochOrderInto implements Sampler.
+func (s *SequentialSampler) EpochOrderInto(epoch int, buf []ItemID) []ItemID {
+	n := len(s.shard.Items)
+	if cap(buf) < n {
+		buf = make([]ItemID, n)
+	} else {
+		buf = buf[:n]
+	}
+	copy(buf, s.shard.Items)
+	return buf
 }
 
 // EpochShards splits the dataset into n random disjoint shards that change
 // every epoch — the distributed-training partitioning where each server
 // processes a random half/third/quarter of the data per epoch (§3.3.1).
 func EpochShards(d *Dataset, n int, epoch int, seed int64) []Shard {
-	perm := rand.New(rand.NewSource(seed ^ (int64(epoch)+1)*104729)).Perm(d.NumItems)
+	shards, _ := EpochShardsInto(d, n, epoch, seed, nil)
+	return shards
+}
+
+// EpochShardsInto is EpochShards writing through a reusable permutation
+// buffer: the epoch permutation is written directly by index into buf
+// (grown if its capacity is short) and the returned shards are disjoint
+// subslices of it — one buffer for the whole epoch instead of a scratch
+// []int plus one append-built slice per shard. The second result is the
+// backing buffer to pass back next epoch. Shard contents are identical to
+// EpochShards'.
+func EpochShardsInto(d *Dataset, n, epoch int, seed int64, buf []ItemID) ([]Shard, []ItemID) {
+	rng := rand.New(rand.NewSource(seed ^ (int64(epoch)+1)*104729))
+	buf = permInto(rng, d.NumItems, buf)
 	shards := make([]Shard, n)
 	per := (d.NumItems + n - 1) / n
 	for i := range shards {
@@ -229,13 +292,9 @@ func EpochShards(d *Dataset, n int, epoch int, seed int64) []Shard {
 		if hi > d.NumItems {
 			hi = d.NumItems
 		}
-		items := make([]ItemID, 0, hi-lo)
-		for _, p := range perm[lo:hi] {
-			items = append(items, ItemID(p))
-		}
-		shards[i] = Shard{Items: items}
+		shards[i] = Shard{Items: buf[lo:hi]}
 	}
-	return shards
+	return shards, buf
 }
 
 // Batches groups an epoch order into minibatches of size b (last batch may

@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPermIntoMatchesRandPerm: permInto must replicate rand.Perm's draw
+// sequence and output exactly — shard contents across the whole experiment
+// registry (and the golden suite) depend on it.
+func TestPermIntoMatchesRandPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 17, 1000} {
+		for _, seed := range []int64{1, 7, 104729} {
+			want := rand.New(rand.NewSource(seed)).Perm(n)
+			got := permInto(rand.New(rand.NewSource(seed)), n, nil)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d seed=%d: len %d, want %d", n, seed, len(got), len(want))
+			}
+			for i := range want {
+				if int(got[i]) != want[i] {
+					t.Fatalf("n=%d seed=%d: perm[%d] = %d, want %d", n, seed, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEpochOrderIntoMatchesEpochOrder: the buffer-reusing path returns the
+// same order as the allocating one, and reusing a buffer across epochs
+// never leaks the previous epoch's contents.
+func TestEpochOrderIntoMatchesEpochOrder(t *testing.T) {
+	d := &Dataset{Name: "t", NumItems: 500, TotalBytes: 500}
+	for _, s := range []Sampler{
+		NewRandomSampler(FullShard(d), 42),
+		NewSequentialSampler(FullShard(d)),
+	} {
+		var buf []ItemID
+		for epoch := 0; epoch < 4; epoch++ {
+			want := s.EpochOrder(epoch)
+			buf = s.EpochOrderInto(epoch, buf)
+			if len(buf) != len(want) {
+				t.Fatalf("epoch %d: len %d, want %d", epoch, len(buf), len(want))
+			}
+			for i := range want {
+				if buf[i] != want[i] {
+					t.Fatalf("epoch %d: order[%d] = %d, want %d", epoch, i, buf[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEpochShardsIntoMatchesEpochShards: subslice-backed shards carry the
+// same items as the historical per-shard-append construction, including
+// when the permutation buffer is recycled across epochs.
+func TestEpochShardsIntoMatchesEpochShards(t *testing.T) {
+	d := &Dataset{Name: "t", NumItems: 1003, TotalBytes: 1003}
+	var buf []ItemID
+	for epoch := 0; epoch < 3; epoch++ {
+		for _, n := range []int{1, 2, 3, 4, 8} {
+			want := EpochShards(d, n, epoch, 99)
+			var got []Shard
+			got, buf = EpochShardsInto(d, n, epoch, 99, buf)
+			if len(got) != len(want) {
+				t.Fatalf("epoch %d n=%d: %d shards, want %d", epoch, n, len(got), len(want))
+			}
+			for s := range want {
+				if len(got[s].Items) != len(want[s].Items) {
+					t.Fatalf("epoch %d n=%d shard %d: len %d, want %d",
+						epoch, n, s, len(got[s].Items), len(want[s].Items))
+				}
+				for i := range want[s].Items {
+					if got[s].Items[i] != want[s].Items[i] {
+						t.Fatalf("epoch %d n=%d shard %d item %d: %d, want %d",
+							epoch, n, s, i, got[s].Items[i], want[s].Items[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEpochShardsIntoSharedBuffer: the shards are views over one buffer —
+// no per-shard copies — and together cover it exactly.
+func TestEpochShardsIntoSharedBuffer(t *testing.T) {
+	d := &Dataset{Name: "t", NumItems: 100, TotalBytes: 100}
+	shards, buf := EpochShardsInto(d, 4, 1, 7, nil)
+	total := 0
+	for s, sh := range shards {
+		total += len(sh.Items)
+		if len(sh.Items) == 0 {
+			continue
+		}
+		if &sh.Items[0] != &buf[s*25] {
+			t.Fatalf("shard %d is not a view over the shared buffer", s)
+		}
+	}
+	if total != d.NumItems {
+		t.Fatalf("shards cover %d items, want %d", total, d.NumItems)
+	}
+}

@@ -13,6 +13,15 @@
 //     paper's key finding (Fig 3, Table 6).
 //   - Random: random replacement, included for ablations.
 //
+// Storage layout: entries live by value in a slab ([]entry) threaded into
+// intrusive doubly-linked recency lists via int32 indices, with evicted
+// slots recycled through a free list; residency is a dense []int32 indexed
+// by ItemID (IDs are dense small integers). Steady-state Lookup and
+// Insert-with-eviction therefore allocate nothing — no map operations, no
+// container/list element boxes, no per-entry heap objects. Eviction order,
+// rng consumption, and every statistic are identical to the original
+// map+container/list implementation (pinned by TestSlabMatchesReference).
+//
 // A Cache is NOT safe for concurrent use: the recency lists cannot be
 // lock-striped without changing eviction order (and with it the simulated
 // hit rates). The concurrent loader backend shares one per server behind a
@@ -20,7 +29,6 @@
 package pagecache
 
 import (
-	"container/list"
 	"math/rand"
 
 	"datastall/internal/dataset"
@@ -49,11 +57,23 @@ func (p Policy) String() string {
 	return "unknown"
 }
 
+// nilIdx marks an empty link / absent entry.
+const nilIdx = int32(-1)
+
+// entry is one resident item, stored by value in the slab. prev/next thread
+// it into the inactive or active list.
 type entry struct {
-	id     dataset.ItemID
-	bytes  float64
-	active bool // TwoList: resides on the active list
-	elem   *list.Element
+	id         dataset.ItemID
+	bytes      float64
+	active     bool
+	prev, next int32
+}
+
+// clist is an intrusive doubly-linked list over slab indices.
+// front = most recent.
+type clist struct {
+	head, tail int32
+	n          int
 }
 
 // Cache is a simulated page cache.
@@ -61,9 +81,12 @@ type Cache struct {
 	policy   Policy
 	capBytes float64
 
-	items    map[dataset.ItemID]*entry
-	inactive *list.List // front = most recent
-	active   *list.List
+	slab []entry
+	free []int32 // recycled slab slots
+	idx  []int32 // ItemID -> slab index, nilIdx = absent; grown on demand
+
+	inactive clist
+	active   clist
 
 	usedBytes   float64
 	activeBytes float64
@@ -80,12 +103,13 @@ type Cache struct {
 	refaultProb float64
 
 	rng *rand.Rand
-	// randKeys mirrors items for O(1) random eviction (Random only).
+	// randKeys mirrors resident items for O(1) random eviction (Random
+	// only); positions are recovered through the dense index on eviction.
 	randKeys []dataset.ItemID
-	randPos  map[dataset.ItemID]int
 
 	hits, misses int64
 	evictions    int64
+	count        int
 }
 
 // New returns a cache with the given byte capacity and policy.
@@ -93,13 +117,11 @@ func New(policy Policy, capBytes float64, seed int64) *Cache {
 	return &Cache{
 		policy:      policy,
 		capBytes:    capBytes,
-		items:       make(map[dataset.ItemID]*entry),
-		inactive:    list.New(),
-		active:      list.New(),
+		inactive:    clist{head: nilIdx, tail: nilIdx},
+		active:      clist{head: nilIdx, tail: nilIdx},
 		activeRatio: 0.62,
 		refaultProb: 0.30,
 		rng:         rand.New(rand.NewSource(seed)),
-		randPos:     make(map[dataset.ItemID]int),
 	}
 }
 
@@ -129,36 +151,82 @@ func (c *Cache) Evictions() int64 { return c.evictions }
 func (c *Cache) ResetStats() { c.hits, c.misses, c.evictions = 0, 0, 0 }
 
 // Len returns the number of cached items.
-func (c *Cache) Len() int { return len(c.items) }
+func (c *Cache) Len() int { return c.count }
+
+// lookupIdx returns id's slab index, or nilIdx if absent.
+func (c *Cache) lookupIdx(id dataset.ItemID) int32 {
+	if i := int(id); uint(i) < uint(len(c.idx)) {
+		return c.idx[i]
+	}
+	return nilIdx
+}
 
 // Contains reports whether id is resident without updating recency.
 func (c *Cache) Contains(id dataset.ItemID) bool {
-	_, ok := c.items[id]
-	return ok
+	return c.lookupIdx(id) != nilIdx
+}
+
+// pushFront links slab entry e at the front of l.
+func (c *Cache) pushFront(l *clist, e int32) {
+	en := &c.slab[e]
+	en.prev, en.next = nilIdx, l.head
+	if l.head != nilIdx {
+		c.slab[l.head].prev = e
+	} else {
+		l.tail = e
+	}
+	l.head = e
+	l.n++
+}
+
+// unlink removes slab entry e from l.
+func (c *Cache) unlink(l *clist, e int32) {
+	en := &c.slab[e]
+	if en.prev != nilIdx {
+		c.slab[en.prev].next = en.next
+	} else {
+		l.head = en.next
+	}
+	if en.next != nilIdx {
+		c.slab[en.next].prev = en.prev
+	} else {
+		l.tail = en.prev
+	}
+	en.prev, en.next = nilIdx, nilIdx
+	l.n--
+}
+
+// moveToFront makes e the most recent entry of l.
+func (c *Cache) moveToFront(l *clist, e int32) {
+	if l.head == e {
+		return
+	}
+	c.unlink(l, e)
+	c.pushFront(l, e)
 }
 
 // Lookup reports whether id is cached, updating recency/promotion state and
 // hit/miss counters.
 func (c *Cache) Lookup(id dataset.ItemID) bool {
-	e, ok := c.items[id]
-	if !ok {
+	e := c.lookupIdx(id)
+	if e == nilIdx {
 		c.misses++
 		return false
 	}
 	c.hits++
 	switch c.policy {
 	case LRU:
-		c.inactive.MoveToFront(e.elem)
+		c.moveToFront(&c.inactive, e)
 	case TwoList:
-		if e.active {
-			c.active.MoveToFront(e.elem)
+		if c.slab[e].active {
+			c.moveToFront(&c.active, e)
 		} else {
 			// Second touch while resident on the inactive list:
 			// promote to the active list (Linux mark_page_accessed).
-			c.inactive.Remove(e.elem)
-			e.elem = c.active.PushFront(e)
-			e.active = true
-			c.activeBytes += e.bytes
+			c.unlink(&c.inactive, e)
+			c.pushFront(&c.active, e)
+			c.slab[e].active = true
+			c.activeBytes += c.slab[e].bytes
 			c.rebalance()
 		}
 	case Random:
@@ -167,10 +235,56 @@ func (c *Cache) Lookup(id dataset.ItemID) bool {
 	return true
 }
 
+// alloc takes a slab slot (recycling freed ones) and initialises it.
+func (c *Cache) alloc(id dataset.ItemID, bytes float64) int32 {
+	var e int32
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		c.slab = append(c.slab, entry{})
+		e = int32(len(c.slab) - 1)
+	}
+	c.slab[e] = entry{id: id, bytes: bytes, prev: nilIdx, next: nilIdx}
+	return e
+}
+
+// setIdx records id -> e, growing the dense index on demand.
+func (c *Cache) setIdx(id dataset.ItemID, e int32) {
+	i := int(id)
+	if i >= len(c.idx) {
+		if i < cap(c.idx) {
+			old := len(c.idx)
+			c.idx = c.idx[:i+1]
+			for k := old; k <= i; k++ {
+				c.idx[k] = nilIdx
+			}
+		} else {
+			newCap := 2 * cap(c.idx)
+			if newCap < i+1 {
+				newCap = i + 1
+			}
+			if newCap < 64 {
+				newCap = 64
+			}
+			ni := make([]int32, i+1, newCap)
+			copy(ni, c.idx)
+			for k := len(c.idx); k <= i; k++ {
+				ni[k] = nilIdx
+			}
+			c.idx = ni
+		}
+	}
+	c.idx[i] = e
+}
+
 // Insert caches id (typically after a miss fetched it from storage), evicting
 // as needed to respect capacity. Items larger than the cache are not cached.
 func (c *Cache) Insert(id dataset.ItemID, bytes float64) {
-	if _, ok := c.items[id]; ok {
+	if id < 0 {
+		return
+	}
+	if c.lookupIdx(id) != nilIdx {
 		return
 	}
 	if bytes > c.capBytes {
@@ -181,40 +295,51 @@ func (c *Cache) Insert(id dataset.ItemID, bytes float64) {
 			return
 		}
 	}
-	e := &entry{id: id, bytes: bytes}
+	e := c.alloc(id, bytes)
 	switch c.policy {
 	case Random:
-		c.randPos[id] = len(c.randKeys)
 		c.randKeys = append(c.randKeys, id)
 	case TwoList:
 		if c.refaultProb > 0 && c.rng.Float64() < c.refaultProb {
-			e.elem = c.active.PushFront(e)
-			e.active = true
-			c.activeBytes += e.bytes
-			c.items[id] = e
+			c.pushFront(&c.active, e)
+			c.slab[e].active = true
+			c.activeBytes += bytes
+			c.setIdx(id, e)
+			c.count++
 			c.usedBytes += bytes
 			c.rebalance()
 			return
 		}
-		e.elem = c.inactive.PushFront(e)
+		c.pushFront(&c.inactive, e)
 	default:
-		e.elem = c.inactive.PushFront(e)
+		c.pushFront(&c.inactive, e)
 	}
-	c.items[id] = e
+	c.setIdx(id, e)
+	c.count++
 	c.usedBytes += bytes
 }
 
 // rebalance demotes active-list tails while the active list exceeds its
 // share of capacity (TwoList).
 func (c *Cache) rebalance() {
-	for c.activeBytes > c.activeRatio*c.capBytes && c.active.Len() > 0 {
-		el := c.active.Back()
-		e := el.Value.(*entry)
-		c.active.Remove(el)
-		e.elem = c.inactive.PushFront(e)
-		e.active = false
-		c.activeBytes -= e.bytes
+	for c.activeBytes > c.activeRatio*c.capBytes && c.active.n > 0 {
+		e := c.active.tail
+		c.unlink(&c.active, e)
+		c.pushFront(&c.inactive, e)
+		c.slab[e].active = false
+		c.activeBytes -= c.slab[e].bytes
 	}
+}
+
+// release evicts slab entry e: clears the index, recycles the slot, and
+// books the eviction.
+func (c *Cache) release(e int32) {
+	en := &c.slab[e]
+	c.idx[en.id] = nilIdx
+	c.usedBytes -= en.bytes
+	c.count--
+	c.evictions++
+	c.free = append(c.free, e)
 }
 
 // evictOne removes one item according to the policy; returns false if empty.
@@ -226,58 +351,47 @@ func (c *Cache) evictOne() bool {
 		}
 		i := c.rng.Intn(len(c.randKeys))
 		id := c.randKeys[i]
+		e := c.idx[id]
 		last := len(c.randKeys) - 1
 		c.randKeys[i] = c.randKeys[last]
-		c.randPos[c.randKeys[i]] = i
 		c.randKeys = c.randKeys[:last]
-		delete(c.randPos, id)
-		e := c.items[id]
-		delete(c.items, id)
-		c.usedBytes -= e.bytes
-		c.evictions++
+		c.release(e)
 		return true
 	case TwoList:
 		// Evict from the inactive tail; refill inactive from active if
 		// it drained (Linux shrinks the active list under pressure).
-		if c.inactive.Len() == 0 {
+		if c.inactive.n == 0 {
 			c.rebalanceForce()
 		}
 		fallthrough
 	default:
-		el := c.inactive.Back()
-		if el == nil {
-			el = c.active.Back()
-			if el == nil {
+		e := c.inactive.tail
+		if e == nilIdx {
+			e = c.active.tail
+			if e == nilIdx {
 				return false
 			}
-			e := el.Value.(*entry)
-			c.active.Remove(el)
-			c.activeBytes -= e.bytes
-			delete(c.items, e.id)
-			c.usedBytes -= e.bytes
-			c.evictions++
+			c.unlink(&c.active, e)
+			c.activeBytes -= c.slab[e].bytes
+			c.release(e)
 			return true
 		}
-		e := el.Value.(*entry)
-		c.inactive.Remove(el)
-		delete(c.items, e.id)
-		c.usedBytes -= e.bytes
-		c.evictions++
+		c.unlink(&c.inactive, e)
+		c.release(e)
 		return true
 	}
 }
 
 // rebalanceForce demotes one active tail into inactive (pressure path).
 func (c *Cache) rebalanceForce() {
-	el := c.active.Back()
-	if el == nil {
+	e := c.active.tail
+	if e == nilIdx {
 		return
 	}
-	e := el.Value.(*entry)
-	c.active.Remove(el)
-	e.elem = c.inactive.PushFront(e)
-	e.active = false
-	c.activeBytes -= e.bytes
+	c.unlink(&c.active, e)
+	c.pushFront(&c.inactive, e)
+	c.slab[e].active = false
+	c.activeBytes -= c.slab[e].bytes
 }
 
 // HitRate returns hits/(hits+misses), or 0 with no lookups.

@@ -1,0 +1,101 @@
+package pagecache
+
+import (
+	"math/rand"
+	"testing"
+
+	"datastall/internal/dataset"
+	"datastall/internal/race"
+)
+
+// TestSlabMatchesReference replays long random op sequences through the
+// slab-backed cache and the frozen map+container/list reference model:
+// every policy must produce identical hits, misses, evictions, used bytes,
+// and residency at every step — the slab layout is a pure representation
+// change, down to rng consumption.
+func TestSlabMatchesReference(t *testing.T) {
+	for _, pol := range []Policy{LRU, TwoList, Random} {
+		c := New(pol, 300, 17)
+		ref := newRef(pol, 300, 17)
+		rng := rand.New(rand.NewSource(99))
+		for op := 0; op < 50000; op++ {
+			id := dataset.ItemID(rng.Intn(200))
+			switch rng.Intn(3) {
+			case 0:
+				if got, want := c.Lookup(id), ref.Lookup(id); got != want {
+					t.Fatalf("%v op %d: Lookup(%d) = %v, reference %v", pol, op, id, got, want)
+				}
+			case 1:
+				bytes := float64(1 + rng.Intn(8))
+				c.Insert(id, bytes)
+				ref.Insert(id, bytes)
+			default:
+				if got, want := c.Contains(id), ref.Contains(id); got != want {
+					t.Fatalf("%v op %d: Contains(%d) = %v, reference %v", pol, op, id, got, want)
+				}
+			}
+			if c.UsedBytes() != ref.usedBytes || c.Len() != len(ref.items) {
+				t.Fatalf("%v op %d: used/len %v/%d, reference %v/%d",
+					pol, op, c.UsedBytes(), c.Len(), ref.usedBytes, len(ref.items))
+			}
+			if c.Hits() != ref.hits || c.Misses() != ref.misses || c.Evictions() != ref.evictions {
+				t.Fatalf("%v op %d: hits/misses/evictions %d/%d/%d, reference %d/%d/%d",
+					pol, op, c.Hits(), c.Misses(), c.Evictions(), ref.hits, ref.misses, ref.evictions)
+			}
+		}
+		// Final residency sweep: every ID agrees.
+		for id := dataset.ItemID(0); id < 200; id++ {
+			if c.Contains(id) != ref.Contains(id) {
+				t.Fatalf("%v: residency of %d diverged", pol, id)
+			}
+		}
+	}
+}
+
+// TestSlabFreeListReuse: after the cache reaches capacity, evict+insert
+// cycles recycle slab slots instead of growing the slab.
+func TestSlabFreeListReuse(t *testing.T) {
+	c := New(LRU, 100, 1)
+	for i := 0; i < 1000; i++ {
+		c.Insert(dataset.ItemID(i), 1)
+	}
+	if got := len(c.slab); got > 101 {
+		t.Fatalf("slab grew to %d entries for a 100-item cache", got)
+	}
+}
+
+// TestAllocsPagecacheHotPaths is the zero-allocation guard on the page
+// cache: steady-state Lookup (including TwoList promotion/demotion churn)
+// and Insert-with-eviction must not allocate. Enforced in CI without race
+// instrumentation.
+func TestAllocsPagecacheHotPaths(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates on otherwise allocation-free paths")
+	}
+	for _, pol := range []Policy{LRU, TwoList, Random} {
+		const n = 512
+		c := New(pol, n/2, 7)
+		// Warm until the dense index, slab, and randKeys reach their
+		// steady-state footprint.
+		for e := 0; e < 2; e++ {
+			for i := 0; i < n; i++ {
+				if !c.Lookup(dataset.ItemID(i)) {
+					c.Insert(dataset.ItemID(i), 1)
+				}
+			}
+		}
+		i := 0
+		step := func() {
+			for k := 0; k < 256; k++ {
+				id := dataset.ItemID(i & (n - 1))
+				if !c.Lookup(id) {
+					c.Insert(id, 1)
+				}
+				i++
+			}
+		}
+		if avg := testing.AllocsPerRun(20, step); avg != 0 {
+			t.Fatalf("%v: steady-state lookup+insert allocates %v per 256 accesses, want 0", pol, avg)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race reports whether the race detector instruments this build.
+// The zero-allocation hot-path guards (testing.AllocsPerRun) skip under it:
+// its instrumentation allocates shadow state on code paths that are
+// allocation-free in normal builds.
+package race
+
+// Enabled reports whether the race detector is active.
+const Enabled = true

@@ -1,0 +1,194 @@
+// Benchmark workloads shared by the Go benchmarks (bench_test.go in this
+// package) and cmd/stallbench's -bench2 mode, which emits the BENCH_2.json
+// old-vs-new comparison. The "old" side is a frozen copy of the
+// pre-zero-alloc engine — pointer-boxed container/heap events,
+// closure-captured resumes, goroutine-only processes — kept solely as the
+// "before" baseline; do not use it for simulations.
+package sim
+
+import "container/heap"
+
+// BenchPingPong drives pairs independent producer/consumer pairs, each
+// exchanging rounds values through a capacity-1 store, on the current
+// engine — the event-dispatch hot loop in isolation (every handoff is one
+// wakeup event). callback selects the Spawn fast path (state-machine
+// processes on the engine goroutine); otherwise goroutine processes.
+func BenchPingPong(pairs, rounds int, callback bool) {
+	e := New()
+	for i := 0; i < pairs; i++ {
+		s := NewStore[int](e, 1)
+		if callback {
+			spawnBenchPair(e, s, rounds)
+			continue
+		}
+		e.Go("prod", func(p *Proc) {
+			for k := 0; k < rounds; k++ {
+				s.Put(p, k)
+			}
+		})
+		e.Go("cons", func(p *Proc) {
+			for k := 0; k < rounds; k++ {
+				s.Get(p)
+			}
+		})
+	}
+	e.Run()
+}
+
+// spawnBenchPair registers one producer/consumer pair as callback
+// processes: each step drains as far as the store allows, registers as a
+// waiter when it can't, and is re-stepped by the store's wakeup.
+func spawnBenchPair(e *Engine, s *Store[int], rounds int) {
+	sent, recvd := 0, 0
+	e.Spawn("prod", func(p *Proc) {
+		for sent < rounds {
+			if !s.TryPut(p, sent, p.Now()) {
+				return
+			}
+			sent++
+		}
+	})
+	e.Spawn("cons", func(p *Proc) {
+		for recvd < rounds {
+			if _, _, ready := s.TryGet(p, p.Now()); !ready {
+				return
+			}
+			recvd++
+		}
+	})
+}
+
+// BenchPingPongLegacy runs the same workload on the frozen pre-zero-alloc
+// engine: every event is a heap-allocated *legacyEvent pushed through
+// container/heap's interface{} boxing, every resume captures its process in
+// a fresh closure, and every block/resume pays two channel handoffs.
+func BenchPingPongLegacy(pairs, rounds int) {
+	e := &legacyEngine{ctl: make(chan struct{})}
+	for i := 0; i < pairs; i++ {
+		s := &legacyStore{eng: e, cap: 1}
+		e.goProc(func(p *legacyProc) {
+			for k := 0; k < rounds; k++ {
+				s.put(p, k)
+			}
+		})
+		e.goProc(func(p *legacyProc) {
+			for k := 0; k < rounds; k++ {
+				s.get(p)
+			}
+		})
+	}
+	e.run()
+}
+
+// legacyEvent / legacyHeap: the old pointer-boxed binary heap.
+type legacyEvent struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type legacyHeap []*legacyEvent
+
+func (h legacyHeap) Len() int { return len(h) }
+func (h legacyHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h legacyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *legacyHeap) Push(x interface{}) { *h = append(*h, x.(*legacyEvent)) }
+func (h *legacyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+type legacyEngine struct {
+	now    float64
+	seq    int64
+	events legacyHeap
+	ctl    chan struct{}
+}
+
+func (e *legacyEngine) schedule(delay float64, fn func()) {
+	e.seq++
+	heap.Push(&e.events, &legacyEvent{t: e.now + delay, seq: e.seq, fn: fn})
+}
+
+func (e *legacyEngine) resume(p *legacyProc) {
+	p.wake <- struct{}{}
+	<-e.ctl
+}
+
+func (e *legacyEngine) run() {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*legacyEvent)
+		e.now = ev.t
+		ev.fn()
+	}
+}
+
+type legacyProc struct {
+	eng  *legacyEngine
+	wake chan struct{}
+}
+
+func (e *legacyEngine) goProc(fn func(p *legacyProc)) {
+	p := &legacyProc{eng: e, wake: make(chan struct{})}
+	go func() {
+		<-p.wake
+		fn(p)
+		e.ctl <- struct{}{}
+	}()
+	e.schedule(0, func() { e.resume(p) })
+}
+
+func (p *legacyProc) park() {
+	e := p.eng
+	e.ctl <- struct{}{}
+	<-p.wake
+}
+
+func (e *legacyEngine) wakeup(p *legacyProc) {
+	e.schedule(0, func() { e.resume(p) })
+}
+
+type legacyStore struct {
+	eng     *legacyEngine
+	cap     int
+	buf     []int
+	getters []*legacyProc
+	putters []*legacyProc
+}
+
+func (s *legacyStore) put(p *legacyProc, v int) {
+	for s.cap > 0 && len(s.buf) >= s.cap {
+		s.putters = append(s.putters, p)
+		p.park()
+	}
+	s.buf = append(s.buf, v)
+	if len(s.getters) > 0 {
+		g := s.getters[0]
+		s.getters = s.getters[1:]
+		s.eng.wakeup(g)
+	}
+}
+
+func (s *legacyStore) get(p *legacyProc) int {
+	for len(s.buf) == 0 {
+		s.getters = append(s.getters, p)
+		p.park()
+	}
+	v := s.buf[0]
+	s.buf = s.buf[1:]
+	if len(s.putters) > 0 {
+		q := s.putters[0]
+		s.putters = s.putters[1:]
+		s.eng.wakeup(q)
+	}
+	return v
+}

@@ -1,0 +1,36 @@
+package sim
+
+import "testing"
+
+// Event-dispatch benchmarks: one op is a full 4-pair x 256-round ping-pong
+// workload (~2 events per handoff). The legacy benchmark is the frozen
+// pre-zero-alloc engine — the "before" row of BENCH_2.json; the callback
+// benchmark is the fast path the trainer's GPU consumers run on.
+//
+//	go test -bench EventDispatch -benchmem ./internal/sim
+
+const (
+	benchPairs  = 4
+	benchRounds = 256
+)
+
+func BenchmarkEventDispatchLegacy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BenchPingPongLegacy(benchPairs, benchRounds)
+	}
+}
+
+func BenchmarkEventDispatchGoroutine(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BenchPingPong(benchPairs, benchRounds, false)
+	}
+}
+
+func BenchmarkEventDispatchCallback(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BenchPingPong(benchPairs, benchRounds, true)
+	}
+}

@@ -18,10 +18,11 @@ func (c *Cond) Wait(p *Proc) {
 
 // Broadcast wakes every waiting process (at the current simulated time).
 func (c *Cond) Broadcast() {
-	for _, w := range c.waiters {
+	for i, w := range c.waiters {
 		c.eng.wakeup(w)
+		c.waiters[i] = nil
 	}
-	c.waiters = nil
+	c.waiters = c.waiters[:0]
 }
 
 // Waiting returns the number of parked waiters.

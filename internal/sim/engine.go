@@ -5,49 +5,130 @@
 // The engine is single-threaded in simulated time: exactly one process runs
 // at any instant, and events that share a timestamp are ordered by their
 // scheduling sequence number, so simulations are bit-reproducible.
+//
+// Processes come in two flavours sharing one Proc type and one set of
+// primitives:
+//
+//   - Goroutine processes (Engine.Go) run ordinary sequential code and may
+//     call the blocking primitives (Store.Put/Get, Barrier.Wait, Sleep).
+//     Each block/resume costs two channel handoffs with the engine
+//     goroutine.
+//   - Callback processes (Engine.Spawn) are the zero-allocation fast path:
+//     a step function runs inline on the engine goroutine at every resume,
+//     keeping its state in a struct instead of on a goroutine stack, and
+//     blocks by registering with a primitive's non-blocking variant
+//     (Store.TryGet/TryPut, Barrier.Arrive) and returning. No goroutine, no
+//     channel operations, no per-step allocations.
+//
+// Both flavours consume engine events identically (every block, wake and
+// sleep maps to the same Schedule calls), so converting a process from one
+// flavour to the other cannot change simulation results.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
-// event is a scheduled callback.
+// Event kinds. Typed events keep the hot resume path allocation-free: a
+// resume stores the *Proc in the event itself instead of capturing it in a
+// closure.
+const (
+	evFn byte = iota
+	evResume
+)
+
+// event is a scheduled callback, stored by value in the engine's heap.
 type event struct {
-	t   float64
-	seq int64
-	fn  func()
+	t    float64
+	seq  int64
+	p    *Proc  // evResume: process to resume
+	fn   func() // evFn: user callback
+	kind byte
 }
 
-type eventHeap []*event
+// eventQueue is a slice-backed 4-ary min-heap ordered by (t, seq). Values
+// are stored inline (no *event boxing, no container/heap interface{}), and
+// popped slots are reused by subsequent pushes, so steady-state push/pop
+// performs zero allocations. A 4-ary layout halves the tree depth of a
+// binary heap and keeps sibling comparisons within one cache line.
+type eventQueue struct {
+	ev []event
+	n  int
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+func (q *eventQueue) less(i, j int) bool {
+	if q.ev[i].t != q.ev[j].t {
+		return q.ev[i].t < q.ev[j].t
 	}
-	return h[i].seq < h[j].seq
+	return q.ev[i].seq < q.ev[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+func (q *eventQueue) push(e event) {
+	if q.n < len(q.ev) {
+		q.ev[q.n] = e
+	} else {
+		q.ev = append(q.ev, e)
+	}
+	i := q.n
+	q.n++
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	q.n--
+	if q.n > 0 {
+		q.ev[0] = q.ev[q.n]
+	}
+	q.ev[q.n] = event{} // drop fn/p references so the GC can collect them
+	if q.n > 1 {
+		q.siftDown()
+	}
+	return top
+}
+
+func (q *eventQueue) siftDown() {
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= q.n {
+			return
+		}
+		m := c
+		hi := c + 4
+		if hi > q.n {
+			hi = q.n
+		}
+		for k := c + 1; k < hi; k++ {
+			if q.less(k, m) {
+				m = k
+			}
+		}
+		if !q.less(m, i) {
+			return
+		}
+		q.ev[i], q.ev[m] = q.ev[m], q.ev[i]
+		i = m
+	}
 }
 
 // Engine is a discrete-event simulation engine. Create one with New, spawn
-// processes with Go, and drive the simulation with Run.
+// processes with Go (goroutine) or Spawn (callback fast path), and drive
+// the simulation with Run.
 type Engine struct {
 	now      float64
 	seq      int64
-	events   eventHeap
+	q        eventQueue
 	ctl      chan struct{}
-	parked   []*Proc // processes blocked on a condition (no pending event)
+	parked   []*Proc // goroutine processes blocked on a condition
 	stopping bool
 	live     int
 }
@@ -60,6 +141,9 @@ func New() *Engine {
 // Now returns the current simulated time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
+// Len returns the number of pending events.
+func (e *Engine) Len() int { return e.q.n }
+
 // Schedule runs fn after delay seconds of simulated time. fn executes on the
 // engine goroutine and must not block on simulation primitives.
 func (e *Engine) Schedule(delay float64, fn func()) {
@@ -67,17 +151,37 @@ func (e *Engine) Schedule(delay float64, fn func()) {
 		panic(fmt.Sprintf("sim: invalid delay %v", delay))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{t: e.now + delay, seq: e.seq, fn: fn})
+	e.q.push(event{t: e.now + delay, seq: e.seq, fn: fn, kind: evFn})
 }
 
-// killed is the panic payload used to unwind processes at shutdown.
+// scheduleResume schedules a resume of p after delay. It is the
+// allocation-free internal path every block/wake/sleep goes through.
+func (e *Engine) scheduleResume(p *Proc, delay float64) {
+	e.seq++
+	e.q.push(event{t: e.now + delay, seq: e.seq, p: p, kind: evResume})
+}
+
+// dispatch executes one popped event at the current time.
+func (e *Engine) dispatch(ev event) {
+	if ev.kind == evResume {
+		e.resume(ev.p)
+		return
+	}
+	ev.fn()
+}
+
+// killed is the panic payload used to unwind goroutine processes at
+// shutdown.
 type killed struct{}
 
-// Proc is a simulated process. All blocking methods must be called from the
-// goroutine started by Engine.Go for this process.
+// Proc is a simulated process. For goroutine processes all blocking methods
+// must be called from the goroutine started by Engine.Go; for callback
+// processes all methods must be called from the step function (which runs
+// on the engine goroutine).
 type Proc struct {
 	eng    *Engine
-	wake   chan struct{}
+	wake   chan struct{} // goroutine processes only
+	step   func(p *Proc) // callback processes only
 	name   string
 	killed bool
 }
@@ -91,7 +195,8 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Now returns the current simulated time.
 func (p *Proc) Now() float64 { return p.eng.now }
 
-// Go spawns fn as a new simulated process that starts at the current time.
+// Go spawns fn as a new simulated goroutine process that starts at the
+// current time.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{eng: e, wake: make(chan struct{}), name: name}
 	e.live++
@@ -111,20 +216,46 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	e.Schedule(0, func() { e.resume(p) })
+	e.scheduleResume(p, 0)
 	return p
 }
 
-// resume hands control to p and waits until p parks or terminates. It runs on
-// the engine goroutine (inside an event callback).
+// Spawn registers step as a callback process — the engine fast path — and
+// schedules its first step at the current time. step runs inline on the
+// engine goroutine at every resume; it must never call the blocking
+// primitives (Put/Get/Wait/Sleep). To block, it registers with a
+// non-blocking primitive variant (Store.TryGet, Store.TryPut,
+// Barrier.Arrive) or schedules its own wake-up (WakeAfter) and returns; the
+// engine re-invokes step when the process is resumed.
+func (e *Engine) Spawn(name string, step func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, step: step}
+	e.scheduleResume(p, 0)
+	return p
+}
+
+// resume hands control to p. For a goroutine process it performs the
+// channel handoff and waits until p parks or terminates; for a callback
+// process it invokes the step function inline. It runs on the engine
+// goroutine (inside an event callback).
 func (e *Engine) resume(p *Proc) {
+	if p.step != nil {
+		if !p.killed {
+			p.step(p)
+		}
+		return
+	}
 	p.wake <- struct{}{}
 	<-e.ctl
 }
 
-// park blocks the calling process until another event wakes it. The caller is
-// responsible for having registered itself somewhere a wakeup will find it.
+// park blocks the calling goroutine process until another event wakes it.
+// The caller is responsible for having registered itself somewhere a wakeup
+// will find it. Callback processes must not park; they return from their
+// step instead.
 func (p *Proc) park() {
+	if p.step != nil {
+		panic("sim: callback process cannot block; use the Try*/Arrive fast-path APIs")
+	}
 	e := p.eng
 	e.parked = append(e.parked, p)
 	e.ctl <- struct{}{}
@@ -143,16 +274,16 @@ func (e *Engine) wakeup(p *Proc) {
 			break
 		}
 	}
-	e.Schedule(0, func() { e.resume(p) })
+	e.scheduleResume(p, 0)
 }
 
-// Sleep suspends the process for d seconds of simulated time.
+// Sleep suspends the goroutine process for d seconds of simulated time.
 func (p *Proc) Sleep(d float64) {
 	if d < 0 || math.IsNaN(d) {
 		panic(fmt.Sprintf("sim: invalid sleep %v", d))
 	}
 	e := p.eng
-	e.Schedule(d, func() { e.resume(p) })
+	e.scheduleResume(p, d)
 	e.ctl <- struct{}{}
 	<-p.wake
 	if p.killed {
@@ -160,8 +291,18 @@ func (p *Proc) Sleep(d float64) {
 	}
 }
 
-// SleepUntil suspends the process until simulated time t (no-op if t has
-// already passed).
+// WakeAfter schedules the callback process's next step after d seconds of
+// simulated time — the fast-path analog of Sleep. The step function must
+// return right after calling it.
+func (p *Proc) WakeAfter(d float64) {
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("sim: invalid wake delay %v", d))
+	}
+	p.eng.scheduleResume(p, d)
+}
+
+// SleepUntil suspends the goroutine process until simulated time t (no-op
+// if t has already passed).
 func (p *Proc) SleepUntil(t float64) {
 	if t <= p.eng.now {
 		return
@@ -173,24 +314,28 @@ func (p *Proc) SleepUntil(t float64) {
 // processes still blocked on conditions. After Run returns no process
 // goroutines remain.
 func (e *Engine) Run() {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
+	for e.q.n > 0 {
+		ev := e.q.pop()
 		e.now = ev.t
-		ev.fn()
+		e.dispatch(ev)
 	}
-	// Tear down processes blocked forever on stores/barriers/resources.
+	// Tear down goroutine processes blocked forever on stores/barriers/
+	// resources. (Blocked callback processes hold no goroutine and simply
+	// never step again.)
 	e.stopping = true
 	for len(e.parked) > 0 {
 		p := e.parked[0]
-		e.parked = e.parked[1:]
+		n := copy(e.parked, e.parked[1:])
+		e.parked[n] = nil
+		e.parked = e.parked[:n]
 		p.killed = true
 		e.resume(p)
 		// The unwinding process may schedule events (e.g. releasing a
 		// resource wakes another proc); drain them, re-kill, repeat.
-		for len(e.events) > 0 {
-			ev := heap.Pop(&e.events).(*event)
+		for e.q.n > 0 {
+			ev := e.q.pop()
 			e.now = ev.t
-			ev.fn()
+			e.dispatch(ev)
 		}
 	}
 }
@@ -199,10 +344,10 @@ func (e *Engine) Run() {
 // drains, then stops (without tearing down parked processes). Used by
 // experiments that sample a steady state.
 func (e *Engine) RunFor(horizon float64) {
-	for len(e.events) > 0 && e.events[0].t <= horizon {
-		ev := heap.Pop(&e.events).(*event)
+	for e.q.n > 0 && e.q.ev[0].t <= horizon {
+		ev := e.q.pop()
 		e.now = ev.t
-		ev.fn()
+		e.dispatch(ev)
 	}
 	if e.now < horizon {
 		e.now = horizon
@@ -214,19 +359,21 @@ func (e *Engine) RunFor(horizon float64) {
 func (e *Engine) Shutdown() {
 	e.stopping = true
 	for {
-		for len(e.events) > 0 {
-			ev := heap.Pop(&e.events).(*event)
+		for e.q.n > 0 {
+			ev := e.q.pop()
 			if ev.t > e.now {
 				e.now = ev.t
 			}
 			// During shutdown, resumed procs see killed and unwind.
-			ev.fn()
+			e.dispatch(ev)
 		}
 		if len(e.parked) == 0 {
 			break
 		}
 		p := e.parked[0]
-		e.parked = e.parked[1:]
+		n := copy(e.parked, e.parked[1:])
+		e.parked[n] = nil
+		e.parked = e.parked[:n]
 		p.killed = true
 		e.resume(p)
 	}

@@ -3,6 +3,13 @@ package sim
 // Store is a bounded FIFO queue of values exchanged between processes.
 // Put blocks while the store is full; Get blocks while it is empty.
 // A capacity of 0 means unbounded.
+//
+// Goroutine processes use Put/Get; callback processes use TryPut/TryGet,
+// which either complete inline or register the process as a waiter and
+// return not-ready. Both pairs run the same code path, consume the same
+// engine events, and accumulate the same blocked-time statistics, so a
+// process can be converted between flavours without changing simulation
+// results.
 type Store[T any] struct {
 	eng     *Engine
 	cap     int
@@ -25,44 +32,81 @@ func NewStore[T any](e *Engine, capacity int) *Store[T] {
 // Len returns the number of buffered values.
 func (s *Store[T]) Len() int { return len(s.buf) }
 
+// popProc removes and returns the head of a waiter list without allocating:
+// the elements shift down in place so the backing array is reused forever.
+func popProc(list *[]*Proc) *Proc {
+	l := *list
+	p := l[0]
+	n := copy(l, l[1:])
+	l[n] = nil
+	*list = l[:n]
+	return p
+}
+
 // Put appends v, blocking while the store is full.
 func (s *Store[T]) Put(p *Proc, v T) {
 	start := s.eng.now
-	for s.cap > 0 && len(s.buf) >= s.cap && !s.closed {
-		s.putters = append(s.putters, p)
+	for !s.TryPut(p, v, start) {
 		p.park()
 	}
-	s.PutBlocked += s.eng.now - start
+}
+
+// TryPut is the callback-process fast path for Put: it either appends v
+// (true) or registers p as a waiting putter and returns false, in which
+// case the store resumes p when space frees and p's step must call TryPut
+// again, passing the simulated time of its first attempt as since so
+// blocked-time accounting matches Put exactly.
+func (s *Store[T]) TryPut(p *Proc, v T, since float64) bool {
+	if s.cap > 0 && len(s.buf) >= s.cap && !s.closed {
+		s.putters = append(s.putters, p)
+		return false
+	}
+	s.PutBlocked += s.eng.now - since
 	s.buf = append(s.buf, v)
 	if len(s.getters) > 0 {
-		g := s.getters[0]
-		s.getters = s.getters[1:]
-		s.eng.wakeup(g)
+		s.eng.wakeup(popProc(&s.getters))
 	}
+	return true
 }
 
 // Get removes and returns the oldest value, blocking while empty. The second
 // result is false if the store was closed while empty.
 func (s *Store[T]) Get(p *Proc) (T, bool) {
 	start := s.eng.now
-	for len(s.buf) == 0 {
-		if s.closed {
-			var zero T
-			s.GetBlocked += s.eng.now - start
-			return zero, false
+	for {
+		v, ok, ready := s.TryGet(p, start)
+		if ready {
+			return v, ok
 		}
-		s.getters = append(s.getters, p)
 		p.park()
 	}
-	s.GetBlocked += s.eng.now - start
-	v := s.buf[0]
-	s.buf = s.buf[1:]
-	if len(s.putters) > 0 {
-		q := s.putters[0]
-		s.putters = s.putters[1:]
-		s.eng.wakeup(q)
+}
+
+// TryGet is the callback-process fast path for Get: it either pops a value
+// (ready=true), reports closure on an empty store (ready=true, ok=false),
+// or registers p as a waiting getter (ready=false), in which case the store
+// resumes p when a value arrives and p's step must call TryGet again,
+// passing the simulated time of its first attempt as since so blocked-time
+// accounting matches Get exactly.
+func (s *Store[T]) TryGet(p *Proc, since float64) (v T, ok, ready bool) {
+	if len(s.buf) == 0 {
+		if s.closed {
+			s.GetBlocked += s.eng.now - since
+			return v, false, true
+		}
+		s.getters = append(s.getters, p)
+		return v, false, false
 	}
-	return v, true
+	s.GetBlocked += s.eng.now - since
+	v = s.buf[0]
+	n := copy(s.buf, s.buf[1:])
+	var zero T
+	s.buf[n] = zero
+	s.buf = s.buf[:n]
+	if len(s.putters) > 0 {
+		s.eng.wakeup(popProc(&s.putters))
+	}
+	return v, true, true
 }
 
 // Close marks the store closed and wakes all blocked getters; subsequent Gets
@@ -70,14 +114,16 @@ func (s *Store[T]) Get(p *Proc) (T, bool) {
 // flush trailing batches) but never block.
 func (s *Store[T]) Close() {
 	s.closed = true
-	for _, g := range s.getters {
+	for i, g := range s.getters {
 		s.eng.wakeup(g)
+		s.getters[i] = nil
 	}
-	s.getters = nil
-	for _, q := range s.putters {
+	s.getters = s.getters[:0]
+	for i, q := range s.putters {
 		s.eng.wakeup(q)
+		s.putters[i] = nil
 	}
-	s.putters = nil
+	s.putters = s.putters[:0]
 }
 
 // Barrier synchronises n processes: each Wait blocks until all n arrive.
@@ -87,7 +133,9 @@ type Barrier struct {
 	n       int
 	arrived int
 	waiters []*Proc
-	// Waited accumulates total blocked time across all processes.
+	// Waited accumulates total blocked time across all processes. A
+	// callback process that Arrives without releasing the barrier adds its
+	// own share when it is resumed (see Arrive).
 	Waited float64
 }
 
@@ -101,19 +149,33 @@ func NewBarrier(e *Engine, n int) *Barrier {
 
 // Wait blocks until n processes have called Wait for this generation.
 func (b *Barrier) Wait(p *Proc) {
-	b.arrived++
-	if b.arrived >= b.n {
-		b.arrived = 0
-		for _, w := range b.waiters {
-			b.eng.wakeup(w)
-		}
-		b.waiters = nil
+	if b.Arrive(p) {
 		return
 	}
 	start := b.eng.now
-	b.waiters = append(b.waiters, p)
 	p.park()
 	b.Waited += b.eng.now - start
+}
+
+// Arrive is the callback-process fast path for Wait: the arrival is
+// recorded and, if p completed the generation, every earlier arriver is
+// woken and Arrive returns true (proceed inline). Otherwise p is registered
+// as a waiter and Arrive returns false; p's step must return, and when the
+// barrier resumes it, add its blocked time (now - arrival time) to Waited —
+// exactly what Wait does for goroutine processes.
+func (b *Barrier) Arrive(p *Proc) bool {
+	b.arrived++
+	if b.arrived >= b.n {
+		b.arrived = 0
+		for i, w := range b.waiters {
+			b.eng.wakeup(w)
+			b.waiters[i] = nil
+		}
+		b.waiters = b.waiters[:0]
+		return true
+	}
+	b.waiters = append(b.waiters, p)
+	return false
 }
 
 // Resource is a counting semaphore with FIFO granting.
@@ -155,7 +217,10 @@ func (r *Resource) Acquire(p *Proc, n int) {
 		p.park()
 		// Woken at the head of the queue; re-check capacity.
 		if len(r.waiters) > 0 && r.waiters[0] == w && r.inUse+n <= r.cap {
-			r.waiters = r.waiters[1:]
+			l := r.waiters
+			m := copy(l, l[1:])
+			l[m] = nil
+			r.waiters = l[:m]
 			break
 		}
 		// Otherwise remove self and retry from scratch.
@@ -204,6 +269,18 @@ func NewBandwidthServer(e *Engine) *BandwidthServer {
 // Request transfers bytes at bwBytesPerSec with a fixed overhead (e.g. seek
 // time) and blocks the calling process until the transfer completes.
 func (d *BandwidthServer) Request(p *Proc, bytes, bwBytesPerSec, overhead float64) {
+	p.SleepUntil(d.account(bytes, bwBytesPerSec, overhead))
+}
+
+// RequestAsync accounts the transfer and returns its completion time
+// without blocking — the callback-process fast path: the caller schedules
+// its own wake-up (WakeAfter) for the returned time.
+func (d *BandwidthServer) RequestAsync(bytes, bwBytesPerSec, overhead float64) float64 {
+	return d.account(bytes, bwBytesPerSec, overhead)
+}
+
+// account books one FIFO transfer and returns its completion time.
+func (d *BandwidthServer) account(bytes, bwBytesPerSec, overhead float64) float64 {
 	if bytes < 0 {
 		panic("sim: negative transfer")
 	}
@@ -220,7 +297,7 @@ func (d *BandwidthServer) Request(p *Proc, bytes, bwBytesPerSec, overhead float6
 	d.Bytes += bytes
 	d.Requests++
 	d.Busy += dur
-	p.SleepUntil(d.busyUntil)
+	return d.busyUntil
 }
 
 // Utilization returns the fraction of time [0, now] the device was busy.

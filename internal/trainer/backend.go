@@ -16,7 +16,7 @@ import (
 // fetch->prep pipeline per server (loader.Pipeline) over goroutine-safe
 // caches, with ThreadsPerGPU x GPUsPerServer fetch workers per server. The
 // samplers, truncation, and cache policies are shared with the analytic
-// backend via epochOrders/epochIters, so per-epoch cache statistics line up
+// backend via orderSource/epochIters, so per-epoch cache statistics line up
 // (exactly for MinIO over equal-sized items — see the property tests);
 // Duration is host wall-clock and compute/stall times are not modeled.
 func runConcurrent(cfg Config) (*Result, error) {
@@ -56,9 +56,14 @@ func runConcurrent(cfg Config) (*Result, error) {
 	}
 
 	r := &Result{}
+	src := newOrderSource(cfg, ownerShards)
+	var pl *epochPlan
 	for e := 0; e < cfg.Epochs; e++ {
-		orders := epochOrders(cfg, ownerShards, e)
-		iters := epochIters(cfg, orders)
+		// Each epoch's orders are fully consumed before the next epoch
+		// starts (RunEpoch is a barrier), so the previous plan's
+		// permutation buffer is recycled into this one.
+		pl = src.orders(e, pl)
+		orders, iters := pl.orders, pl.iters
 		if iters < 1 {
 			return nil, fmt.Errorf("trainer: dataset %s too small for %d servers x %d GPUs x batch %d",
 				cfg.Dataset.Name, cfg.NumServers, cfg.GPUsPerServer, cfg.Batch)

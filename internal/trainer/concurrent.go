@@ -186,7 +186,8 @@ func runCoordinated(cc ConcurrentConfig) (*ConcurrentResult, error) {
 
 	rt := &coordRuntime{
 		cc: cc, eng: eng, cl: cl, fetcher: fetcher, staging: staging,
-		shards: dataset.SplitRandom(base.Dataset, cc.NumJobs, base.Seed),
+		shards:     dataset.SplitRandom(base.Dataset, cc.NumJobs, base.Seed),
+		orderCache: map[orderKey][]dataset.ItemID{},
 	}
 	rt.setup()
 	rt.launch()
@@ -214,6 +215,12 @@ type coordRuntime struct {
 	produced []int // per job, cumulative batches produced
 	jobDead  bool
 	detector *core.FailureDetector
+
+	// orderCache memoizes shard orders per (job, epoch): a job's P
+	// producers (plus any recovery producer) share one shuffle instead of
+	// each re-deriving an identical permutation. Entries two epochs old
+	// are dropped to bound memory. Single-threaded simulation: no lock.
+	orderCache map[orderKey][]dataset.ItemID
 
 	// Per-job accounting.
 	jobs []*coordJobStats
@@ -309,10 +316,21 @@ func (rt *coordRuntime) launch() {
 	}
 }
 
-// shardOrder returns job j's shard order for an epoch.
+// orderKey addresses one job's memoized epoch order.
+type orderKey struct{ job, epoch int }
+
+// shardOrder returns job j's shard order for an epoch, memoized so the
+// job's producers shuffle once per epoch between them.
 func (rt *coordRuntime) shardOrder(j, epoch int) []dataset.ItemID {
+	k := orderKey{j, epoch}
+	if order, ok := rt.orderCache[k]; ok {
+		return order
+	}
 	s := dataset.NewRandomSampler(rt.shards[j], rt.cc.Base.Seed+int64(j)*977)
-	return s.EpochOrder(epoch)
+	order := s.EpochOrder(epoch)
+	rt.orderCache[k] = order
+	delete(rt.orderCache, orderKey{j, epoch - 2})
+	return order
 }
 
 // producer fetches and preps job j's shard, staging batches for all jobs.

@@ -50,6 +50,7 @@ type jobRuntime struct {
 	// ownerShards is the epoch-0 partitioned-cache population assignment
 	// (CoorDL distributed only).
 	ownerShards []dataset.Shard
+	src         *orderSource
 
 	prepCfg   prep.Config
 	gpuPrepOn bool
@@ -92,9 +93,92 @@ type snapshot struct {
 	samples   int
 }
 
+// epochPlan is one epoch's per-server item orders plus the iteration count.
+// When owned, buf is the backing permutation buffer the orders are views
+// over, and a dropped plan's buffer is recycled into the next epoch's
+// (epoch-order reuse: N GPUs and P producers share one shuffle per epoch,
+// and successive epochs share one buffer).
 type epochPlan struct {
 	orders [][]dataset.ItemID // per server
 	iters  int
+	buf    []dataset.ItemID
+	owned  bool
+}
+
+// orderSource produces per-epoch visit orders for one job. It is built once
+// per job — the full-dataset shard and sampler behind it are constructed a
+// single time, not once per epoch per process — and is the sampling policy
+// shared by both backends: the analytic simulation and the concurrent
+// pipeline drive identical orders, which is what makes their cache
+// statistics comparable.
+type orderSource struct {
+	cfg         Config
+	ownerShards []dataset.Shard
+	sampler     dataset.Sampler // single-server jobs only
+}
+
+func newOrderSource(cfg Config, ownerShards []dataset.Shard) *orderSource {
+	src := &orderSource{cfg: cfg, ownerShards: ownerShards}
+	if cfg.NumServers == 1 {
+		if cfg.Loader == loader.DALISeq && cfg.FetchMode == Normal {
+			src.sampler = dataset.NewSequentialSampler(dataset.FullShard(cfg.Dataset))
+		} else {
+			src.sampler = dataset.NewRandomSampler(dataset.FullShard(cfg.Dataset), cfg.Seed)
+		}
+	}
+	return src
+}
+
+// orders builds the epoch's plan, recycling the permutation buffer of a
+// dropped plan when one is offered (recycle may be nil). Orders are
+// identical whether or not a buffer is recycled.
+func (src *orderSource) orders(epoch int, recycle *epochPlan) *epochPlan {
+	var buf []dataset.ItemID
+	if recycle != nil && recycle.owned {
+		buf = recycle.buf
+	}
+	pl := &epochPlan{}
+	switch {
+	case src.sampler != nil:
+		order := src.sampler.EpochOrderInto(epoch, buf)
+		pl.orders = [][]dataset.ItemID{order}
+		pl.buf = order
+		pl.owned = true
+	case epoch == 0 && src.ownerShards != nil:
+		// CoorDL's first epoch processes the static owner shards so each
+		// server populates its partition of the cache (§4.2). The orders
+		// alias the shard slices; they must never be recycled into.
+		orders := make([][]dataset.ItemID, 0, len(src.ownerShards))
+		for _, sh := range src.ownerShards {
+			orders = append(orders, sh.Items)
+		}
+		pl.orders = orders
+	default:
+		shards, backing := dataset.EpochShardsInto(
+			src.cfg.Dataset, src.cfg.NumServers, epoch, src.cfg.Seed, buf)
+		orders := make([][]dataset.ItemID, 0, len(shards))
+		for _, sh := range shards {
+			orders = append(orders, sh.Items)
+		}
+		pl.orders = orders
+		pl.buf = backing
+		pl.owned = true
+	}
+	pl.iters = epochIters(src.cfg, pl.orders)
+	return pl
+}
+
+// epochIters returns the per-server iteration count for the given orders
+// (drop-last semantics, bounded by the shortest server order).
+func epochIters(cfg Config, orders [][]dataset.ItemID) int {
+	perIter := cfg.Batch * cfg.GPUsPerServer
+	iters := len(orders[0]) / perIter
+	for _, o := range orders {
+		if it := len(o) / perIter; it < iters {
+			iters = it
+		}
+	}
+	return iters
 }
 
 func newJobRuntime(cfg Config, eng *sim.Engine, cl *cluster.Cluster) (*jobRuntime, error) {
@@ -131,6 +215,7 @@ func newJobRuntimeWith(cfg Config, eng *sim.Engine, cl *cluster.Cluster, f loade
 	rt := &jobRuntime{cfg: cfg, eng: eng, cl: cl, plans: map[int]*epochPlan{}}
 	rt.fetcher = f
 	rt.ownerShards = owner
+	rt.src = newOrderSource(cfg, owner)
 
 	rt.prepCfg = cfg.prepConfig()
 	rt.gpuPrepOn = rt.prepCfg.GPUPrep
@@ -186,62 +271,28 @@ func newJobRuntimeWith(cfg Config, eng *sim.Engine, cl *cluster.Cluster, f loade
 }
 
 // plan returns (and memoizes) the epoch's per-server item orders and the
-// iteration count. Old plans are dropped to bound memory.
+// iteration count, so the job's N GPUs and P producers share one shuffle
+// per epoch. Old plans are dropped to bound memory, and a dropped plan's
+// permutation buffer is recycled into the new epoch's orders.
 func (rt *jobRuntime) plan(epoch int) *epochPlan {
 	if pl, ok := rt.plans[epoch]; ok {
 		return pl
 	}
-	pl := &epochPlan{orders: epochOrders(rt.cfg, rt.ownerShards, epoch)}
-	pl.iters = epochIters(rt.cfg, pl.orders)
+	var recycle *epochPlan
+	if old, ok := rt.plans[epoch-2]; ok {
+		recycle = old
+	}
+	pl := rt.src.orders(epoch, recycle)
 	rt.plans[epoch] = pl
 	delete(rt.plans, epoch-2)
 	return pl
 }
 
-// epochOrders returns the per-server item visit orders for one epoch. It is
-// the sampling policy shared by both backends: the analytic simulation and
-// the concurrent pipeline drive identical orders, which is what makes their
-// cache statistics comparable.
-func epochOrders(cfg Config, ownerShards []dataset.Shard, epoch int) [][]dataset.ItemID {
-	switch {
-	case cfg.NumServers == 1 && cfg.Loader == loader.DALISeq && cfg.FetchMode == Normal:
-		s := dataset.NewSequentialSampler(dataset.FullShard(cfg.Dataset))
-		return [][]dataset.ItemID{s.EpochOrder(epoch)}
-	case cfg.NumServers == 1:
-		s := dataset.NewRandomSampler(dataset.FullShard(cfg.Dataset), cfg.Seed)
-		return [][]dataset.ItemID{s.EpochOrder(epoch)}
-	case epoch == 0 && ownerShards != nil:
-		// CoorDL's first epoch processes the static owner shards so each
-		// server populates its partition of the cache (§4.2).
-		orders := make([][]dataset.ItemID, 0, len(ownerShards))
-		for _, sh := range ownerShards {
-			orders = append(orders, sh.Items)
-		}
-		return orders
-	default:
-		shards := dataset.EpochShards(cfg.Dataset, cfg.NumServers, epoch, cfg.Seed)
-		orders := make([][]dataset.ItemID, 0, len(shards))
-		for _, sh := range shards {
-			orders = append(orders, sh.Items)
-		}
-		return orders
-	}
-}
-
-// epochIters returns the per-server iteration count for the given orders
-// (drop-last semantics, bounded by the shortest server order).
-func epochIters(cfg Config, orders [][]dataset.ItemID) int {
-	perIter := cfg.Batch * cfg.GPUsPerServer
-	iters := len(orders[0]) / perIter
-	for _, o := range orders {
-		if it := len(o) / perIter; it < iters {
-			iters = it
-		}
-	}
-	return iters
-}
-
-// launch spawns all producer and consumer processes.
+// launch spawns all producer and consumer processes. Producers run as
+// goroutine processes (they drive the fetcher stack's blocking device
+// requests); consumers run as callback state machines on the engine
+// goroutine — the sim fast path — which removes two channel handoffs per
+// blocking operation without changing the event sequence.
 func (rt *jobRuntime) launch() {
 	cfg := rt.cfg
 	for s := 0; s < cfg.NumServers; s++ {
@@ -252,10 +303,8 @@ func (rt *jobRuntime) launch() {
 					rt.producer(p, s, g, k)
 				})
 			}
-			s, g := s, g
-			rt.eng.Go(fmt.Sprintf("gpu-%d-%d", s, g), func(p *sim.Proc) {
-				rt.consumer(p, s, g)
-			})
+			sm := &consumerSM{rt: rt, server: s, g: g}
+			rt.eng.Spawn(fmt.Sprintf("gpu-%d-%d", s, g), sm.step)
 		}
 	}
 }
@@ -300,35 +349,124 @@ func (rt *jobRuntime) producer(p *sim.Proc, server, g, k int) {
 	}
 }
 
-// consumer is one GPU: it drains its staging store, computes, and
-// synchronizes with the job's other GPUs every iteration.
-func (rt *jobRuntime) consumer(p *sim.Proc, server, g int) {
+// consumerState enumerates the points where the old goroutine consumer
+// blocked; the state machine resumes from the matching state.
+type consumerState int
+
+const (
+	csInit              consumerState = iota
+	csLoop                            // decide: next iteration or epoch end
+	csGet                             // trying to pop a prepped batch
+	csCompute                         // woke from the iterTime sleep
+	csBarrierWoken                    // woken by the iteration barrier
+	csAfterBarrier                    // barrier passed; account comm
+	csComm                            // woke from the comm-extra sleep
+	csEpochBarrierWoken               // woken by the epoch barrier
+	csEpochDone                       // epoch barrier passed
+	csDone
+)
+
+// consumerSM is one GPU consumer run as a callback process on the engine
+// goroutine (the sim fast path): the same blocking structure as a goroutine
+// consumer — store Get, compute sleep, iteration barrier, optional
+// communication sleep, epoch barrier — with the loop state held explicitly
+// in the struct instead of on a goroutine stack. It consumes exactly the
+// event sequence the goroutine version did (blocks register with the same
+// primitives, wakes schedule the same events), so simulation output is
+// bit-identical; it just never pays the two channel handoffs per blocking
+// operation.
+type consumerSM struct {
+	rt        *jobRuntime
+	server, g int
+	state     consumerState
+	epoch     int
+	it        int
+	samples   int
+	pl        *epochPlan
+	since     float64 // first-attempt time of the pending block
+}
+
+// step runs the consumer until it blocks (registered with a primitive or
+// scheduled a wake) or finishes.
+func (sm *consumerSM) step(p *sim.Proc) {
+	rt := sm.rt
 	cfg := rt.cfg
-	samples := 0
-	for e := 0; e < cfg.Epochs; e++ {
-		pl := rt.plan(e)
-		for it := 0; it < pl.iters; it++ {
-			t0 := p.Now()
-			if _, ok := rt.stores[server][g].Get(p); !ok {
+	for {
+		switch sm.state {
+		case csInit:
+			sm.pl = rt.plan(sm.epoch)
+			sm.it = 0
+			sm.state = csLoop
+		case csLoop:
+			if sm.it < sm.pl.iters {
+				sm.since = p.Now()
+				sm.state = csGet
+				continue
+			}
+			sm.samples += sm.pl.iters * cfg.Batch * cfg.GPUsPerServer * cfg.NumServers
+			// Snapshot before the epoch barrier: producers are parked
+			// there, so no next-epoch I/O has been issued yet.
+			if sm.server == 0 && sm.g == 0 {
+				rt.endEpoch(sm.samples)
+			}
+			if !rt.epochBarrier.Arrive(p) {
+				sm.since = p.Now()
+				sm.state = csEpochBarrierWoken
 				return
 			}
-			rt.waitGet += p.Now() - t0
-			p.Sleep(rt.iterTime)
-			rt.barrier.Wait(p)
-			if rt.commExtra > 0 {
-				if g == 0 {
-					rt.cl.NIC(server).AccountBytes(rt.commBytes)
-				}
-				p.Sleep(rt.commExtra)
+			sm.state = csEpochDone
+		case csGet:
+			_, ok, ready := rt.stores[sm.server][sm.g].TryGet(p, sm.since)
+			if !ready {
+				return // registered as a getter; re-stepped on wakeup
 			}
+			if !ok {
+				sm.state = csDone
+				return
+			}
+			rt.waitGet += p.Now() - sm.since
+			sm.state = csCompute
+			p.WakeAfter(rt.iterTime)
+			return
+		case csCompute:
+			if !rt.barrier.Arrive(p) {
+				sm.since = p.Now()
+				sm.state = csBarrierWoken
+				return
+			}
+			sm.state = csAfterBarrier
+		case csBarrierWoken:
+			rt.barrier.Waited += p.Now() - sm.since
+			sm.state = csAfterBarrier
+		case csAfterBarrier:
+			if rt.commExtra > 0 {
+				if sm.g == 0 {
+					rt.cl.NIC(sm.server).AccountBytes(rt.commBytes)
+				}
+				sm.state = csComm
+				p.WakeAfter(rt.commExtra)
+				return
+			}
+			sm.it++
+			sm.state = csLoop
+		case csComm:
+			sm.it++
+			sm.state = csLoop
+		case csEpochBarrierWoken:
+			rt.epochBarrier.Waited += p.Now() - sm.since
+			sm.state = csEpochDone
+		case csEpochDone:
+			sm.epoch++
+			if sm.epoch >= cfg.Epochs {
+				sm.state = csDone
+				return
+			}
+			sm.pl = rt.plan(sm.epoch)
+			sm.it = 0
+			sm.state = csLoop
+		case csDone:
+			return
 		}
-		samples += pl.iters * cfg.Batch * cfg.GPUsPerServer * cfg.NumServers
-		// Snapshot before the epoch barrier: producers are parked there,
-		// so no next-epoch I/O has been issued yet.
-		if server == 0 && g == 0 {
-			rt.endEpoch(samples)
-		}
-		rt.epochBarrier.Wait(p)
 	}
 }
 
