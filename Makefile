@@ -7,7 +7,7 @@ GO ?= go
 COVER_FLOOR ?= 70
 COVER_PKGS  ?= internal/cache internal/loader
 
-.PHONY: all build test cover lint bench benchjson bench2 allocguard profile suite experiments-md clean
+.PHONY: all build test cover lint bench benchjson bench2 allocguard profile suite speccheck experiments-md clean
 
 all: lint build test
 
@@ -75,6 +75,15 @@ profile:
 suite:
 	$(GO) run ./cmd/runsuite -parallel 0 -json -md EXPERIMENTS.md > suite-report.json
 	@echo "wrote suite-report.json"
+
+# Declarative-spec gate: every registry experiment expressible as a Spec is
+# round-tripped through JSON marshal -> unmarshal -> run and byte-compared
+# against the direct registry run, and the committed example scenario
+# (testdata/specs/cache-sweep.json — a sweep that exists nowhere in compiled
+# code) must load and run clean.
+speccheck:
+	$(GO) test -count=1 -run 'TestSpec|TestLoadSpec' ./internal/experiments
+	$(GO) run ./cmd/runsuite -spec testdata/specs/cache-sweep.json > /dev/null
 
 experiments-md:
 	$(GO) run ./cmd/runsuite -md EXPERIMENTS.md

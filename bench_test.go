@@ -10,6 +10,7 @@
 package datastall_test
 
 import (
+	"context"
 	"testing"
 
 	"datastall"
@@ -22,7 +23,7 @@ func benchExperiment(b *testing.B, id string, metrics map[string]string) {
 	var rep *datastall.ExperimentReport
 	var err error
 	for i := 0; i < b.N; i++ {
-		rep, err = datastall.RunExperiment(id, datastall.ExperimentOptions{})
+		rep, err = datastall.RunExperiment(context.Background(), id, datastall.ExperimentOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}

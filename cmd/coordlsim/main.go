@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"datastall"
 )
@@ -30,7 +33,10 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the disk-I/O trace as CSV to this file")
 	flag.Parse()
 
-	r, err := datastall.Train(datastall.TrainConfig{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	r, err := datastall.TrainContext(ctx, datastall.TrainConfig{
 		Model: *model, Dataset: *ds,
 		Loader: datastall.Loader(*ldr), Server: datastall.Server(*server),
 		NumServers: *servers, GPUs: *gpus, Batch: *batch, Epochs: *epochs,

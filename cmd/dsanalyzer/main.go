@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"datastall"
 	"datastall/internal/experiments"
@@ -33,6 +35,9 @@ func main() {
 	models := flag.Bool("models", false, "list models and datasets")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *models {
 		fmt.Println("models: ", datastall.Models())
 		fmt.Println("datasets:", datastall.Datasets())
@@ -42,11 +47,11 @@ func main() {
 		if *whatifGPU > 0 || *whatifCores > 0 {
 			fmt.Fprintln(os.Stderr, "dsanalyzer: -whatif-gpu/-whatif-cores apply to a single model; ignored with -model all")
 		}
-		profileAll(*ds, datastall.Server(*server), *cache, *scale, *parallel)
+		profileAll(ctx, *ds, datastall.Server(*server), *cache, *scale, *parallel)
 		return
 	}
 
-	p, err := datastall.AnalyzeStalls(datastall.TrainConfig{
+	p, err := datastall.AnalyzeStallsContext(ctx, datastall.TrainConfig{
 		Model: *model, Dataset: *ds, Server: datastall.Server(*server),
 		CacheFraction: *cache, Scale: *scale,
 	})
@@ -81,7 +86,7 @@ func main() {
 // ad-hoc experiment per model, fanned across the worker pool, merged into a
 // single table in model order. ds overrides each model's default dataset
 // when non-empty.
-func profileAll(ds string, server datastall.Server, cache, scale float64, parallel int) {
+func profileAll(ctx context.Context, ds string, server datastall.Server, cache, scale float64, parallel int) {
 	var exps []*experiments.Experiment
 	for _, name := range datastall.Models() {
 		name := name
@@ -89,8 +94,8 @@ func profileAll(ds string, server datastall.Server, cache, scale float64, parall
 			ID:    name,
 			Title: "DS-Analyzer profile for " + name,
 			Paper: "differential stall attribution (§3.2)",
-			Run: func(o experiments.Options) (*experiments.Report, error) {
-				p, err := datastall.AnalyzeStalls(datastall.TrainConfig{
+			Run: func(ctx context.Context, o experiments.Options) (*experiments.Report, error) {
+				p, err := datastall.AnalyzeStallsContext(ctx, datastall.TrainConfig{
 					Model: name, Dataset: ds, Server: server,
 					CacheFraction: cache, Scale: scale, Seed: o.Seed,
 				})
@@ -118,7 +123,7 @@ func profileAll(ds string, server datastall.Server, cache, scale float64, parall
 			fmt.Fprintf(os.Stderr, "dsanalyzer: %-14s %-6s (%.2fs)\n", er.ID, er.Status, er.WallSeconds)
 		},
 	}
-	res, err := suite.Run(context.Background())
+	res, err := suite.Run(ctx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dsanalyzer: %v\n", err)
 		os.Exit(1)

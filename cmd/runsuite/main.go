@@ -7,12 +7,20 @@
 //	runsuite -parallel 8 -json > suite.json
 //	runsuite -md EXPERIMENTS.md      # regenerate the experiments index
 //	runsuite -json -md EXPERIMENTS.md > suite.json   # both from one run
+//	runsuite -spec testdata/specs/cache-sweep.json   # a user scenario
 //
 // Results are collected concurrently but emitted in experiment ID order, so
 // for a given -seed the output is byte-identical for any -parallel (add
 // -timings to include wall-clock data in the JSON report). One failing
 // experiment is reported without aborting the rest; the exit status is
 // non-zero if any experiment failed or was skipped on -timeout.
+//
+// -spec runs a declarative scenario file — a JSON sweep description (base
+// job + parameter axes + derived columns) that exists nowhere in compiled
+// code — through the same machinery as the registry's sweep figures; add
+// -progress to stream per-epoch events of every underlying training run to
+// stderr. SIGINT cancels whatever is running (suite or scenario) cleanly
+// through its context.
 package main
 
 import (
@@ -20,10 +28,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"datastall"
+	"datastall/internal/experiments"
+	"datastall/internal/trainer"
 )
 
 func main() {
@@ -38,7 +50,12 @@ func main() {
 	mdOut := flag.String("md", "", "write the suite as markdown (EXPERIMENTS.md) to this file")
 	timeout := flag.Duration("timeout", 0, "overall suite deadline, e.g. 10m (0 = none)")
 	quiet := flag.Bool("q", false, "suppress per-experiment progress on stderr")
+	specFile := flag.String("spec", "", "run a declarative JSON scenario spec from this file")
+	progress := flag.Bool("progress", false, "with -spec: stream per-epoch training progress to stderr")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *list {
 		fmt.Printf("%-18s %s\n", "ID", "TITLE")
@@ -46,6 +63,20 @@ func main() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+	if *specFile != "" {
+		// The suite-only flags do nothing on the -spec path; silently
+		// accepting them would hand back the wrong output format (-json,
+		// -md) or drop a requested deadline (-timeout). Refuse instead.
+		if bad := suiteOnlyFlagsSet(); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "runsuite: -%s cannot be combined with -spec\n",
+				strings.Join(bad, ", -"))
+			os.Exit(2)
+		}
+		os.Exit(runSpecFile(ctx, *specFile, *scale, *epochs, *seed, *progress))
+	}
+	if *progress {
+		fmt.Fprintln(os.Stderr, "runsuite: -progress applies to -spec runs; ignored")
 	}
 
 	opts := datastall.SuiteOptions{
@@ -70,7 +101,7 @@ func main() {
 	}
 
 	start := time.Now()
-	rep, err := datastall.RunSuite(context.Background(), opts)
+	rep, err := datastall.RunSuite(ctx, opts)
 	if err != nil && rep == nil {
 		fmt.Fprintf(os.Stderr, "runsuite: %v\n", err)
 		os.Exit(1)
@@ -108,4 +139,68 @@ func main() {
 	if rep.Failed > 0 || rep.Skipped > 0 {
 		os.Exit(1)
 	}
+}
+
+// suiteOnlyFlagsSet reports which explicitly-set flags have no meaning on
+// the -spec path.
+func suiteOnlyFlagsSet() []string {
+	suiteOnly := map[string]bool{
+		"ids": true, "parallel": true, "json": true, "timings": true,
+		"md": true, "timeout": true, "q": true,
+	}
+	var bad []string
+	flag.Visit(func(f *flag.Flag) {
+		if suiteOnly[f.Name] {
+			bad = append(bad, f.Name)
+		}
+	})
+	return bad
+}
+
+// runSpecFile loads and executes one declarative scenario spec. The
+// scenario runs through the same Spec machinery as the registry's
+// sweep-shaped figures; withProgress attaches a console observer so every
+// underlying training run streams per-epoch events to stderr.
+func runSpecFile(ctx context.Context, path string, scale float64, epochs int, seed int64, withProgress bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runsuite: %v\n", err)
+		return 1
+	}
+	sp, err := experiments.LoadSpec(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runsuite: %s: %v\n", path, err)
+		return 1
+	}
+	// Spec-pinned fields win over the Options the flags feed (a spec is a
+	// reproducible scenario); warn when an explicitly-passed flag is about
+	// to be shadowed so the user isn't misled about what actually ran.
+	shadowed := map[string]bool{
+		"scale":  sp.Base.Scale != 0,
+		"epochs": sp.Base.Epochs != 0,
+		"seed":   sp.Base.Seed != 0,
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if shadowed[f.Name] {
+			fmt.Fprintf(os.Stderr, "runsuite: -%s %s ignored: the spec pins %s in its base\n",
+				f.Name, f.Value, f.Name)
+		}
+	})
+	var obs []trainer.Observer
+	if withProgress {
+		obs = append(obs, trainer.NewConsoleObserver(os.Stderr))
+	}
+	start := time.Now()
+	rep, err := experiments.RunSpec(ctx, sp,
+		experiments.Options{Scale: scale, Epochs: epochs, Seed: seed}, obs...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runsuite: spec %s: %v\n", sp.Name, err)
+		return 1
+	}
+	fmt.Printf("== %s: %s ==\n%s", sp.Name, sp.Title, rep.Table.String())
+	if rep.Notes != "" {
+		fmt.Printf("notes: %s\n", rep.Notes)
+	}
+	fmt.Fprintf(os.Stderr, "runsuite: spec %s done in %.2fs\n", sp.Name, time.Since(start).Seconds())
+	return 0
 }

@@ -36,8 +36,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"datastall"
@@ -59,6 +61,11 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context; the simulations poll it, so an
+	// interrupted run dies cleanly (profiles still flush via the defers).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -101,9 +108,9 @@ func run() int {
 	case *bench2:
 		return runBench2(*bench2Out)
 	case *runID == "all":
-		return runAll(*scale, *epochs, *seed, *parallel)
+		return runAll(ctx, *scale, *epochs, *seed, *parallel)
 	case *runID != "":
-		return runOne(*runID, *scale, *epochs, *seed)
+		return runOne(ctx, *runID, *scale, *epochs, *seed)
 	default:
 		flag.Usage()
 		return 2
@@ -111,8 +118,8 @@ func run() int {
 }
 
 // runAll fans the whole registry across the suite orchestrator.
-func runAll(scale float64, epochs int, seed int64, parallel int) int {
-	rep, err := datastall.RunSuite(context.Background(), datastall.SuiteOptions{
+func runAll(ctx context.Context, scale float64, epochs int, seed int64, parallel int) int {
+	rep, err := datastall.RunSuite(ctx, datastall.SuiteOptions{
 		Scale: scale, Epochs: epochs, Seed: seed, Parallel: parallel,
 		Progress: func(e datastall.SuiteExperiment) {
 			fmt.Fprintf(os.Stderr, "stallbench: %-18s %-6s (%.2fs)\n", e.ID, e.Status, e.WallSeconds)
@@ -131,9 +138,9 @@ func runAll(scale float64, epochs int, seed int64, parallel int) int {
 	return 0
 }
 
-func runOne(id string, scale float64, epochs int, seed int64) int {
+func runOne(ctx context.Context, id string, scale float64, epochs int, seed int64) int {
 	start := time.Now()
-	rep, err := datastall.RunExperiment(id, datastall.ExperimentOptions{
+	rep, err := datastall.RunExperiment(ctx, id, datastall.ExperimentOptions{
 		Scale: scale, Epochs: epochs, Seed: seed,
 	})
 	if err != nil {

@@ -14,7 +14,7 @@
 //
 // Quick start (library):
 //
-//	res, err := datastall.Train(datastall.TrainConfig{
+//	res, err := datastall.TrainContext(ctx, datastall.TrainConfig{
 //		Model:   "resnet18",
 //		Dataset: "openimages",
 //		Server:  datastall.ServerSSDV100,
@@ -22,6 +22,14 @@
 //		CacheFraction: 0.35,
 //		Scale:   0.01,
 //	})
+//
+// Every run honors its context: cancellation (SIGINT in the CLIs, a
+// deadline in a service) propagates into the simulation and returns
+// ctx.Err() promptly, even mid-epoch. For streamed per-epoch progress,
+// functional options and typed validation errors, embed the trainer
+// package's Job API directly (see README.md, "Embedding the library").
+// Declarative scenario sweeps — a base job plus parameter axes, as JSON —
+// run via RunScenario or `runsuite -spec file.json`.
 //
 // Quick start (paper reproduction): RunSuite fans every registered
 // table/figure experiment across a bounded worker pool, isolates failures,
@@ -60,6 +68,7 @@
 package datastall
 
 import (
+	"context"
 	"fmt"
 
 	"datastall/internal/cluster"
@@ -301,13 +310,21 @@ func toResult(r *trainer.Result) *TrainResult {
 	return out
 }
 
-// Train simulates one training job.
+// Train simulates one training job. It is the legacy blocking form of
+// TrainContext.
 func Train(c TrainConfig) (*TrainResult, error) {
+	return TrainContext(context.Background(), c)
+}
+
+// TrainContext simulates one training job under ctx: cancellation (SIGINT
+// in the CLIs, a deadline in a service) propagates into the simulation and
+// returns ctx.Err() promptly.
+func TrainContext(ctx context.Context, c TrainConfig) (*TrainResult, error) {
 	cfg, err := c.internal()
 	if err != nil {
 		return nil, err
 	}
-	r, err := trainer.Run(cfg)
+	r, err := trainer.RunContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -342,8 +359,15 @@ type HPSearchResult struct {
 	StagingPeakGiB float64
 }
 
-// HPSearch simulates NumJobs concurrent jobs sharing one server.
+// HPSearch simulates NumJobs concurrent jobs sharing one server. It is the
+// legacy blocking form of HPSearchContext.
 func HPSearch(c HPSearchConfig) (*HPSearchResult, error) {
+	return HPSearchContext(context.Background(), c)
+}
+
+// HPSearchContext simulates NumJobs concurrent jobs sharing one server,
+// honoring ctx cancellation.
+func HPSearchContext(ctx context.Context, c HPSearchConfig) (*HPSearchResult, error) {
 	base, err := c.Job.internal()
 	if err != nil {
 		return nil, err
@@ -361,7 +385,7 @@ func HPSearch(c HPSearchConfig) (*HPSearchResult, error) {
 	if c.StagingGiB > 0 {
 		cc.StagingCapBytes = c.StagingGiB * gib
 	}
-	r, err := trainer.RunConcurrent(cc)
+	r, err := trainer.RunConcurrentContext(ctx, cc)
 	if err != nil {
 		return nil, err
 	}
@@ -419,12 +443,19 @@ func (s *StallProfile) CoresToMaskPrep() float64 {
 }
 
 // AnalyzeStalls runs DS-Analyzer's three differential phases for the job.
+// It is the legacy blocking form of AnalyzeStallsContext.
 func AnalyzeStalls(c TrainConfig) (*StallProfile, error) {
+	return AnalyzeStallsContext(context.Background(), c)
+}
+
+// AnalyzeStallsContext runs DS-Analyzer's three differential phases under
+// ctx; cancellation aborts whichever phase is in flight.
+func AnalyzeStallsContext(ctx context.Context, c TrainConfig) (*StallProfile, error) {
 	cfg, err := c.internal()
 	if err != nil {
 		return nil, err
 	}
-	p, err := dsanalyzer.Analyze(cfg)
+	p, err := dsanalyzer.Analyze(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package datastall
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -151,14 +152,14 @@ func TestRunExperimentPublicAPI(t *testing.T) {
 	if len(infos) < 30 {
 		t.Fatalf("only %d experiments registered", len(infos))
 	}
-	rep, err := RunExperiment("fig1", ExperimentOptions{})
+	rep, err := RunExperiment(context.Background(), "fig1", ExperimentOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(rep.Text, "GPU") || len(rep.Values) == 0 {
 		t.Fatalf("bad report: %+v", rep)
 	}
-	if _, err := RunExperiment("nope", ExperimentOptions{}); err == nil {
+	if _, err := RunExperiment(context.Background(), "nope", ExperimentOptions{}); err == nil {
 		t.Fatal("unknown experiment should fail")
 	}
 }

@@ -1,15 +1,23 @@
 package datastall_test
 
 import (
+	"context"
 	"fmt"
 
 	"datastall"
+	"datastall/internal/cluster"
+	"datastall/internal/dataset"
+	"datastall/internal/gpu"
+	"datastall/internal/loader"
+	"datastall/internal/trainer"
 )
 
-// ExampleTrain demonstrates the core API: the simulation is deterministic,
-// so this example's output is stable.
-func ExampleTrain() {
-	r, err := datastall.Train(datastall.TrainConfig{
+// ExampleTrainContext demonstrates the core API: the simulation is
+// deterministic, so this example's output is stable. The context cancels
+// the run mid-epoch when it dies (a SIGINT handler or request deadline in
+// real use).
+func ExampleTrainContext() {
+	r, err := datastall.TrainContext(context.Background(), datastall.TrainConfig{
 		Model:         "resnet18",
 		Dataset:       "imagenet-1k",
 		Loader:        datastall.LoaderCoorDL,
@@ -38,4 +46,32 @@ func ExampleAnalyzeStalls() {
 	// §3.1: language models exhibit no data stalls.
 	fmt.Printf("bert-large stalled: %v\n", p.FetchStallFraction+p.PrepStallFraction > 0.02)
 	// Output: bert-large stalled: false
+}
+
+// ExampleJob embeds the trainer directly: functional options, explicit
+// typed validation, and per-epoch progress streamed through an Observer
+// while the simulation runs — the building blocks for putting this engine
+// behind a service.
+func ExampleJob() {
+	d := dataset.ImageNet1K.Scale(0.01)
+	job := trainer.New(gpu.MustByName("resnet18"), d, cluster.ConfigSSDV100(),
+		trainer.WithEpochs(2),
+		trainer.WithLoader(loader.CoorDL),
+		trainer.WithCacheBytes(0.35*d.TotalBytes),
+	)
+	if err := job.Validate(); err != nil {
+		panic(err)
+	}
+	epochs := 0
+	res, err := job.Run(context.Background(), trainer.ObserverFunc(func(ev trainer.Event) {
+		if _, ok := ev.(trainer.EpochEnded); ok {
+			epochs++
+		}
+	}))
+	if err != nil {
+		panic(err)
+	}
+	hr := float64(res.Epochs[1].Hits) / float64(res.Epochs[1].Hits+res.Epochs[1].Misses)
+	fmt.Printf("streamed %d epochs, steady-state hit rate %.2f\n", epochs, hr)
+	// Output: streamed 2 epochs, steady-state hit rate 0.35
 }

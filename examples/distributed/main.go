@@ -8,13 +8,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"datastall"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	base := datastall.TrainConfig{
 		Model:         "alexnet",
 		Dataset:       "openimages",
@@ -30,7 +37,7 @@ func main() {
 	for i, l := range []datastall.Loader{datastall.LoaderDALIShuffle, datastall.LoaderCoorDL} {
 		cfg := base
 		cfg.Loader = l
-		r, err := datastall.Train(cfg)
+		r, err := datastall.TrainContext(ctx, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

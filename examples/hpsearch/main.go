@@ -4,16 +4,32 @@
 // itself, amplifying storage reads ~7x; with coordination the dataset is
 // fetched and prepped exactly once per epoch and shared through the staging
 // area.
+//
+// The example exits non-zero on any error (and on SIGINT, which cancels the
+// in-flight simulation through its context), so CI can use it as a smoke
+// test.
 package main
 
 import (
+	"context"
 	"fmt"
-	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"datastall"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "hpsearch: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context) error {
 	job := datastall.TrainConfig{
 		Model:         "alexnet",
 		Dataset:       "openimages",
@@ -23,17 +39,17 @@ func main() {
 		Scale:         0.003,
 	}
 
-	baseline, err := datastall.HPSearch(datastall.HPSearchConfig{
+	baseline, err := datastall.HPSearchContext(ctx, datastall.HPSearchConfig{
 		Job: job, NumJobs: 8,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	coordinated, err := datastall.HPSearch(datastall.HPSearchConfig{
+	coordinated, err := datastall.HPSearchContext(ctx, datastall.HPSearchConfig{
 		Job: job, NumJobs: 8, Coordinated: true,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Println("8 concurrent AlexNet HP-search jobs, Config-SSD-V100")
@@ -47,4 +63,5 @@ func main() {
 	fmt.Printf("\ncoordinated prep speeds up every job by %.2fx while staging\n", speedup)
 	fmt.Printf("peaks at %.2f GiB of shared memory (cap 5 GiB, §5.5).\n",
 		coordinated.StagingPeakGiB)
+	return nil
 }

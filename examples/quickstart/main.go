@@ -4,13 +4,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"datastall"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// ShuffleNet on OpenImages with 65% of the dataset cacheable — the
 	// configuration of the paper's Table 6.
 	base := datastall.TrainConfig{
@@ -29,7 +36,7 @@ func main() {
 	} {
 		cfg := base
 		cfg.Loader = l
-		r, err := datastall.Train(cfg)
+		r, err := datastall.TrainContext(ctx, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

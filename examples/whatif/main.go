@@ -1,17 +1,32 @@
 // What-if example: use DS-Analyzer to size hardware before buying it
 // (§3.4, Appendix C). The profile is measured once; predictions for any
 // cache size, GPU speed or core count come from the Eq. 4 model.
+//
+// The example exits non-zero on any error (and on SIGINT, which cancels the
+// profiling run through its context), so CI can use it as a smoke test.
 package main
 
 import (
+	"context"
 	"fmt"
-	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"datastall"
 )
 
 func main() {
-	p, err := datastall.AnalyzeStalls(datastall.TrainConfig{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "whatif: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context) error {
+	p, err := datastall.AnalyzeStallsContext(ctx, datastall.TrainConfig{
 		Model:         "alexnet",
 		Dataset:       "imagenet-1k",
 		Server:        datastall.ServerSSDV100,
@@ -19,7 +34,7 @@ func main() {
 		Scale:         0.02,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Println("DS-Analyzer profile: AlexNet / ImageNet-1k / Config-SSD-V100")
@@ -41,4 +56,5 @@ func main() {
 	fmt.Printf("what-if 2x prep CPUs at 35%% cache:  %.0f samples/s\n",
 		p.WhatIfMoreCores(0.35, 2))
 	fmt.Println("\nif a job is I/O-bound, neither helps — fix the cache or the disk (§3.4).")
+	return nil
 }

@@ -64,9 +64,12 @@ type ExperimentOptions struct {
 	Seed int64
 }
 
-// RunExperiment reproduces one of the paper's tables or figures.
-func RunExperiment(id string, opts ExperimentOptions) (*ExperimentReport, error) {
-	r, err := experiments.Run(id, experiments.Options{
+// RunExperiment reproduces one of the paper's tables or figures. ctx
+// cancellation propagates into the experiment's simulations, so
+// single-experiment runs honor deadlines and SIGINT exactly like suite
+// runs.
+func RunExperiment(ctx context.Context, id string, opts ExperimentOptions) (*ExperimentReport, error) {
+	r, err := experiments.Run(ctx, id, experiments.Options{
 		Scale: opts.Scale, Epochs: opts.Epochs, Seed: opts.Seed,
 	})
 	if err != nil {
@@ -74,6 +77,27 @@ func RunExperiment(id string, opts ExperimentOptions) (*ExperimentReport, error)
 	}
 	return &ExperimentReport{
 		ID: r.ID, Title: r.Title, Paper: r.Paper,
+		Text: r.Table.String(), Values: r.Values, Notes: r.Notes,
+	}, nil
+}
+
+// RunScenario parses and runs a declarative JSON scenario spec — a base job
+// plus parameter axes plus derived table columns (see internal/experiments
+// Spec and testdata/specs/ for the schema by example). The scenario needs no
+// compiled code: `runsuite -spec file.json` is this function behind a flag.
+func RunScenario(ctx context.Context, specJSON []byte, opts ExperimentOptions) (*ExperimentReport, error) {
+	sp, err := experiments.LoadSpec(specJSON)
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.RunSpec(ctx, sp, experiments.Options{
+		Scale: opts.Scale, Epochs: opts.Epochs, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ExperimentReport{
+		ID: sp.Name, Title: sp.Title, Paper: "user scenario",
 		Text: r.Table.String(), Values: r.Values, Notes: r.Notes,
 	}, nil
 }

@@ -9,6 +9,17 @@ import (
 	"datastall/internal/dataset"
 )
 
+// SumUsedBytes totals occupancy across a slice of caches — any element
+// type with a UsedBytes method (per-server cache slices in the fetchers
+// report aggregate occupancy through this).
+func SumUsedBytes[C interface{ UsedBytes() float64 }](caches []C) float64 {
+	t := 0.0
+	for _, c := range caches {
+		t += c.UsedBytes()
+	}
+	return t
+}
+
 // Cache is the item-granular cache interface shared by the OS page-cache
 // simulation and the MinIO cache.
 type Cache interface {

@@ -39,6 +39,10 @@ func NewMinIOFetcher(d *dataset.Dataset, c *cluster.Cluster, capBytes float64) *
 	return f
 }
 
+// CacheUsedBytes reports MinIO occupancy summed across servers (surfaced by
+// the trainer's EpochEnded observer events).
+func (f *MinIOFetcher) CacheUsedBytes() float64 { return cache.SumUsedBytes(f.Caches) }
+
 // FetchBatch implements loader.Fetcher.
 func (f *MinIOFetcher) FetchBatch(p *sim.Proc, server int, items []dataset.ItemID) loader.FetchResult {
 	var r loader.FetchResult
@@ -88,6 +92,9 @@ func NewPartitionedFetcher(d *dataset.Dataset, c *cluster.Cluster, capBytes floa
 func (f *PartitionedFetcher) OwnerShards() []dataset.Shard {
 	return f.Part.OwnerShards()
 }
+
+// CacheUsedBytes reports aggregate partitioned-cache occupancy.
+func (f *PartitionedFetcher) CacheUsedBytes() float64 { return f.Part.AggregateUsedBytes() }
 
 // FetchBatch implements loader.Fetcher: local MinIO hit -> DRAM; remote hit
 // -> TCP from the owning server's DRAM; miss -> local storage (cached by the

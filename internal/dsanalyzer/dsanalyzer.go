@@ -6,6 +6,7 @@
 package dsanalyzer
 
 import (
+	"context"
 	"fmt"
 
 	"datastall/internal/trainer"
@@ -45,20 +46,21 @@ type Profile struct {
 
 // Analyze runs the three differential phases for cfg and returns the
 // profile. cfg describes the *actual* training setup (loader, cache size).
-func Analyze(cfg trainer.Config) (*Profile, error) {
+// ctx cancellation aborts whichever phase is in flight.
+func Analyze(ctx context.Context, cfg trainer.Config) (*Profile, error) {
 	p1 := cfg
 	p1.FetchMode = trainer.Synthetic
-	r1, err := trainer.Run(p1)
+	r1, err := trainer.RunContext(ctx, p1)
 	if err != nil {
 		return nil, fmt.Errorf("dsanalyzer phase 1: %w", err)
 	}
 	p2 := cfg
 	p2.FetchMode = trainer.FullyCached
-	r2, err := trainer.Run(p2)
+	r2, err := trainer.RunContext(ctx, p2)
 	if err != nil {
 		return nil, fmt.Errorf("dsanalyzer phase 2: %w", err)
 	}
-	r3, err := trainer.Run(cfg)
+	r3, err := trainer.RunContext(ctx, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("dsanalyzer phase 3: %w", err)
 	}

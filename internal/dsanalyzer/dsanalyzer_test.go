@@ -1,6 +1,7 @@
 package dsanalyzer
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -14,7 +15,7 @@ import (
 func profileFor(t *testing.T, model string, cacheFrac float64) *Profile {
 	t.Helper()
 	d := dataset.ImageNet1K.Scale(0.01)
-	p, err := Analyze(trainer.Config{
+	p, err := Analyze(context.Background(), trainer.Config{
 		Model: gpu.MustByName(model), Dataset: d,
 		Spec: cluster.ConfigSSDV100(), Loader: loader.DALIShuffle,
 		CacheBytes: cacheFrac * d.TotalBytes, Epochs: 3,
@@ -116,7 +117,7 @@ func TestCoresToMaskPrep(t *testing.T) {
 	// ResNet18 at 3 cores/GPU is prep-starved; the profile should ask
 	// for roughly the Fig 4 multiplier (12 cores / 3 cores ~ 3-4x).
 	d := dataset.ImageNet1K.Scale(0.01)
-	p, err := Analyze(trainer.Config{
+	p, err := Analyze(context.Background(), trainer.Config{
 		Model: gpu.MustByName("resnet18"), Dataset: d,
 		Spec: cluster.ConfigSSDV100(), Loader: loader.DALIShuffle,
 		ThreadsPerGPU: 3, GPUPrep: trainer.GPUPrepOff,
@@ -130,7 +131,7 @@ func TestCoresToMaskPrep(t *testing.T) {
 		t.Fatalf("core multiplier %.1f, want ~3-4 (Fig 4: 12 cores vs 3)", f)
 	}
 	// A model with ample prep (ResNet50 at 4 cores) needs nothing extra.
-	p2, err := Analyze(trainer.Config{
+	p2, err := Analyze(context.Background(), trainer.Config{
 		Model: gpu.MustByName("resnet50"), Dataset: d,
 		Spec: cluster.ConfigSSDV100(), Loader: loader.DALIShuffle,
 		GPUsPerServer: 1, ThreadsPerGPU: 6,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"datastall/internal/cache"
 	"datastall/internal/cluster"
 	"datastall/internal/dataset"
@@ -96,7 +97,7 @@ func init() {
 
 // runFig1 derives the published pipeline rates from the calibrated component
 // models (no simulation needed; this is the calibration anchor).
-func runFig1(o Options) (*Report, error) {
+func runFig1(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("resnet18")
 	d := dataset.ImageNet1K
 	avg := d.AvgItemBytes()
@@ -134,7 +135,7 @@ var fig2Models = []string{
 	"mobilenetv2", "resnet50", "vgg11", "ssd-res18", "audio-m5",
 }
 
-func runFig2(o Options) (*Report, error) {
+func runFig2(ctx context.Context, o Options) (*Report, error) {
 	r := &Report{Table: &stats.Table{
 		Title:   "Fetch stalls at 35% cache, Config-SSD-V100",
 		Columns: []string{"model", "dataset", "fetch stall %", "prep stall %"},
@@ -142,7 +143,7 @@ func runFig2(o Options) (*Report, error) {
 	for _, name := range fig2Models {
 		m := gpu.MustByName(name)
 		d := scaled(m, o)
-		p, err := dsanalyzer.Analyze(trainer.Config{
+		p, err := dsanalyzer.Analyze(ctx, trainer.Config{
 			Model: m, Dataset: d, Spec: cluster.ConfigSSDV100(),
 			Loader: loader.DALIShuffle, CacheBytes: 0.35 * d.TotalBytes,
 			Epochs: o.Epochs, Seed: o.Seed,
@@ -156,7 +157,7 @@ func runFig2(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runFig3(o Options) (*Report, error) {
+func runFig3(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("resnet18")
 	d := dataset.ImageNet1K.Scale(o.Scale)
 	spec := cluster.ConfigSSDV100()
@@ -164,19 +165,19 @@ func runFig3(o Options) (*Report, error) {
 		Title:   "ResNet18 epoch time split vs cache size",
 		Columns: []string{"cache %", "compute s", "ideal fetch stall s", "thrashing s", "% dataset fetched (page cache)"},
 	}}
-	syn, err := mustRun(trainer.Config{Model: m, Dataset: d, Spec: spec,
+	syn, err := mustRun(ctx, trainer.Config{Model: m, Dataset: d, Spec: spec,
 		FetchMode: trainer.Synthetic, Epochs: o.Epochs, Seed: o.Seed})
 	if err != nil {
 		return nil, err
 	}
 	for _, frac := range []float64{0.20, 0.35, 0.50, 0.65, 0.80} {
 		cacheBytes := frac * d.TotalBytes
-		ideal, err := mustRun(trainer.Config{Model: m, Dataset: d, Spec: spec,
+		ideal, err := mustRun(ctx, trainer.Config{Model: m, Dataset: d, Spec: spec,
 			Loader: loader.CoorDL, CacheBytes: cacheBytes, Epochs: o.Epochs, Seed: o.Seed})
 		if err != nil {
 			return nil, err
 		}
-		pc, err := mustRun(trainer.Config{Model: m, Dataset: d, Spec: spec,
+		pc, err := mustRun(ctx, trainer.Config{Model: m, Dataset: d, Spec: spec,
 			Loader: loader.DALIShuffle, CacheBytes: cacheBytes, Epochs: o.Epochs, Seed: o.Seed})
 		if err != nil {
 			return nil, err
@@ -200,7 +201,7 @@ func runFig3(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runFig4(o Options) (*Report, error) {
+func runFig4(ctx context.Context, o Options) (*Report, error) {
 	r := &Report{Table: &stats.Table{
 		Title:   "Per-GPU throughput (samples/s) vs CPU prep threads, dataset cached",
 		Columns: []string{"model", "3", "6", "12", "24", "ingestion rate G"},
@@ -210,7 +211,7 @@ func runFig4(o Options) (*Report, error) {
 		d := scaled(m, o)
 		row := []interface{}{name}
 		for _, cores := range []int{3, 6, 12, 24} {
-			res, err := mustRun(trainer.Config{
+			res, err := mustRun(ctx, trainer.Config{
 				Model: m, Dataset: d, Spec: cluster.ConfigSSDV100(),
 				GPUsPerServer: 1, ThreadsPerGPU: cores,
 				FetchMode: trainer.FullyCached, GPUPrep: trainer.GPUPrepOff,
@@ -233,33 +234,33 @@ func runFig4(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runFig5(o Options) (*Report, error) {
-	m := gpu.MustByName("resnet18")
-	r := &Report{Table: &stats.Table{
-		Title:   "ResNet18 8-GPU prep stall %, 3 CPU threads/GPU, dataset cached",
-		Columns: []string{"server", "CPU prep", "CPU+GPU prep"},
-	}}
-	for _, spec := range []cluster.ServerSpec{cluster.ConfigSSDV100(), cluster.ConfigHDD1080Ti()} {
-		d := dataset.ImageNet1K.Scale(o.Scale)
-		var stalls []float64
-		for _, mode := range []trainer.GPUPrepMode{trainer.GPUPrepOff, trainer.GPUPrepOn} {
-			res, err := mustRun(trainer.Config{
-				Model: m, Dataset: d, Spec: spec, ThreadsPerGPU: 3,
-				FetchMode: trainer.FullyCached, GPUPrep: mode,
-				Epochs: o.Epochs, Seed: o.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			stalls = append(stalls, pct(res.StallFraction))
-		}
-		r.Table.AddRow(spec.Gen.String(), stalls[0], stalls[1])
-		r.set("prep_stall_gpuprep_"+spec.Gen.String(), stalls[1])
-	}
-	return r, nil
+// fig5Spec is runFig5 as data: the server axis crossed with the GPU-prep
+// sweep. The GPU-prep figure is the canonical small sweep, so it doubles as
+// the template for user-authored -spec files.
+var fig5Spec = registerSpec(&Spec{
+	Name:      "fig5",
+	Title:     "ResNet18 8-GPU prep stall %, 3 CPU threads/GPU, dataset cached",
+	RowHeader: []string{"server"},
+	Base: JobSpec{
+		Model: "resnet18", Dataset: "imagenet-1k",
+		ThreadsPerGPU: 3, FetchMode: "fully-cached",
+	},
+	Rows: Axis{Cases: []Case{
+		{Cells: []string{"v100"}, Set: JobSpec{Server: "config-ssd-v100"}},
+		{Cells: []string{"1080ti"}, Set: JobSpec{Server: "config-hdd-1080ti"}},
+	}},
+	Sweep: &Axis{Param: "gpu_prep", Values: rawStrings("off", "on")},
+	Columns: []Column{
+		{Label: "CPU prep", Metric: "stall_pct", Of: "off"},
+		{Label: "CPU+GPU prep", Metric: "stall_pct", Of: "on", Key: "prep_stall_gpuprep_{row}"},
+	},
+})
+
+func runFig5(ctx context.Context, o Options) (*Report, error) {
+	return RunSpec(ctx, fig5Spec, o)
 }
 
-func runFig6(o Options) (*Report, error) {
+func runFig6(ctx context.Context, o Options) (*Report, error) {
 	r := &Report{Table: &stats.Table{
 		Title:   "Prep stalls, 8 GPUs x 3 cores, Config-SSD-V100, dataset cached",
 		Columns: []string{"model", "prep stall %"},
@@ -267,7 +268,7 @@ func runFig6(o Options) (*Report, error) {
 	for _, name := range fig2Models {
 		m := gpu.MustByName(name)
 		d := scaled(m, o)
-		res, err := mustRun(trainer.Config{
+		res, err := mustRun(ctx, trainer.Config{
 			Model: m, Dataset: d, Spec: cluster.ConfigSSDV100(), ThreadsPerGPU: 3,
 			FetchMode: trainer.FullyCached, Epochs: o.Epochs, Seed: o.Seed,
 		})
@@ -280,7 +281,7 @@ func runFig6(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runTable3(o Options) (*Report, error) {
+func runTable3(ctx context.Context, o Options) (*Report, error) {
 	// TensorFlow serializes the dataset into ~1000 record files of
 	// 100-200 MB and each job visits the records in its own shuffled
 	// order (§3.3.3). The cache therefore operates at record granularity:
@@ -306,12 +307,12 @@ func runTable3(o Options) (*Report, error) {
 			Loader: loader.DALIShuffle, Batch: 8, // 8 records per iteration
 			CacheBytes: frac * records.TotalBytes, Epochs: o.Epochs, Seed: o.Seed,
 		}
-		single, err := mustRun(base)
+		single, err := mustRun(ctx, base)
 		if err != nil {
 			return nil, err
 		}
 		missPct := pct(1 - single.HitRate)
-		hp, err := trainer.RunConcurrent(trainer.ConcurrentConfig{
+		hp, err := trainer.RunConcurrentContext(ctx, trainer.ConcurrentConfig{
 			Base: base, NumJobs: 8, GPUsPerJob: 1,
 		})
 		if err != nil {
@@ -327,7 +328,7 @@ func runTable3(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runFig8(o Options) (*Report, error) {
+func runFig8(ctx context.Context, o Options) (*Report, error) {
 	// The worked example: dataset {A,B,C,D}, cache of 2, two epochs.
 	epochs := [][]dataset.ItemID{{2, 1, 0, 3}, {1, 2, 3, 0}}
 	minio := cache.NewMinIO(2)
@@ -362,7 +363,7 @@ func fmt2(prefix string, n int) string {
 	return prefix + string(rune('0'+n))
 }
 
-func runFig12(o Options) (*Report, error) {
+func runFig12(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("resnet18")
 	d := dataset.ImageNet1K.Scale(o.Scale)
 	spec := cluster.HighCPUV100() // 32 cores / 64 vCPUs (Appendix B.1)
@@ -371,7 +372,7 @@ func runFig12(o Options) (*Report, error) {
 		Columns: []string{"vCPUs/GPU", "prep stall %", "throughput"},
 	}}
 	for _, threads := range []int{3, 4, 6, 8} {
-		res, err := mustRun(trainer.Config{
+		res, err := mustRun(ctx, trainer.Config{
 			Model: m, Dataset: d, Spec: spec, ThreadsPerGPU: threads,
 			FetchMode: trainer.FullyCached, GPUPrep: trainer.GPUPrepOn,
 			Epochs: o.Epochs, Seed: o.Seed,
@@ -390,7 +391,7 @@ func runFig12(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runFig13(o Options) (*Report, error) {
+func runFig13(ctx context.Context, o Options) (*Report, error) {
 	d := dataset.ImageNet1K.Scale(o.Scale)
 	r := &Report{Table: &stats.Table{
 		Title:   "Epoch time (s): PyTorch DL vs DALI CPU vs DALI GPU, dataset cached",
@@ -406,7 +407,7 @@ func runFig13(o Options) (*Report, error) {
 			{prep.DALI, trainer.GPUPrepOff},
 			{prep.DALI, trainer.GPUPrepOn},
 		} {
-			res, err := mustRun(trainer.Config{
+			res, err := mustRun(ctx, trainer.Config{
 				Model: m, Dataset: d, Spec: cluster.ConfigSSDV100(),
 				ThreadsPerGPU: 3, Framework: variant.fw, GPUPrep: variant.mode,
 				FetchMode: trainer.FullyCached, Epochs: o.Epochs, Seed: o.Seed,
@@ -425,7 +426,7 @@ func runFig13(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runFig14(o Options) (*Report, error) {
+func runFig14(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("mobilenetv2")
 	d, _ := dataset.ByName("openimages")
 	d = d.Scale(o.Scale)
@@ -434,7 +435,7 @@ func runFig14(o Options) (*Report, error) {
 		Columns: []string{"batch", "compute s", "epoch s", "prep stall %"},
 	}}
 	for _, b := range []int{64, 128, 256, 512} {
-		res, err := mustRun(trainer.Config{
+		res, err := mustRun(ctx, trainer.Config{
 			Model: m, Dataset: d, Spec: cluster.ConfigSSDV100(),
 			Batch: b, ThreadsPerGPU: 3, FetchMode: trainer.FullyCached,
 			Epochs: o.Epochs, Seed: o.Seed,

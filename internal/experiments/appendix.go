@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"datastall/internal/cluster"
 	"datastall/internal/dataset"
 	"datastall/internal/dsanalyzer"
@@ -92,11 +93,11 @@ func init() {
 	})
 }
 
-func runTable5(o Options) (*Report, error) {
+func runTable5(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("alexnet")
 	d := dataset.ImageNet1K.Scale(o.Scale)
 	spec := cluster.ConfigSSDV100()
-	p, err := dsanalyzer.Analyze(trainer.Config{
+	p, err := dsanalyzer.Analyze(ctx, trainer.Config{
 		Model: m, Dataset: d, Spec: spec, Loader: loader.CoorDL,
 		CacheBytes: 0.35 * d.TotalBytes, Epochs: o.Epochs, Seed: o.Seed,
 	})
@@ -109,7 +110,7 @@ func runTable5(o Options) (*Report, error) {
 	}}
 	for _, frac := range []float64{0.25, 0.35, 0.50} {
 		pred := p.PredictThroughput(frac)
-		res, err := mustRun(trainer.Config{
+		res, err := mustRun(ctx, trainer.Config{
 			Model: m, Dataset: d, Spec: spec, Loader: loader.CoorDL,
 			CacheBytes: frac * d.TotalBytes, Epochs: o.Epochs, Seed: o.Seed,
 		})
@@ -130,11 +131,11 @@ func abs(x float64) float64 {
 	return x
 }
 
-func runFig16(o Options) (*Report, error) {
+func runFig16(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("alexnet")
 	d := dataset.ImageNet1K.Scale(o.Scale)
 	spec := cluster.ConfigSSDV100()
-	p, err := dsanalyzer.Analyze(trainer.Config{
+	p, err := dsanalyzer.Analyze(ctx, trainer.Config{
 		Model: m, Dataset: d, Spec: spec, Loader: loader.CoorDL,
 		CacheBytes: 0.35 * d.TotalBytes, Epochs: o.Epochs, Seed: o.Seed,
 	})
@@ -156,14 +157,14 @@ func runFig16(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runFig19(o Options) (*Report, error) {
+func runFig19(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("resnet18")
 	full, _ := dataset.ByName("openimages")
 	d := full.Scale(o.Scale)
 	cacheBytes := cacheFor(d, full, 400*stats.GiB)
 	spec := cluster.ConfigSSDV100()
 	util := func(k loader.Kind) ([]float64, float64, error) {
-		res, err := mustRun(trainer.Config{
+		res, err := mustRun(ctx, trainer.Config{
 			Model: m, Dataset: d, Spec: spec, Loader: k,
 			CacheBytes: cacheBytes, Epochs: 2, Seed: o.Seed, TraceCPU: true,
 		})
@@ -199,7 +200,7 @@ func runFig19(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runFig20(o Options) (*Report, error) {
+func runFig20(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("alexnet")
 	full, _ := dataset.ByName("openimages")
 	d := full.Scale(o.Scale)
@@ -208,7 +209,7 @@ func runFig20(o Options) (*Report, error) {
 		CacheBytes: cacheFor(d, full, 400*stats.GiB),
 		Epochs:     2, Seed: o.Seed, Batch: 128,
 	}
-	res, err := trainer.RunConcurrent(trainer.ConcurrentConfig{
+	res, err := trainer.RunConcurrentContext(ctx, trainer.ConcurrentConfig{
 		Base: base, NumJobs: 8, GPUsPerJob: 1, Coordinated: true,
 		StagingCapBytes: 5 * stats.GiB, TraceStagingMem: true,
 	})
@@ -227,7 +228,7 @@ func runFig20(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runFig21(o Options) (*Report, error) {
+func runFig21(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("resnet18")
 	d := dataset.ImageNet1K.Scale(o.Scale)
 	r := &Report{Table: &stats.Table{
@@ -238,7 +239,7 @@ func runFig21(o Options) (*Report, error) {
 		for _, frac := range []float64{0.35, 0.50, 0.65, 0.80} {
 			var times []float64
 			for _, k := range []loader.Kind{loader.PyTorchDL, loader.CoorDL} {
-				res, err := mustRun(trainer.Config{
+				res, err := mustRun(ctx, trainer.Config{
 					Model: m, Dataset: d, Spec: spec, Loader: k,
 					Framework:  prep.PyTorchNative,
 					CacheBytes: frac * d.TotalBytes, Epochs: o.Epochs, Seed: o.Seed,
@@ -256,7 +257,7 @@ func runFig21(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runFig22(o Options) (*Report, error) {
+func runFig22(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("resnet18")
 	d := dataset.ImageNet1K.Scale(o.Scale)
 	r := &Report{Table: &stats.Table{
@@ -269,13 +270,13 @@ func runFig22(o Options) (*Report, error) {
 			Framework: prep.PyTorchNative, FetchMode: trainer.FullyCached,
 			ThreadsPerGPU: sh.workers, Epochs: o.Epochs, Seed: o.Seed,
 		}
-		indep, err := trainer.RunConcurrent(trainer.ConcurrentConfig{
+		indep, err := trainer.RunConcurrentContext(ctx, trainer.ConcurrentConfig{
 			Base: base, NumJobs: sh.jobs, GPUsPerJob: 1,
 		})
 		if err != nil {
 			return nil, err
 		}
-		coord, err := trainer.RunConcurrent(trainer.ConcurrentConfig{
+		coord, err := trainer.RunConcurrentContext(ctx, trainer.ConcurrentConfig{
 			Base: base, NumJobs: sh.jobs, GPUsPerJob: 1, Coordinated: true,
 		})
 		if err != nil {
@@ -289,7 +290,7 @@ func runFig22(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runFig23(o Options) (*Report, error) {
+func runFig23(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("resnet18")
 	d := dataset.ImageNet1K.Scale(o.Scale)
 	r := &Report{Table: &stats.Table{
@@ -323,9 +324,9 @@ func runFig23(o Options) (*Report, error) {
 			var sr *hpsearch.Result
 			var err error
 			if v.coord && v.pgc {
-				sr, err = runSearchWithPageCacheCoord(cfg)
+				sr, err = runSearchWithPageCacheCoord(ctx, cfg)
 			} else {
-				sr, err = hpsearch.Run(cfg)
+				sr, err = hpsearch.Run(ctx, cfg)
 			}
 			if err != nil {
 				return nil, err
@@ -355,7 +356,7 @@ func keyify(s string) string {
 
 // runSearchWithPageCacheCoord runs the "coordinated prep alone" variant:
 // coordination through the staging area but fetching via the page cache.
-func runSearchWithPageCacheCoord(cfg hpsearch.Config) (*hpsearch.Result, error) {
+func runSearchWithPageCacheCoord(ctx context.Context, cfg hpsearch.Config) (*hpsearch.Result, error) {
 	// hpsearch drives trainer.RunConcurrent; reproduce its waves here
 	// with CoordUsePageCache set.
 	res := &hpsearch.Result{}
@@ -370,7 +371,7 @@ func runSearchWithPageCacheCoord(cfg hpsearch.Config) (*hpsearch.Result, error) 
 		if base.Epochs == 0 {
 			base.Epochs = 1
 		}
-		cr, err := trainer.RunConcurrent(trainer.ConcurrentConfig{
+		cr, err := trainer.RunConcurrentContext(ctx, trainer.ConcurrentConfig{
 			Base: base, NumJobs: n, GPUsPerJob: 1,
 			Coordinated: true, CoordUsePageCache: true,
 		})
@@ -392,7 +393,7 @@ func runSearchWithPageCacheCoord(cfg hpsearch.Config) (*hpsearch.Result, error) 
 	return res, nil
 }
 
-func runAblationCache(o Options) (*Report, error) {
+func runAblationCache(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("shufflenetv2")
 	full, _ := dataset.ByName("openimages")
 	d := full.Scale(o.Scale)
@@ -403,7 +404,7 @@ func runAblationCache(o Options) (*Report, error) {
 	}}
 	// Page-cache policies via the DALI-shuffle path; MinIO via CoorDL.
 	for _, k := range []loader.Kind{loader.DALIShuffle, loader.CoorDL} {
-		res, err := mustRun(trainer.Config{
+		res, err := mustRun(ctx, trainer.Config{
 			Model: m, Dataset: d, Spec: cluster.ConfigSSDV100(),
 			Loader: k, CacheBytes: cacheBytes, Epochs: o.Epochs, Seed: o.Seed,
 		})
@@ -421,7 +422,7 @@ func runAblationCache(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runAblationRemote(o Options) (*Report, error) {
+func runAblationRemote(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("resnet18")
 	full, _ := dataset.ByName("openimages")
 	d := full.Scale(o.Scale)
@@ -431,7 +432,7 @@ func runAblationRemote(o Options) (*Report, error) {
 		Columns: []string{"variant", "epoch s", "disk GiB/epoch", "net GiB/epoch"},
 	}}
 	for _, disable := range []bool{false, true} {
-		res, err := mustRun(trainer.Config{
+		res, err := mustRun(ctx, trainer.Config{
 			Model: m, Dataset: d, Spec: cluster.ConfigHDD1080Ti(),
 			NumServers: 2, Loader: loader.CoorDL, CacheBytes: cacheBytes,
 			DisableRemoteFetch: disable, Epochs: o.Epochs, Seed: o.Seed,
@@ -453,7 +454,7 @@ func runAblationRemote(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runAblationStaging(o Options) (*Report, error) {
+func runAblationStaging(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("alexnet")
 	full, _ := dataset.ByName("openimages")
 	d := full.Scale(o.Scale)
@@ -467,7 +468,7 @@ func runAblationStaging(o Options) (*Report, error) {
 		Columns: []string{"cap (GiB)", "per-job epoch s", "peak staged GiB"},
 	}}
 	for _, capGiB := range []float64{0.5, 1, 2, 5} {
-		res, err := trainer.RunConcurrent(trainer.ConcurrentConfig{
+		res, err := trainer.RunConcurrentContext(ctx, trainer.ConcurrentConfig{
 			Base: base, NumJobs: 8, GPUsPerJob: 1, Coordinated: true,
 			StagingCapBytes: capGiB * stats.GiB,
 		})
@@ -480,7 +481,7 @@ func runAblationStaging(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runAblationPrefetch(o Options) (*Report, error) {
+func runAblationPrefetch(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("shufflenetv2")
 	full, _ := dataset.ByName("openimages")
 	d := full.Scale(o.Scale)
@@ -489,7 +490,7 @@ func runAblationPrefetch(o Options) (*Report, error) {
 		Columns: []string{"depth", "epoch s", "stall %"},
 	}}
 	for _, depth := range []int{1, 2, 3, 6} {
-		res, err := mustRun(trainer.Config{
+		res, err := mustRun(ctx, trainer.Config{
 			Model: m, Dataset: d, Spec: cluster.ConfigSSDV100(),
 			Loader: loader.CoorDL, CacheBytes: 0.65 * d.TotalBytes,
 			PrefetchDepth: depth, Epochs: o.Epochs, Seed: o.Seed,

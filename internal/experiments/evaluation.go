@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"datastall/internal/cluster"
 	"datastall/internal/dataset"
 	"datastall/internal/gpu"
@@ -82,38 +83,38 @@ func init() {
 	})
 }
 
-// fig9aCases: model -> (dataset handled via registry), cache budget 400 GiB.
-func runFig9a(o Options) (*Report, error) {
-	r := &Report{Table: &stats.Table{
-		Title:   "Single-server speedup over DALI baselines (Config-SSD-V100)",
-		Columns: []string{"model", "dataset", "dali-seq s", "dali-shuffle s", "coordl s", "vs seq", "vs shuffle"},
-	}}
-	budget := 400 * stats.GiB
-	for _, name := range []string{"shufflenetv2", "alexnet", "resnet18", "squeezenet", "mobilenetv2", "ssd-res18", "audio-m5"} {
-		m := gpu.MustByName(name)
-		full, _ := dataset.ByName(m.DefaultDataset)
-		d := full.Scale(o.Scale)
-		cacheBytes := cacheFor(d, full, budget)
-		var times []float64
-		for _, k := range []loader.Kind{loader.DALISeq, loader.DALIShuffle, loader.CoorDL} {
-			res, err := mustRun(trainer.Config{
-				Model: m, Dataset: d, Spec: cluster.ConfigSSDV100(),
-				Loader: k, CacheBytes: cacheBytes, Epochs: o.Epochs, Seed: o.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			times = append(times, res.EpochTime)
-		}
-		r.Table.AddRow(name, m.DefaultDataset, times[0], times[1], times[2],
-			times[0]/times[2], times[1]/times[2])
-		r.set("speedup_seq_"+name, times[0]/times[2])
-		r.set("speedup_shuffle_"+name, times[1]/times[2])
-	}
-	return r, nil
+// fig9aSpec is runFig9a as data: the Table 1 model axis crossed with the
+// loader sweep, speedups as ratio columns. Cache budget 400 GiB, datasets
+// per the registry defaults.
+var fig9aSpec = registerSpec(&Spec{
+	Name:      "fig9a",
+	Title:     "Single-server speedup over DALI baselines (Config-SSD-V100)",
+	RowHeader: []string{"model", "dataset"},
+	Base:      JobSpec{Server: "config-ssd-v100"},
+	Rows: Axis{Cases: []Case{
+		{Set: JobSpec{Model: "shufflenetv2"}},
+		{Set: JobSpec{Model: "alexnet"}},
+		{Set: JobSpec{Model: "resnet18"}},
+		{Set: JobSpec{Model: "squeezenet"}},
+		{Set: JobSpec{Model: "mobilenetv2"}},
+		{Set: JobSpec{Model: "ssd-res18"}},
+		{Set: JobSpec{Model: "audio-m5"}},
+	}},
+	Sweep: &Axis{Param: "loader", Values: rawStrings("dali-seq", "dali-shuffle", "coordl")},
+	Columns: []Column{
+		{Label: "dali-seq s", Metric: "epoch_s", Of: "dali-seq"},
+		{Label: "dali-shuffle s", Metric: "epoch_s", Of: "dali-shuffle"},
+		{Label: "coordl s", Metric: "epoch_s", Of: "coordl"},
+		{Label: "vs seq", Metric: "epoch_s", Of: "dali-seq", Over: "coordl", Key: "speedup_seq_{row}"},
+		{Label: "vs shuffle", Metric: "epoch_s", Of: "dali-shuffle", Over: "coordl", Key: "speedup_shuffle_{row}"},
+	},
+})
+
+func runFig9a(ctx context.Context, o Options) (*Report, error) {
+	return RunSpec(ctx, fig9aSpec, o)
 }
 
-func runFig9b(o Options) (*Report, error) {
+func runFig9b(ctx context.Context, o Options) (*Report, error) {
 	r := &Report{Table: &stats.Table{
 		Title:   "2-server distributed training speedup (throughput, CoorDL vs DALI-shuffle)",
 		Columns: []string{"model", "dataset", "server", "dali samp/s", "coordl samp/s", "speedup"},
@@ -142,7 +143,7 @@ func runFig9b(o Options) (*Report, error) {
 		}
 		var thr []float64
 		for _, k := range []loader.Kind{loader.DALIShuffle, loader.CoorDL} {
-			res, err := mustRun(trainer.Config{
+			res, err := mustRun(ctx, trainer.Config{
 				Model: m, Dataset: d, Spec: c.spec, NumServers: 2, Batch: batch,
 				Loader: k, CacheBytes: cacheBytes, Epochs: o.Epochs, Seed: o.Seed,
 			})
@@ -159,7 +160,7 @@ func runFig9b(o Options) (*Report, error) {
 
 // hpSpeedups runs the 8x1-GPU HP-search comparison for the given models on
 // their datasets (or a fixed dataset if fixed != nil).
-func hpSpeedups(o Options, models []string, fixed *dataset.Dataset, fullyCached bool, r *Report) error {
+func hpSpeedups(ctx context.Context, o Options, models []string, fixed *dataset.Dataset, fullyCached bool, r *Report) error {
 	for _, name := range models {
 		m := gpu.MustByName(name)
 		var d *dataset.Dataset
@@ -189,13 +190,13 @@ func hpSpeedups(o Options, models []string, fixed *dataset.Dataset, fullyCached 
 			b /= 2
 		}
 		base.Batch = b
-		indep, err := trainer.RunConcurrent(trainer.ConcurrentConfig{
+		indep, err := trainer.RunConcurrentContext(ctx, trainer.ConcurrentConfig{
 			Base: base, NumJobs: 8, GPUsPerJob: 1,
 		})
 		if err != nil {
 			return err
 		}
-		coord, err := trainer.RunConcurrent(trainer.ConcurrentConfig{
+		coord, err := trainer.RunConcurrentContext(ctx, trainer.ConcurrentConfig{
 			Base: base, NumJobs: 8, GPUsPerJob: 1, Coordinated: true,
 		})
 		if err != nil {
@@ -209,19 +210,19 @@ func hpSpeedups(o Options, models []string, fixed *dataset.Dataset, fullyCached 
 	return nil
 }
 
-func runFig9d(o Options) (*Report, error) {
+func runFig9d(ctx context.Context, o Options) (*Report, error) {
 	r := &Report{Table: &stats.Table{
 		Title:   "8-job HP search, Config-SSD-V100 (per-job throughput)",
 		Columns: []string{"model", "dali samp/s", "coordl samp/s", "speedup", "dali disk GiB/ep", "coordl disk GiB/ep"},
 	}}
 	models := []string{"alexnet", "shufflenetv2", "resnet18", "resnet50", "audio-m5"}
-	if err := hpSpeedups(o, models, nil, false, r); err != nil {
+	if err := hpSpeedups(ctx, o, models, nil, false, r); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
 
-func runFig9e(o Options) (*Report, error) {
+func runFig9e(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("alexnet")
 	full, _ := dataset.ByName("openimages")
 	d := full.Scale(o.Scale)
@@ -243,13 +244,13 @@ func runFig9e(o Options) (*Report, error) {
 		{2, 4, "2 jobs x 4 GPU"},
 	}
 	for _, sh := range shapes {
-		indep, err := trainer.RunConcurrent(trainer.ConcurrentConfig{
+		indep, err := trainer.RunConcurrentContext(ctx, trainer.ConcurrentConfig{
 			Base: base, NumJobs: sh.jobs, GPUsPerJob: sh.gpus,
 		})
 		if err != nil {
 			return nil, err
 		}
-		coord, err := trainer.RunConcurrent(trainer.ConcurrentConfig{
+		coord, err := trainer.RunConcurrentContext(ctx, trainer.ConcurrentConfig{
 			Base: base, NumJobs: sh.jobs, GPUsPerJob: sh.gpus, Coordinated: true,
 		})
 		if err != nil {
@@ -263,11 +264,11 @@ func runFig9e(o Options) (*Report, error) {
 	// 1 job x 8 GPUs: coordination is moot; the benefit is MinIO (§5.3).
 	single := base
 	single.GPUsPerServer = 8
-	dali, err := mustRun(withLoader(single, loader.DALIShuffle))
+	dali, err := mustRun(ctx, withLoader(single, loader.DALIShuffle))
 	if err != nil {
 		return nil, err
 	}
-	coordl, err := mustRun(withLoader(single, loader.CoorDL))
+	coordl, err := mustRun(ctx, withLoader(single, loader.CoorDL))
 	if err != nil {
 		return nil, err
 	}
@@ -289,7 +290,7 @@ func aggThroughput(cr *trainer.ConcurrentResult) float64 {
 	return t
 }
 
-func runFig10(o Options) (*Report, error) {
+func runFig10(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("resnet50")
 	d := dataset.ImageNet1K.Scale(o.Scale)
 	spec := cluster.ConfigHDD1080Ti()
@@ -302,7 +303,7 @@ func runFig10(o Options) (*Report, error) {
 	epochsNeeded, _ := curve.EpochsToAccuracy(0.759)
 	var hrs []float64
 	for _, k := range []loader.Kind{loader.DALIShuffle, loader.CoorDL} {
-		res, err := mustRun(trainer.Config{
+		res, err := mustRun(ctx, trainer.Config{
 			Model: m, Dataset: d, Spec: spec, NumServers: 2,
 			Loader: k, CacheBytes: cacheBytes, Epochs: o.Epochs, Seed: o.Seed,
 		})
@@ -321,7 +322,7 @@ func runFig10(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runFig11(o Options) (*Report, error) {
+func runFig11(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("resnet18")
 	full, _ := dataset.ByName("openimages")
 	d := full.Scale(o.Scale)
@@ -332,7 +333,7 @@ func runFig11(o Options) (*Report, error) {
 		horizon float64
 	}
 	runT := func(k loader.Kind) (*trace, error) {
-		res, err := mustRun(trainer.Config{
+		res, err := mustRun(ctx, trainer.Config{
 			Model: m, Dataset: d, Spec: cluster.ConfigSSDV100(),
 			Loader: k, CacheBytes: cacheBytes, Epochs: 2,
 			Seed: o.Seed, TraceDiskIO: true,
@@ -392,7 +393,7 @@ func sqrt(x float64) float64 {
 	return z
 }
 
-func runTable6(o Options) (*Report, error) {
+func runTable6(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("shufflenetv2")
 	full, _ := dataset.ByName("openimages")
 	d := full.Scale(o.Scale)
@@ -404,7 +405,7 @@ func runTable6(o Options) (*Report, error) {
 	paperMiss := map[loader.Kind]float64{loader.DALISeq: 66, loader.DALIShuffle: 53, loader.CoorDL: 35}
 	paperIO := map[loader.Kind]float64{loader.DALISeq: 422, loader.DALIShuffle: 340, loader.CoorDL: 225}
 	for _, k := range []loader.Kind{loader.DALISeq, loader.DALIShuffle, loader.CoorDL} {
-		res, err := mustRun(trainer.Config{
+		res, err := mustRun(ctx, trainer.Config{
 			Model: m, Dataset: d, Spec: cluster.ConfigSSDV100(),
 			Loader: k, CacheBytes: cacheBytes, Epochs: o.Epochs, Seed: o.Seed,
 		})
@@ -419,20 +420,20 @@ func runTable6(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runTable7(o Options) (*Report, error) {
+func runTable7(ctx context.Context, o Options) (*Report, error) {
 	d := dataset.ImageNet1K.Scale(o.Scale)
 	r := &Report{Table: &stats.Table{
 		Title:   "8-job HP search, ImageNet-1k fully cached (per-job samples/s)",
 		Columns: []string{"model", "dali samp/s", "coordl samp/s", "speedup", "dali disk GiB/ep", "coordl disk GiB/ep"},
 	}}
 	models := []string{"shufflenetv2", "alexnet", "resnet18", "squeezenet", "mobilenetv2", "resnet50", "vgg11"}
-	if err := hpSpeedups(o, models, d, true, r); err != nil {
+	if err := hpSpeedups(ctx, o, models, d, true, r); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
 
-func runFig17(o Options) (*Report, error) {
+func runFig17(ctx context.Context, o Options) (*Report, error) {
 	full := dataset.ImageNet22K
 	d := full.Scale(o.Scale)
 	r := &Report{Table: &stats.Table{
@@ -445,11 +446,11 @@ func runFig17(o Options) (*Report, error) {
 			Model: m, Dataset: d, Spec: cluster.ConfigSSDV100(),
 			CacheBytes: 0.35 * d.TotalBytes, Epochs: o.Epochs, Seed: o.Seed, Batch: 128,
 		}
-		indep, err := trainer.RunConcurrent(trainer.ConcurrentConfig{Base: base, NumJobs: 8, GPUsPerJob: 1})
+		indep, err := trainer.RunConcurrentContext(ctx, trainer.ConcurrentConfig{Base: base, NumJobs: 8, GPUsPerJob: 1})
 		if err != nil {
 			return nil, err
 		}
-		coord, err := trainer.RunConcurrent(trainer.ConcurrentConfig{Base: base, NumJobs: 8, GPUsPerJob: 1, Coordinated: true})
+		coord, err := trainer.RunConcurrentContext(ctx, trainer.ConcurrentConfig{Base: base, NumJobs: 8, GPUsPerJob: 1, Coordinated: true})
 		if err != nil {
 			return nil, err
 		}
@@ -461,34 +462,25 @@ func runFig17(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runFig18(o Options) (*Report, error) {
-	m := gpu.MustByName("resnet50")
-	full, _ := dataset.ByName("openimages")
-	d := full.Scale(o.Scale)
-	cacheBytes := cacheFor(d, full, 400*stats.GiB)
-	r := &Report{Table: &stats.Table{
-		Title:   "ResNet50/OpenImages across 1-4 HDD servers",
-		Columns: []string{"servers", "dali samp/s", "coordl samp/s", "speedup", "dali disk GiB/node/ep", "coordl disk GiB/node/ep"},
-	}}
-	for _, n := range []int{1, 2, 3, 4} {
-		var thr, diskPer []float64
-		for _, k := range []loader.Kind{loader.DALIShuffle, loader.CoorDL} {
-			res, err := mustRun(trainer.Config{
-				Model: m, Dataset: d, Spec: cluster.ConfigHDD1080Ti(),
-				NumServers: n, Loader: k, CacheBytes: cacheBytes,
-				Epochs: o.Epochs, Seed: o.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			thr = append(thr, res.Throughput)
-			diskPer = append(diskPer, res.DiskPerEpoch/float64(n))
-		}
-		r.Table.AddRow(n, thr[0], thr[1], thr[1]/thr[0], gib(diskPer[0]), gib(diskPer[1]))
-		r.set("speedup_n"+itoa(n), thr[1]/thr[0])
-		r.set("dali_disk_n"+itoa(n), gib(diskPer[0]))
-		r.set("coordl_disk_n"+itoa(n), gib(diskPer[1]))
-	}
-	r.Notes = "DALI per-node disk I/O falls with more nodes but stays disk-bound; CoorDL reads ~zero disk once the aggregate cache holds the dataset"
-	return r, nil
+// fig18Spec is runFig18 as data: the server-count axis crossed with the
+// loader sweep, per-node disk I/O and speedup as derived columns.
+var fig18Spec = registerSpec(&Spec{
+	Name:      "fig18",
+	Title:     "ResNet50/OpenImages across 1-4 HDD servers",
+	RowHeader: []string{"servers"},
+	Base:      JobSpec{Model: "resnet50", Dataset: "openimages", Server: "config-hdd-1080ti"},
+	Rows:      Axis{Param: "servers", Values: rawInts(1, 2, 3, 4)},
+	Sweep:     &Axis{Param: "loader", Values: rawStrings("dali-shuffle", "coordl")},
+	Columns: []Column{
+		{Label: "dali samp/s", Metric: "samples_per_s", Of: "dali-shuffle"},
+		{Label: "coordl samp/s", Metric: "samples_per_s", Of: "coordl"},
+		{Label: "speedup", Metric: "samples_per_s", Of: "coordl", Over: "dali-shuffle", Key: "speedup_n{row}"},
+		{Label: "dali disk GiB/node/ep", Metric: "disk_gib_per_node", Of: "dali-shuffle", Key: "dali_disk_n{row}"},
+		{Label: "coordl disk GiB/node/ep", Metric: "disk_gib_per_node", Of: "coordl", Key: "coordl_disk_n{row}"},
+	},
+	Notes: "DALI per-node disk I/O falls with more nodes but stays disk-bound; CoorDL reads ~zero disk once the aggregate cache holds the dataset",
+})
+
+func runFig18(ctx context.Context, o Options) (*Report, error) {
+	return RunSpec(ctx, fig18Spec, o)
 }

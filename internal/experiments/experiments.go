@@ -3,9 +3,22 @@
 // per-experiment index, runs at a configurable dataset scale (ratios are
 // scale-invariant; see DESIGN.md §2), and renders a paper-style table plus a
 // flat map of key metrics for tests and EXPERIMENTS.md.
+//
+// There are two ways to run experiments:
+//
+//   - the registry (ByID/List/Run) holds the paper's tables and figures;
+//     every Run takes a context.Context, and cancellation propagates into
+//     the underlying simulations, so a timed-out suite aborts in-flight
+//     experiments instead of waiting them out;
+//   - declarative Specs (spec.go) describe sweep-shaped scenarios — a base
+//     job plus parameter axes plus derived columns — as data. The registry's
+//     sweep-shaped figures are themselves defined as Specs, and user
+//     scenarios load from JSON (`runsuite -spec file.json`) without touching
+//     compiled code.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -69,14 +82,15 @@ func (r *Report) String() string {
 	return s
 }
 
-// Experiment is a registered table/figure reproduction.
+// Experiment is a registered table/figure reproduction. Run must honor ctx:
+// the simulations it drives return ctx.Err() when the context dies.
 type Experiment struct {
 	ID    string
 	Title string
 	Paper string
 	// DefaultScale keeps the run fast while preserving ratios.
 	DefaultScale float64
-	Run          func(Options) (*Report, error)
+	Run          func(context.Context, Options) (*Report, error)
 }
 
 var registry = map[string]*Experiment{}
@@ -107,14 +121,16 @@ func List() []*Experiment {
 	return out
 }
 
-// Run looks up and executes an experiment.
-func Run(id string, o Options) (*Report, error) {
+// Run looks up and executes an experiment. ctx cancellation propagates into
+// the experiment's simulations, so single-experiment runs honor deadlines
+// exactly like suite runs.
+func Run(ctx context.Context, id string, o Options) (*Report, error) {
 	e, err := ByID(id)
 	if err != nil {
 		return nil, err
 	}
 	o = o.withDefaults(e.DefaultScale)
-	r, err := e.Run(o)
+	r, err := e.Run(ctx, o)
 	if err != nil {
 		return nil, fmt.Errorf("experiment %s: %w", id, err)
 	}
@@ -143,9 +159,10 @@ func cacheFor(d *dataset.Dataset, full *dataset.Dataset, budget float64) float64
 	return frac * d.TotalBytes
 }
 
-// mustRun runs a training config, propagating errors.
-func mustRun(cfg trainer.Config) (*trainer.Result, error) {
-	return trainer.Run(cfg)
+// mustRun runs a training config under ctx, propagating errors (including
+// ctx.Err() on cancellation).
+func mustRun(ctx context.Context, cfg trainer.Config) (*trainer.Result, error) {
+	return trainer.RunContext(ctx, cfg)
 }
 
 func pct(x float64) float64 { return 100 * x }

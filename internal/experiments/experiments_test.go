@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 )
 
 func run(t *testing.T, id string) *Report {
 	t.Helper()
-	r, err := Run(id, Options{})
+	r, err := Run(context.Background(), id, Options{})
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}

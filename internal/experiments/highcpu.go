@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"datastall/internal/cluster"
 	"datastall/internal/dataset"
 	"datastall/internal/gpu"
@@ -22,7 +23,7 @@ func init() {
 // even at 8 vCPUs/GPU (hyperthreads past 4 physical cores add only ~30%),
 // eight uncoordinated ResNet18 jobs redundantly pre-process the dataset
 // eight times, while coordinated prep does one sweep.
-func runAppD5(o Options) (*Report, error) {
+func runAppD5(ctx context.Context, o Options) (*Report, error) {
 	m := gpu.MustByName("resnet18")
 	full, _ := dataset.ByName("openimages")
 	d := full.Scale(o.Scale)
@@ -32,13 +33,13 @@ func runAppD5(o Options) (*Report, error) {
 		ThreadsPerGPU: 8, Batch: 128,
 		Epochs: o.Epochs, Seed: o.Seed,
 	}
-	indep, err := trainer.RunConcurrent(trainer.ConcurrentConfig{
+	indep, err := trainer.RunConcurrentContext(ctx, trainer.ConcurrentConfig{
 		Base: base, NumJobs: 8, GPUsPerJob: 1,
 	})
 	if err != nil {
 		return nil, err
 	}
-	coord, err := trainer.RunConcurrent(trainer.ConcurrentConfig{
+	coord, err := trainer.RunConcurrentContext(ctx, trainer.ConcurrentConfig{
 		Base: base, NumJobs: 8, GPUsPerJob: 1, Coordinated: true,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"datastall/internal/cluster"
 	"datastall/internal/dataset"
 	"datastall/internal/dsanalyzer"
@@ -24,7 +25,7 @@ func init() {
 // 35%-cache SSD-V100 setup where image/audio models stall 30-70%, the two
 // language models train GPU-bound because their per-sample input bytes are
 // tiny relative to the model's arithmetic.
-func runLangModels(o Options) (*Report, error) {
+func runLangModels(ctx context.Context, o Options) (*Report, error) {
 	r := &Report{Table: &stats.Table{
 		Title:   "Data stalls at 35% cache, Config-SSD-V100 (DALI baseline)",
 		Columns: []string{"model", "dataset", "fetch stall %", "prep stall %", "total stall %"},
@@ -37,7 +38,7 @@ func runLangModels(o Options) (*Report, error) {
 			return nil, err
 		}
 		d := full.Scale(o.Scale)
-		p, err := dsanalyzer.Analyze(trainer.Config{
+		p, err := dsanalyzer.Analyze(ctx, trainer.Config{
 			Model: m, Dataset: d, Spec: cluster.ConfigSSDV100(),
 			Loader: loader.DALIShuffle, CacheBytes: 0.35 * d.TotalBytes,
 			Epochs: o.Epochs, Seed: o.Seed,

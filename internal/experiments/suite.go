@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -37,8 +38,9 @@ type Suite struct {
 	// Parallel bounds the worker pool; <= 0 means runtime.NumCPU().
 	Parallel int
 	// Timeout, when > 0, bounds the whole run. Experiments not yet
-	// started when it expires are marked StatusSkipped; in-flight ones
-	// finish (simulations are not interruptible mid-run).
+	// started when it expires are marked StatusSkipped; in-flight ones are
+	// cancelled through their context (the simulations poll for
+	// cancellation) and are likewise marked StatusSkipped.
 	Timeout time.Duration
 	// Progress, when non-nil, is called from a single goroutine as each
 	// experiment finishes, in completion (not ID) order.
@@ -199,8 +201,14 @@ func runSuiteExperiment(ctx context.Context, e *Experiment, o Options) (res *Exp
 		return res
 	}
 	o = o.withDefaults(e.DefaultScale)
-	rep, err := e.Run(o)
+	rep, err := e.Run(ctx, o)
 	if err != nil {
+		// An experiment aborted by the suite deadline is "skipped", not
+		// "failed": the experiment itself did nothing wrong.
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			res.Status = StatusSkipped
+			return res
+		}
 		res.Status = StatusError
 		res.Err = fmt.Errorf("experiment %s: %w", e.ID, err)
 		return res

@@ -13,14 +13,14 @@ import (
 )
 
 // fakeExp builds an ad-hoc experiment for orchestrator tests.
-func fakeExp(id string, run func(Options) (*Report, error)) *Experiment {
+func fakeExp(id string, run func(context.Context, Options) (*Report, error)) *Experiment {
 	return &Experiment{
 		ID: id, Title: "fake " + id, Paper: "n/a", DefaultScale: 0.01, Run: run,
 	}
 }
 
 func okExp(id string, v float64) *Experiment {
-	return fakeExp(id, func(o Options) (*Report, error) {
+	return fakeExp(id, func(_ context.Context, o Options) (*Report, error) {
 		r := &Report{Table: &stats.Table{}}
 		r.set("v", v*float64(o.Seed))
 		return r, nil
@@ -78,8 +78,8 @@ func TestSuiteErrorIsolation(t *testing.T) {
 	s := &Suite{
 		Experiments: []*Experiment{
 			okExp("a-ok", 1),
-			fakeExp("b-err", func(Options) (*Report, error) { return nil, boom }),
-			fakeExp("c-panic", func(Options) (*Report, error) { panic("kaput") }),
+			fakeExp("b-err", func(context.Context, Options) (*Report, error) { return nil, boom }),
+			fakeExp("c-panic", func(context.Context, Options) (*Report, error) { panic("kaput") }),
 			okExp("d-ok", 2),
 		},
 		Options:  Options{Seed: 3},
@@ -113,7 +113,7 @@ func TestSuiteTimeoutCancelsCleanly(t *testing.T) {
 	var exps []*Experiment
 	for i := 0; i < 6; i++ {
 		id := fmt.Sprintf("slow-%d", i)
-		exps = append(exps, fakeExp(id, func(Options) (*Report, error) {
+		exps = append(exps, fakeExp(id, func(context.Context, Options) (*Report, error) {
 			time.Sleep(40 * time.Millisecond)
 			return &Report{Table: &stats.Table{}}, nil
 		}))
@@ -136,6 +136,34 @@ func TestSuiteTimeoutCancelsCleanly(t *testing.T) {
 		if want := fmt.Sprintf("slow-%d", i); er.ID != want {
 			t.Errorf("result %d is %s, want %s (ID order)", i, er.ID, want)
 		}
+	}
+}
+
+// TestSuiteTimeoutAbortsInFlight: with ctx plumbed into Experiment.Run, an
+// in-flight experiment no longer outlives the deadline — it aborts through
+// its context and is classified skipped, not failed.
+func TestSuiteTimeoutAbortsInFlight(t *testing.T) {
+	aborted := false
+	s := &Suite{
+		Experiments: []*Experiment{
+			fakeExp("in-flight", func(ctx context.Context, _ Options) (*Report, error) {
+				<-ctx.Done() // a well-behaved simulation returns ctx.Err()
+				aborted = true
+				return nil, ctx.Err()
+			}),
+		},
+		Parallel: 1,
+		Timeout:  30 * time.Millisecond,
+	}
+	res, err := s.Run(context.Background())
+	if err == nil {
+		t.Fatal("want a context error from the interrupted suite")
+	}
+	if !aborted {
+		t.Fatal("the in-flight experiment never saw the cancellation")
+	}
+	if res.Skipped != 1 || res.Failed != 0 {
+		t.Fatalf("got %d skipped / %d failed, want the aborted experiment skipped", res.Skipped, res.Failed)
 	}
 }
 

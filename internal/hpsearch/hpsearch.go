@@ -5,6 +5,7 @@
 package hpsearch
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -100,8 +101,9 @@ func objective(t Trial, epochs int, rng *rand.Rand) float64 {
 	return base*growth + 0.01*rng.NormFloat64()
 }
 
-// Run executes the search and returns timing plus the winning trial.
-func Run(cfg Config) (*Result, error) {
+// Run executes the search and returns timing plus the winning trial. ctx
+// cancellation aborts the in-flight wave and returns ctx.Err().
+func Run(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	trials := make([]Trial, cfg.NumTrials)
@@ -129,7 +131,7 @@ func Run(cfg Config) (*Result, error) {
 			wave := alive[start:end]
 			base := cfg.Base
 			base.Epochs = cfg.EpochsPerRung
-			cr, err := trainer.RunConcurrent(trainer.ConcurrentConfig{
+			cr, err := trainer.RunConcurrentContext(ctx, trainer.ConcurrentConfig{
 				Base:        base,
 				NumJobs:     len(wave),
 				GPUsPerJob:  cfg.GPUsPerJob,

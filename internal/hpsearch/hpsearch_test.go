@@ -1,6 +1,7 @@
 package hpsearch
 
 import (
+	"context"
 	"testing"
 
 	"datastall/internal/cluster"
@@ -19,7 +20,7 @@ func baseCfg() trainer.Config {
 }
 
 func TestSearchRunsAllTrials(t *testing.T) {
-	r, err := Run(Config{Base: baseCfg(), NumTrials: 16, ParallelJobs: 8, Seed: 3})
+	r, err := Run(context.Background(), Config{Base: baseCfg(), NumTrials: 16, ParallelJobs: 8, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestSearchRunsAllTrials(t *testing.T) {
 }
 
 func TestBestTrialNearOptimum(t *testing.T) {
-	r, err := Run(Config{Base: baseCfg(), NumTrials: 24, ParallelJobs: 8, Seed: 5})
+	r, err := Run(context.Background(), Config{Base: baseCfg(), NumTrials: 24, ParallelJobs: 8, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,13 +56,13 @@ func TestBestTrialNearOptimum(t *testing.T) {
 func TestCoordinatedSearchIsFaster(t *testing.T) {
 	// Fig 23: coordinated prep + MinIO accelerate end-to-end HP search.
 	base := Config{Base: baseCfg(), NumTrials: 8, ParallelJobs: 8, Seed: 7}
-	plain, err := Run(base)
+	plain, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	coord := base
 	coord.Coordinated = true
-	fast, err := Run(coord)
+	fast, err := Run(context.Background(), coord)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestCoordinatedSearchIsFaster(t *testing.T) {
 }
 
 func TestSuccessiveHalvingPrunes(t *testing.T) {
-	r, err := Run(Config{
+	r, err := Run(context.Background(), Config{
 		Base: baseCfg(), NumTrials: 8, ParallelJobs: 8,
 		Rungs: 2, KeepFraction: 0.5, Seed: 9,
 	})
@@ -100,11 +101,11 @@ func TestSuccessiveHalvingPrunes(t *testing.T) {
 
 func TestDeterministicSearch(t *testing.T) {
 	cfg := Config{Base: baseCfg(), NumTrials: 8, ParallelJobs: 8, Seed: 11}
-	a, err := Run(cfg)
+	a, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg)
+	b, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

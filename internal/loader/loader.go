@@ -6,6 +6,7 @@
 package loader
 
 import (
+	"datastall/internal/cache"
 	"datastall/internal/cluster"
 	"datastall/internal/dataset"
 	"datastall/internal/pagecache"
@@ -108,6 +109,10 @@ func NewPageCacheFetcher(d *dataset.Dataset, c *cluster.Cluster, capBytes float6
 	return f
 }
 
+// CacheUsedBytes reports page-cache occupancy summed across servers (the
+// trainer's EpochEnded observer events surface it).
+func (f *PageCacheFetcher) CacheUsedBytes() float64 { return cache.SumUsedBytes(f.Caches) }
+
 // FetchBatch implements Fetcher.
 func (f *PageCacheFetcher) FetchBatch(p *sim.Proc, server int, items []dataset.ItemID) FetchResult {
 	var r FetchResult
@@ -187,6 +192,9 @@ func NewTFRecordFetcher(d *dataset.Dataset, c *cluster.Cluster, capBytes, record
 	}
 	return f
 }
+
+// CacheUsedBytes reports record-cache occupancy summed across servers.
+func (f *TFRecordFetcher) CacheUsedBytes() float64 { return cache.SumUsedBytes(f.Caches) }
 
 // Record returns the record-file index holding item id.
 func (f *TFRecordFetcher) Record(id dataset.ItemID) dataset.ItemID {

@@ -16,6 +16,7 @@
 package loader
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -52,7 +53,8 @@ type EpochReport struct {
 	Fetch FetchResult
 	// Batches is the number of minibatches driven through the pipeline.
 	Batches int
-	// Items is the number of items fetched.
+	// Items is the number of items handed to the fetch stage; on an
+	// uncancelled epoch this equals the items fetched.
 	Items int
 	// WallSeconds is the real (host) time the epoch took.
 	WallSeconds float64
@@ -111,6 +113,20 @@ func (p *Pipeline) workers() (fetch, prep, depth, batch int) {
 // RunEpoch drives order through the fetch and prep stages and blocks until
 // every batch has completed both. An empty order returns a zero report.
 func (p *Pipeline) RunEpoch(order []dataset.ItemID) EpochReport {
+	rep, _ := p.RunEpochContext(context.Background(), order)
+	return rep
+}
+
+// RunEpochContext is RunEpoch with cooperative cancellation: every blocking
+// channel send (the feeder's and the fetch workers') selects on ctx.Done(),
+// so a cancelled context unblocks the whole pipeline mid-epoch instead of
+// letting a slow or hung stage pin it forever. On cancellation it drains the
+// stages, reports ctx.Err(), and returns a best-effort partial report:
+// Items counts the items handed to the fetch stage before the cancel
+// landed, while Fetch/Batches cover only batches that completed both
+// stages — in-flight batches at the instant of cancellation are dropped,
+// so a partial report's Fetch counters are a lower bound, not exact.
+func (p *Pipeline) RunEpochContext(ctx context.Context, order []dataset.ItemID) (EpochReport, error) {
 	if p.Fetch == nil {
 		panic("loader: Pipeline.Fetch is required")
 	}
@@ -121,11 +137,12 @@ func (p *Pipeline) RunEpoch(order []dataset.ItemID) EpochReport {
 	start := time.Now()
 	rep := EpochReport{}
 	if len(order) == 0 {
-		return rep
+		return rep, ctx.Err()
 	}
 
 	feed := make(chan []dataset.ItemID, depth)
 	fetched := make(chan FetchResult, depth)
+	done := ctx.Done()
 
 	var fetchWG, prepWG sync.WaitGroup
 	var mu sync.Mutex // guards rep merges
@@ -135,7 +152,20 @@ func (p *Pipeline) RunEpoch(order []dataset.ItemID) EpochReport {
 		go func(worker int) {
 			defer fetchWG.Done()
 			for items := range feed {
-				fetched <- p.Fetch(worker, items)
+				r := p.Fetch(worker, items)
+				// Checked before the select: once done is closed the
+				// select picks randomly, and a cancelled epoch should
+				// drop in-flight results deterministically rather than
+				// letting some of them race into the prep stage.
+				if ctx.Err() != nil {
+					continue
+				}
+				select {
+				case fetched <- r:
+				case <-done:
+					// Drop the result; the feeder stops on the same
+					// signal and the epoch is aborted.
+				}
 			}
 		}(w)
 	}
@@ -158,19 +188,32 @@ func (p *Pipeline) RunEpoch(order []dataset.ItemID) EpochReport {
 		}()
 	}
 
+	fed := 0
+feeding:
 	for i := 0; i < len(order); i += batch {
+		// Checked before the select: when both cases are ready the select
+		// picks randomly, but a dead context must deterministically feed
+		// nothing further.
+		if ctx.Err() != nil {
+			break
+		}
 		j := i + batch
 		if j > len(order) {
 			j = len(order)
 		}
-		feed <- order[i:j]
+		select {
+		case feed <- order[i:j]:
+			fed = j
+		case <-done:
+			break feeding
+		}
 	}
 	close(feed)
 	fetchWG.Wait()
 	close(fetched)
 	prepWG.Wait()
 
-	rep.Items = len(order)
+	rep.Items = fed
 	rep.WallSeconds = time.Since(start).Seconds()
-	return rep
+	return rep, ctx.Err()
 }

@@ -1,0 +1,96 @@
+package loader
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"datastall/internal/dataset"
+)
+
+func orderOf(n int) []dataset.ItemID {
+	out := make([]dataset.ItemID, n)
+	for i := range out {
+		out[i] = dataset.ItemID(i)
+	}
+	return out
+}
+
+// TestRunEpochContextUncancelled: the ctx variant with a live context is
+// RunEpoch — full item coverage, exact batch accounting.
+func TestRunEpochContextUncancelled(t *testing.T) {
+	var fetched int64
+	p := &Pipeline{
+		Workers: 4, Batch: 8,
+		Fetch: func(_ int, items []dataset.ItemID) FetchResult {
+			atomic.AddInt64(&fetched, int64(len(items)))
+			return FetchResult{Hits: len(items)}
+		},
+	}
+	rep, err := p.RunEpochContext(context.Background(), orderOf(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Items != 1000 || rep.Fetch.Hits != 1000 || atomic.LoadInt64(&fetched) != 1000 {
+		t.Fatalf("items %d hits %d fetched %d, want 1000 each", rep.Items, rep.Fetch.Hits, fetched)
+	}
+}
+
+// TestRunEpochContextCancelled: cancelling mid-epoch unblocks the feeder
+// and the workers' sends, returns ctx.Err(), and reports only completed
+// batches.
+func TestRunEpochContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fetchedBatches int64
+	p := &Pipeline{
+		Workers: 2, Batch: 4, QueueDepth: 1,
+		Fetch: func(_ int, items []dataset.ItemID) FetchResult {
+			if atomic.AddInt64(&fetchedBatches, 1) == 3 {
+				cancel()
+			}
+			// Slow batches keep the epoch alive well past the cancel.
+			time.Sleep(time.Millisecond)
+			return FetchResult{Hits: len(items)}
+		},
+	}
+	done := make(chan struct{})
+	var rep EpochReport
+	var err error
+	go func() {
+		rep, err = p.RunEpochContext(ctx, orderOf(100_000))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled epoch did not unblock")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.Items >= 100_000 {
+		t.Fatalf("fed %d items; the feeder ignored cancellation", rep.Items)
+	}
+}
+
+// TestRunEpochContextPreCancelled: a dead context feeds nothing.
+func TestRunEpochContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := &Pipeline{
+		Workers: 2,
+		Fetch: func(_ int, items []dataset.ItemID) FetchResult {
+			return FetchResult{Hits: len(items)}
+		},
+	}
+	rep, err := p.RunEpochContext(ctx, orderOf(64))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.Items != 0 {
+		t.Fatalf("fed %d items from a dead context", rep.Items)
+	}
+}

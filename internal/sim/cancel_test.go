@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunContextUncancelledMatchesRun: with a background context the
+// dispatch loop is Run, event for event.
+func TestRunContextUncancelledMatchesRun(t *testing.T) {
+	trace := func(drive func(e *Engine)) []float64 {
+		e := New()
+		var ts []float64
+		for i := 0; i < 50; i++ {
+			d := float64(i%7) * 0.5
+			e.Schedule(d, func() { ts = append(ts, e.Now()) })
+		}
+		drive(e)
+		return ts
+	}
+	a := trace(func(e *Engine) { e.Run() })
+	b := trace(func(e *Engine) {
+		if err := e.RunContext(context.Background(), 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d at t=%g vs t=%g", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRunContextCancelMidRun: cancellation stops the clock mid-simulation
+// and unwinds every process — goroutine and callback — without deadlock.
+func TestRunContextCancelMidRun(t *testing.T) {
+	e := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var goroutineSteps, callbackSteps int
+	e.Go("sleeper", func(p *Proc) {
+		for {
+			p.Sleep(1)
+			goroutineSteps++
+			if goroutineSteps == 100 {
+				cancel()
+			}
+		}
+	})
+	e.Spawn("ticker", func(p *Proc) {
+		callbackSteps++
+		p.WakeAfter(1)
+	})
+	// A proc parked forever on a store with no producer: Cancel must
+	// unwind it too.
+	st := NewStore[int](e, 1)
+	e.Go("starved", func(p *Proc) { st.Get(p) })
+
+	err := e.RunContext(ctx, 8)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if goroutineSteps < 100 || goroutineSteps > 110 {
+		t.Fatalf("goroutine ran %d steps; cancellation not prompt", goroutineSteps)
+	}
+	if callbackSteps < 90 {
+		t.Fatalf("callback proc ran %d steps before cancel", callbackSteps)
+	}
+	// The engine is fully torn down: no live events, nothing parked.
+	if e.Len() != 0 || len(e.parked) != 0 {
+		t.Fatalf("engine not drained: %d events, %d parked", e.Len(), len(e.parked))
+	}
+}
+
+// TestRunContextPreCancelled: an already-dead context never dispatches.
+func TestRunContextPreCancelled(t *testing.T) {
+	e := New()
+	ran := false
+	e.Schedule(0, func() { ran = true })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.RunContext(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("event dispatched despite pre-cancelled context")
+	}
+}

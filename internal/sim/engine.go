@@ -26,6 +26,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -319,9 +320,58 @@ func (e *Engine) Run() {
 		e.now = ev.t
 		e.dispatch(ev)
 	}
-	// Tear down goroutine processes blocked forever on stores/barriers/
-	// resources. (Blocked callback processes hold no goroutine and simply
-	// never step again.)
+	e.drainParked()
+}
+
+// DefaultCancelPoll is how many events RunContext dispatches between
+// cancellation checks when the caller passes pollEvery <= 0. Event dispatch
+// is tens of nanoseconds, so even a large poll interval keeps cancellation
+// latency far below a millisecond.
+const DefaultCancelPoll = 1024
+
+// RunContext is Run with cooperative cancellation: it polls ctx.Err() every
+// pollEvery events (DefaultCancelPoll when <= 0) and, once the context is
+// cancelled, abandons the remaining event queue, kills every live process,
+// and returns ctx.Err(). A nil error means the simulation ran to completion
+// exactly as Run would have — the poll does not perturb event order, so
+// results are bit-identical to Run for an uncancelled context. After
+// RunContext returns (either way) no process goroutines remain.
+func (e *Engine) RunContext(ctx context.Context, pollEvery int) error {
+	if pollEvery <= 0 {
+		pollEvery = DefaultCancelPoll
+	}
+	if err := ctx.Err(); err != nil {
+		e.Cancel()
+		return err
+	}
+	n := 0
+	for e.q.n > 0 {
+		ev := e.q.pop()
+		e.now = ev.t
+		e.dispatch(ev)
+		if n++; n >= pollEvery {
+			n = 0
+			if err := ctx.Err(); err != nil {
+				e.Cancel()
+				return err
+			}
+		}
+	}
+	// A cancellation that landed inside the last poll window (short
+	// simulations may never reach a poll at all) still aborts: the caller
+	// asked to stop, so don't hand back a completed run.
+	if err := ctx.Err(); err != nil {
+		e.Cancel()
+		return err
+	}
+	e.drainParked()
+	return nil
+}
+
+// drainParked tears down goroutine processes blocked forever on stores/
+// barriers/resources once the queue has drained. (Blocked callback processes
+// hold no goroutine and simply never step again.)
+func (e *Engine) drainParked() {
 	e.stopping = true
 	for len(e.parked) > 0 {
 		p := e.parked[0]
@@ -337,6 +387,42 @@ func (e *Engine) Run() {
 			e.now = ev.t
 			e.dispatch(ev)
 		}
+	}
+}
+
+// Cancel aborts the simulation mid-run: pending user callbacks are dropped
+// without executing, and every process — parked or scheduled — is killed and
+// unwound. Unlike Shutdown it does not simulate the remaining events, so a
+// run with millions of queued events dies in time proportional to the live
+// process count, not the queue length. The clock stays at the cancellation
+// instant.
+func (e *Engine) Cancel() {
+	e.stopping = true
+	for {
+		for e.q.n > 0 {
+			ev := e.q.pop()
+			if ev.kind == evResume {
+				ev.p.killed = true
+				if ev.p.step == nil {
+					// Goroutine process waiting on its wake channel:
+					// resume it so it observes killed and unwinds.
+					e.resume(ev.p)
+				}
+				// Callback processes hold no goroutine; the killed flag
+				// stops any further steps.
+			}
+			// evFn callbacks are dropped: the simulation is over and no
+			// process remains to observe their effects.
+		}
+		if len(e.parked) == 0 {
+			return
+		}
+		p := e.parked[0]
+		n := copy(e.parked, e.parked[1:])
+		e.parked[n] = nil
+		e.parked = e.parked[:n]
+		p.killed = true
+		e.resume(p)
 	}
 }
 

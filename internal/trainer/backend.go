@@ -1,6 +1,7 @@
 package trainer
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -19,7 +20,9 @@ import (
 // backend via orderSource/epochIters, so per-epoch cache statistics line up
 // (exactly for MinIO over equal-sized items — see the property tests);
 // Duration is host wall-clock and compute/stall times are not modeled.
-func runConcurrent(cfg Config) (*Result, error) {
+// Cancellation is honored between epochs and on the pipelines' channel
+// sends (RunEpochContext), so an oversized job dies mid-epoch.
+func runConcurrent(ctx context.Context, cfg Config, obs observers) (*Result, error) {
 	workers := cfg.ThreadsPerGPU * cfg.GPUsPerServer
 	if workers < 1 {
 		workers = 1
@@ -29,7 +32,7 @@ func runConcurrent(cfg Config) (*Result, error) {
 		depth = 1
 	}
 
-	fetches, ownerShards, err := concurrentFetchers(cfg)
+	fetches, ownerShards, occupancy, err := concurrentFetchers(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -56,9 +59,17 @@ func runConcurrent(cfg Config) (*Result, error) {
 	}
 
 	r := &Result{}
+	obs.emit(JobStarted{
+		Epochs: cfg.Epochs, Servers: cfg.NumServers,
+		GPUsPerServer: cfg.GPUsPerServer, Backend: cfg.Backend,
+	})
 	src := newOrderSource(cfg, ownerShards)
 	var pl *epochPlan
 	for e := 0; e < cfg.Epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		obs.emit(EpochStarted{Time: r.TotalTime, Epoch: e})
 		// Each epoch's orders are fully consumed before the next epoch
 		// starts (RunEpoch is a barrier), so the previous plan's
 		// permutation buffer is recycled into this one.
@@ -85,7 +96,11 @@ func runConcurrent(cfg Config) (*Result, error) {
 			wg.Add(1)
 			go func(s int, order, tail []dataset.ItemID) {
 				defer wg.Done()
-				rep := pipes[s].RunEpoch(order)
+				rep, err := pipes[s].RunEpochContext(ctx, order)
+				if err != nil {
+					reports[s] = rep
+					return // partial epoch; the ctx check below surfaces it
+				}
 				for i := 0; i < len(tail); i += cfg.Batch {
 					j := min(i+cfg.Batch, len(tail))
 					rep.Fetch.Add(fetches[s](0, tail[i:j]))
@@ -94,6 +109,9 @@ func runConcurrent(cfg Config) (*Result, error) {
 			}(s, order, tail)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		wall := time.Since(start).Seconds()
 
 		var total loader.EpochReport
@@ -101,7 +119,7 @@ func runConcurrent(cfg Config) (*Result, error) {
 			total.Add(rep)
 		}
 		f := total.Fetch
-		r.Epochs = append(r.Epochs, EpochStats{
+		es := EpochStats{
 			Duration:   wall,
 			DiskBytes:  f.DiskBytes,
 			NetBytes:   f.NetBytes,
@@ -111,24 +129,32 @@ func runConcurrent(cfg Config) (*Result, error) {
 			Misses:     f.Misses,
 			RemoteHits: f.RemoteHit,
 			Samples:    iters * cfg.Batch * cfg.GPUsPerServer * cfg.NumServers,
-		})
+		}
+		r.Epochs = append(r.Epochs, es)
 		r.TotalDiskBytes += f.DiskBytes
 		r.TotalNetBytes += f.NetBytes
 		r.TotalTime += wall
+		obs.emit(EpochEnded{
+			Time: r.TotalTime, Epoch: e, Stats: es,
+			CacheUsedBytes: occupancy(),
+		})
 	}
 	for _, pool := range pools {
 		r.PrepBusySeconds += pool.BusySeconds()
 	}
 	r.steadyState()
+	obs.emit(JobEnded{Time: r.TotalTime, Result: r})
 	return r, nil
 }
 
 // concurrentFetchers builds one goroutine-safe BatchFetch per server for the
 // configured loader, mirroring newJobRuntime's fetcher selection. The second
-// result is the static owner sharding (CoorDL distributed only).
-func concurrentFetchers(cfg Config) ([]loader.BatchFetch, []dataset.Shard, error) {
+// result is the static owner sharding (CoorDL distributed only); the third
+// reports total cache occupancy for EpochEnded events (never nil).
+func concurrentFetchers(cfg Config) ([]loader.BatchFetch, []dataset.Shard, func() float64, error) {
 	d := cfg.Dataset
 	fetches := make([]loader.BatchFetch, cfg.NumServers)
+	noCache := func() float64 { return 0 }
 	switch {
 	case cfg.FetchMode == Synthetic:
 		for s := range fetches {
@@ -136,7 +162,7 @@ func concurrentFetchers(cfg Config) ([]loader.BatchFetch, []dataset.Shard, error
 				return loader.FetchResult{Hits: len(items)}
 			}
 		}
-		return fetches, nil, nil
+		return fetches, nil, noCache, nil
 
 	case cfg.FetchMode == FullyCached:
 		for s := range fetches {
@@ -149,7 +175,7 @@ func concurrentFetchers(cfg Config) ([]loader.BatchFetch, []dataset.Shard, error
 				return r
 			}
 		}
-		return fetches, nil, nil
+		return fetches, nil, noCache, nil
 
 	case cfg.Loader == loader.CoorDL && cfg.NumServers > 1 && !cfg.DisableRemoteFetch:
 		part := cache.NewShardedPartitioned(d, cfg.NumServers, cfg.CacheBytes, cfg.CacheShards, cfg.Seed)
@@ -178,14 +204,16 @@ func concurrentFetchers(cfg Config) ([]loader.BatchFetch, []dataset.Shard, error
 				return r
 			}
 		}
-		return fetches, owner, nil
+		return fetches, owner, part.AggregateUsedBytes, nil
 
 	case cfg.Loader == loader.CoorDL:
+		caches := make([]*cache.ShardedMinIO, cfg.NumServers)
 		for s := range fetches {
 			mc := cache.NewShardedMinIO(cfg.CacheBytes, cfg.CacheShards)
+			caches[s] = mc
 			fetches[s] = loader.MinIOBatchFetch(d, mc, 1)
 		}
-		return fetches, nil, nil
+		return fetches, nil, func() float64 { return cache.SumUsedBytes(caches) }, nil
 
 	default:
 		// Baseline loaders share the page-cache simulation; its recency
@@ -199,10 +227,12 @@ func concurrentFetchers(cfg Config) ([]loader.BatchFetch, []dataset.Shard, error
 		if cfg.Loader == loader.PyTorchDL {
 			spi = loader.PyTorchSeeksPerItem
 		}
+		caches := make([]*cache.Locked, cfg.NumServers)
 		for s := range fetches {
 			pc := cache.NewLocked(pagecache.New(pagecache.TwoList, cfg.CacheBytes, cfg.Seed+int64(s)))
+			caches[s] = pc
 			fetches[s] = loader.MinIOBatchFetch(d, pc, spi)
 		}
-		return fetches, nil, nil
+		return fetches, nil, func() float64 { return cache.SumUsedBytes(caches) }, nil
 	}
 }

@@ -1,6 +1,7 @@
 package trainer
 
 import (
+	"context"
 	"fmt"
 
 	"datastall/internal/cluster"
@@ -66,8 +67,20 @@ type ConcurrentResult struct {
 }
 
 // RunConcurrent executes the workload and returns per-job and aggregate
-// statistics.
+// statistics. It is the legacy blocking entry point; new code should call
+// RunConcurrentContext, which honors cancellation.
 func RunConcurrent(cc ConcurrentConfig) (*ConcurrentResult, error) {
+	return RunConcurrentContext(context.Background(), cc)
+}
+
+// RunConcurrentContext executes the workload like RunConcurrent but honors
+// ctx: the shared simulation engine polls for cancellation between events,
+// so a cancelled context returns ctx.Err() promptly (immediately when
+// already cancelled) instead of running the jobs to completion.
+func RunConcurrentContext(ctx context.Context, cc ConcurrentConfig) (*ConcurrentResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if cc.NumJobs < 1 || cc.GPUsPerJob < 1 {
 		return nil, fmt.Errorf("trainer: need >= 1 job and GPU per job")
 	}
@@ -108,14 +121,14 @@ func RunConcurrent(cc ConcurrentConfig) (*ConcurrentResult, error) {
 	cc.Base = base
 
 	if cc.Coordinated {
-		return runCoordinated(cc)
+		return runCoordinated(ctx, cc)
 	}
-	return runIndependent(cc)
+	return runIndependent(ctx, cc)
 }
 
 // runIndependent runs NumJobs uncoordinated jobs sharing one server's page
 // cache, storage and CPU.
-func runIndependent(cc ConcurrentConfig) (*ConcurrentResult, error) {
+func runIndependent(ctx context.Context, cc ConcurrentConfig) (*ConcurrentResult, error) {
 	eng := sim.New()
 	cl := cluster.Build(eng, cc.Base.Spec, 1)
 	var shared loader.Fetcher
@@ -141,7 +154,9 @@ func runIndependent(cc ConcurrentConfig) (*ConcurrentResult, error) {
 		rt.launch()
 		rts = append(rts, rt)
 	}
-	eng.Run()
+	if err := eng.RunContext(ctx, sim.DefaultCancelPoll); err != nil {
+		return nil, err
+	}
 
 	res := &ConcurrentResult{TotalDiskBytes: cl.TotalDiskBytes()}
 	for _, rt := range rts {
@@ -166,7 +181,7 @@ func fillDiskAggregates(res *ConcurrentResult, rt0 *jobRuntime, base Config) {
 
 // runCoordinated runs CoorDL's coordinated prep: one fetch+prep sweep per
 // epoch shared by all jobs through the staging area.
-func runCoordinated(cc ConcurrentConfig) (*ConcurrentResult, error) {
+func runCoordinated(ctx context.Context, cc ConcurrentConfig) (*ConcurrentResult, error) {
 	eng := sim.New()
 	base := cc.Base
 	cl := cluster.Build(eng, base.Spec, 1)
@@ -191,7 +206,9 @@ func runCoordinated(cc ConcurrentConfig) (*ConcurrentResult, error) {
 	}
 	rt.setup()
 	rt.launch()
-	eng.Run()
+	if err := eng.RunContext(ctx, sim.DefaultCancelPoll); err != nil {
+		return nil, err
+	}
 	return rt.result(), nil
 }
 

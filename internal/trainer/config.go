@@ -4,6 +4,32 @@
 // statistics. It implements both single/multi-server data-parallel jobs and
 // concurrent hyper-parameter-search jobs (with or without CoorDL's
 // coordinated prep).
+//
+// The primary entry point is the Job API:
+//
+//	job := trainer.New(model, ds, spec,
+//		trainer.WithEpochs(3),
+//		trainer.WithLoader(loader.CoorDL),
+//		trainer.WithCacheBytes(0.35*ds.TotalBytes))
+//	if err := job.Validate(); err != nil { ... } // typed *FieldError
+//	res, err := job.Run(ctx, trainer.NewConsoleObserver(os.Stderr))
+//
+// Jobs are built with functional options, validated explicitly (Validate
+// returns a *FieldError wrapping a sentinel like ErrBadGPUs, matchable with
+// errors.Is), executed under a context — cancellation propagates into both
+// backends, so Run returns ctx.Err() promptly even mid-epoch — and observed
+// while running: Observers receive typed events (JobStarted, EpochStarted,
+// EpochEnded with per-epoch stats and cache occupancy, JobEnded) streamed
+// as the simulation advances. The built-in DiskTraceObserver and
+// CPUTraceObserver enable the Result's time-series traces, subsuming the
+// legacy Config.TraceDiskIO/TraceCPU flags.
+//
+// Run(cfg Config) and RunConcurrent(cc) remain as thin blocking shims over
+// the same execution path for existing callers — byte-identical output,
+// no cancellation, no events. They are the deprecation path: new code
+// should use New(...).Run(ctx, ...) or the ctx-aware RunContext /
+// RunConcurrentContext, and the shims will eventually be retired with the
+// remaining flag-style Config knobs they exist to serve.
 package trainer
 
 import (
@@ -122,6 +148,10 @@ type Config struct {
 	DisableRemoteFetch bool
 
 	// TraceDiskIO / TraceCPU enable time-series collection (Figs 11, 19).
+	//
+	// Deprecated: pass DiskTraceObserver() / CPUTraceObserver() to
+	// Job.Run (or RunContext) instead; the flags remain for the legacy
+	// Run(cfg) shim.
 	TraceDiskIO bool
 	TraceCPU    bool
 }

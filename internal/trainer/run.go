@@ -1,6 +1,7 @@
 package trainer
 
 import (
+	"context"
 	"fmt"
 
 	"datastall/internal/cluster"
@@ -19,7 +20,21 @@ type prepped struct {
 
 // Run executes one training job (single- or multi-server) and returns its
 // statistics.
+//
+// Deprecated-path note: Run is the legacy blocking entry point, kept as a
+// thin shim over the context-aware Job API so existing callers (and the
+// golden suite outputs) are unaffected. New code should build a trainer.Job
+// with New(...) and call Job.Run(ctx, observers...) — or use RunContext for
+// a Config it already has.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes cfg like Run but honors ctx (cancellation propagates
+// into both backends) and streams typed progress events to obs. For an
+// uncancelled context and no observers it is behaviorally identical to Run:
+// same defaulting, same validation, bit-identical results.
+func RunContext(ctx context.Context, cfg Config, obs ...Observer) (*Result, error) {
 	if cfg.Model == nil || cfg.Dataset == nil {
 		return nil, fmt.Errorf("trainer: model and dataset are required")
 	}
@@ -27,8 +42,27 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	return runJob(ctx, cfg, obs)
+}
+
+// runJob executes a defaulted, validated config on its backend. It is the
+// single execution path behind Run, RunContext and Job.Run.
+func runJob(ctx context.Context, cfg Config, obs observers) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// The legacy trace flags and the built-in trace observers are one
+	// mechanism: either spelling enables collection.
+	for _, ob := range obs {
+		switch ob.(type) {
+		case diskTraceObserver:
+			cfg.TraceDiskIO = true
+		case cpuTraceObserver:
+			cfg.TraceCPU = true
+		}
+	}
 	if cfg.Backend == BackendConcurrent {
-		return runConcurrent(cfg)
+		return runConcurrent(ctx, cfg, obs)
 	}
 	eng := sim.New()
 	cl := cluster.Build(eng, cfg.Spec, cfg.NumServers)
@@ -36,9 +70,19 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	rt.obs = obs
 	rt.launch()
-	eng.Run()
-	return rt.result(), nil
+	rt.obs.emit(JobStarted{
+		Epochs: cfg.Epochs, Servers: cfg.NumServers,
+		GPUsPerServer: cfg.GPUsPerServer, Backend: cfg.Backend,
+	})
+	rt.obs.emit(EpochStarted{Epoch: 0})
+	if err := eng.RunContext(ctx, sim.DefaultCancelPoll); err != nil {
+		return nil, err
+	}
+	res := rt.result()
+	rt.obs.emit(JobEnded{Time: res.TotalTime, Result: res})
+	return res, nil
 }
 
 // jobRuntime holds the live state of one running job.
@@ -83,6 +127,10 @@ type jobRuntime struct {
 	snaps []snapshot
 
 	cpuTrace *stats.TimeSeries
+
+	// obs receives typed progress events; nil-safe (emit on an empty list
+	// is a no-op), so the legacy Run path pays nothing.
+	obs observers
 }
 
 type snapshot struct {
@@ -471,7 +519,8 @@ func (sm *consumerSM) step(p *sim.Proc) {
 }
 
 // endEpoch snapshots cumulative counters; called by the coordinator GPU at
-// the epoch's final synchronization point.
+// the epoch's final synchronization point. With observers attached it also
+// streams the finished epoch's stats (and the next epoch's start).
 func (rt *jobRuntime) endEpoch(samples int) {
 	var reads int64
 	for _, srv := range rt.cl.Servers {
@@ -489,35 +538,59 @@ func (rt *jobRuntime) endEpoch(samples int) {
 		fetch:     rt.fetch,
 		samples:   samples,
 	})
+	if len(rt.obs) == 0 {
+		return
+	}
+	epoch := len(rt.snaps) - 1
+	prev := snapshot{}
+	if epoch > 0 {
+		prev = rt.snaps[epoch-1]
+	}
+	occ := 0.0
+	if cs, ok := rt.fetcher.(cacheSizer); ok {
+		occ = cs.CacheUsedBytes()
+	}
+	rt.obs.emit(EpochEnded{
+		Time: rt.eng.Now(), Epoch: epoch,
+		Stats:          rt.epochStats(prev, rt.snaps[epoch]),
+		CacheUsedBytes: occ,
+	})
+	if epoch+1 < rt.cfg.Epochs {
+		rt.obs.emit(EpochStarted{Time: rt.eng.Now(), Epoch: epoch + 1})
+	}
+}
+
+// epochStats converts two consecutive snapshots into one epoch's stats.
+func (rt *jobRuntime) epochStats(prev, s snapshot) EpochStats {
+	dur := s.t - prev.t
+	epSamples := s.samples - prev.samples
+	iters := epSamples / (rt.cfg.Batch * rt.cfg.GPUsPerServer * rt.cfg.NumServers)
+	compute := float64(iters) * (rt.iterTime + rt.commExtra)
+	es := EpochStats{
+		Duration:    dur,
+		ComputeTime: compute,
+		StallTime:   dur - compute,
+		DiskBytes:   s.disk - prev.disk,
+		NetBytes:    s.net - prev.net,
+		MemBytes:    s.fetch.MemBytes - prev.fetch.MemBytes,
+		DiskReads:   int(s.diskReads - prev.diskReads),
+		Hits:        s.fetch.Hits - prev.fetch.Hits,
+		Misses:      s.fetch.Misses - prev.fetch.Misses,
+		RemoteHits:  s.fetch.RemoteHit - prev.fetch.RemoteHit,
+		Samples:     epSamples,
+	}
+	if es.StallTime < 0 {
+		es.StallTime = 0
+	}
+	return es
 }
 
 // result converts snapshots into per-epoch stats.
 func (rt *jobRuntime) result() *Result {
 	r := &Result{}
 	prev := snapshot{}
-	perIter := rt.iterTime + rt.commExtra
 	for _, s := range rt.snaps {
-		dur := s.t - prev.t
-		epSamples := s.samples - prev.samples
-		iters := epSamples / (rt.cfg.Batch * rt.cfg.GPUsPerServer * rt.cfg.NumServers)
-		compute := float64(iters) * perIter
-		es := EpochStats{
-			Duration:    dur,
-			ComputeTime: compute,
-			StallTime:   dur - compute,
-			DiskBytes:   s.disk - prev.disk,
-			NetBytes:    s.net - prev.net,
-			MemBytes:    s.fetch.MemBytes - prev.fetch.MemBytes,
-			DiskReads:   int(s.diskReads - prev.diskReads),
-			Hits:        s.fetch.Hits - prev.fetch.Hits,
-			Misses:      s.fetch.Misses - prev.fetch.Misses,
-			RemoteHits:  s.fetch.RemoteHit - prev.fetch.RemoteHit,
-			Samples:     epSamples,
-		}
-		if es.StallTime < 0 {
-			es.StallTime = 0
-		}
-		r.Epochs = append(r.Epochs, es)
+		r.Epochs = append(r.Epochs, rt.epochStats(prev, s))
 		prev = s
 	}
 	r.TotalDiskBytes = rt.cl.TotalDiskBytes()
