@@ -5,9 +5,13 @@ GO ?= go
 
 # Coverage floor (%) enforced on the concurrency-critical packages.
 COVER_FLOOR ?= 70
-COVER_PKGS  ?= internal/cache internal/loader
+COVER_PKGS  ?= internal/cache internal/loader internal/server
 
-.PHONY: all build test cover lint bench benchjson bench2 allocguard profile suite speccheck experiments-md clean
+# Scratch directory for generated build artifacts (coverage profiles, smoke
+# binaries); git-ignored, removed by clean.
+BUILD_DIR ?= build
+
+.PHONY: all build test cover lint bench benchjson bench2 bench3 allocguard profile suite speccheck servesmoke experiments-md clean
 
 all: lint build test
 
@@ -19,11 +23,13 @@ build:
 test:
 	$(GO) test -race -count=2 ./...
 
-# Per-package coverage floor on the packages the concurrent pipeline lives
-# in; a refactor that strands their tests fails here, not in review.
+# Per-package coverage floor on the packages the concurrent pipeline and
+# the job service live in; a refactor that strands their tests fails here,
+# not in review. Profiles land in $(BUILD_DIR), not the repo root.
 cover:
+	@mkdir -p $(BUILD_DIR)
 	@set -e; for pkg in $(COVER_PKGS); do \
-		out=cover-$$(basename $$pkg).out; \
+		out=$(BUILD_DIR)/cover-$$(basename $$pkg).out; \
 		$(GO) test -coverprofile=$$out ./$$pkg; \
 		pct=$$($(GO) tool cover -func=$$out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
 		echo "$$pkg coverage: $$pct% (floor $(COVER_FLOOR)%)"; \
@@ -85,8 +91,21 @@ speccheck:
 	$(GO) test -count=1 -run 'TestSpec|TestLoadSpec' ./internal/experiments
 	$(GO) run ./cmd/runsuite -spec testdata/specs/cache-sweep.json > /dev/null
 
+# Job-service bench: HTTP submit->complete latency and /events fan-out
+# delivery throughput at 1/4/16 concurrent subscribers, written to
+# BENCH_3.json.
+bench3:
+	$(GO) run ./cmd/stallbench -bench3 -bench3-out BENCH_3.json
+
+# End-to-end smoke of the HTTP job service: boot stallserved, submit the
+# committed example scenario, stream its events to completion, cancel a
+# second job mid-run, reconcile /metrics, and SIGTERM-drain cleanly.
+servesmoke:
+	BUILD_DIR=$(BUILD_DIR) ./scripts/servesmoke.sh
+
 experiments-md:
 	$(GO) run ./cmd/runsuite -md EXPERIMENTS.md
 
 clean:
 	rm -f suite-report.json cover-*.out cpu.pprof mem.pprof
+	rm -rf $(BUILD_DIR)

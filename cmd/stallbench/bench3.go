@@ -1,0 +1,309 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datastall/internal/server"
+	"datastall/internal/trainer"
+)
+
+// bench3Report is the BENCH_3.json schema: the job-service PR's measured
+// record. SubmitToComplete is the full HTTP round trip — POST /v1/jobs
+// through scheduler queue, worker execution, and terminal-status poll — for
+// a small job, the latency a client of the service actually experiences.
+// FanoutHTTP streams one job's events to 1/4/16 concurrent NDJSON
+// subscribers and reports aggregate delivered events/sec (the broadcast
+// ring guarantees the simulation never waits on a subscriber, so aggregate
+// delivery should scale with subscriber count until the host runs out of
+// cores — on a 1-CPU container the interesting signal is that it degrades
+// gracefully instead of stalling). FanoutBroadcast isolates the
+// trainer.Broadcaster data structure from HTTP: a tight publish loop
+// against concurrently draining subscribers.
+type bench3Report struct {
+	Bench      string `json:"bench"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_max_procs"`
+	GoVersion  string `json:"go_version"`
+
+	SubmitToComplete latencyStats  `json:"submit_to_complete_ms"`
+	FanoutHTTP       []fanoutRow   `json:"fanout_http"`
+	FanoutBroadcast  []fanoutMicro `json:"fanout_broadcast"`
+}
+
+type latencyStats struct {
+	Runs float64 `json:"runs"`
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+type fanoutRow struct {
+	Subscribers     int     `json:"subscribers"`
+	EventsDelivered int64   `json:"events_delivered"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+}
+
+type fanoutMicro struct {
+	Subscribers     int     `json:"subscribers"`
+	Published       int     `json:"published"`
+	EventsDelivered int64   `json:"events_delivered"`
+	EventsPerSec    float64 `json:"events_per_sec_delivered"`
+}
+
+const (
+	bench3TinyJob = `{"job": {"model": "resnet18", "scale": 0.005, "epochs": 2}}`
+	// bench3StreamJob emits 2*epochs+2 trainer events over ~1s of wall
+	// time on a 1-CPU host: long enough to stream live, short enough to
+	// repeat per subscriber count.
+	bench3StreamJob = `{"job": {"model": "resnet18", "dataset": "imagenet-1k", "scale": 0.05, "epochs": 40, "batch": 16, "loader": "coordl", "cache_fraction": 0.35}}`
+	// bench3Blocker parks the single worker so streams can attach to a
+	// queued job before it starts.
+	bench3Blocker = `{"job": {"model": "resnet18", "dataset": "imagenet-1k", "scale": 0.2, "epochs": 50, "batch": 16, "loader": "coordl", "cache_fraction": 0.35}}`
+)
+
+func runBench3(out string) int {
+	rep := &bench3Report{
+		Bench:      "stallserved job service: submit->complete latency and event fan-out throughput",
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+
+	if err := bench3Latency(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "stallbench: bench3: %v\n", err)
+		return 1
+	}
+	for _, subs := range []int{1, 4, 16} {
+		row, err := bench3FanoutHTTP(subs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stallbench: bench3: fanout %d: %v\n", subs, err)
+			return 1
+		}
+		rep.FanoutHTTP = append(rep.FanoutHTTP, row)
+		fmt.Fprintf(os.Stderr, "stallbench: bench3: http fan-out x%-2d %8.0f events/s (%d events, %.2fs)\n",
+			subs, row.EventsPerSec, row.EventsDelivered, row.WallSeconds)
+	}
+	for _, subs := range []int{1, 4, 16} {
+		rep.FanoutBroadcast = append(rep.FanoutBroadcast, bench3FanoutMicro(subs))
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stallbench: bench3: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "stallbench: bench3: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "stallbench: wrote %s\n", out)
+	return 0
+}
+
+func bench3Server(workers int) (*server.Server, *httptest.Server, error) {
+	srv, err := server.New(server.Config{Workers: workers, QueueDepth: 64})
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, httptest.NewServer(srv.Handler()), nil
+}
+
+// bench3Submit POSTs body and returns the job ID.
+func bench3Submit(base, body string) (string, error) {
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submit: %d %s", resp.StatusCode, b)
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(b, &v); err != nil {
+		return "", err
+	}
+	return v.ID, nil
+}
+
+// bench3Wait polls GET /v1/jobs/{id} until the job is terminal, bounded so
+// a wedged job fails the bench instead of hanging the CI step.
+func bench3Wait(base, id string) (string, error) {
+	deadline := time.Now().Add(5 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return "", err
+		}
+		var v struct {
+			Status string `json:"status"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		switch v.Status {
+		case "completed", "failed", "cancelled":
+			return v.Status, nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return "", fmt.Errorf("job %s not terminal after 5m", id)
+}
+
+func bench3Latency(rep *bench3Report) error {
+	srv, ts, err := bench3Server(1)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	defer ts.Close()
+
+	const runs = 8
+	st := latencyStats{Runs: runs, Min: 1e18}
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		id, err := bench3Submit(ts.URL, bench3TinyJob)
+		if err != nil {
+			return err
+		}
+		status, err := bench3Wait(ts.URL, id)
+		if err != nil {
+			return err
+		}
+		if status != "completed" {
+			return fmt.Errorf("latency job %s ended %s", id, status)
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1e3
+		st.Mean += ms / runs
+		if ms < st.Min {
+			st.Min = ms
+		}
+		if ms > st.Max {
+			st.Max = ms
+		}
+	}
+	rep.SubmitToComplete = st
+	fmt.Fprintf(os.Stderr, "stallbench: bench3: submit->complete %.1fms mean (min %.1f, max %.1f, %d runs)\n",
+		st.Mean, st.Min, st.Max, runs)
+	return nil
+}
+
+// bench3FanoutHTTP attaches subs NDJSON streams to one queued job, releases
+// it, and counts aggregate delivered events until every stream closes.
+func bench3FanoutHTTP(subs int) (fanoutRow, error) {
+	srv, ts, err := bench3Server(1)
+	if err != nil {
+		return fanoutRow{}, err
+	}
+	defer srv.Close()
+	defer ts.Close()
+
+	blocker, err := bench3Submit(ts.URL, bench3Blocker)
+	if err != nil {
+		return fanoutRow{}, err
+	}
+	id, err := bench3Submit(ts.URL, bench3StreamJob)
+	if err != nil {
+		return fanoutRow{}, err
+	}
+
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	attached := make(chan error, subs)
+	for i := 0; i < subs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+			if err != nil {
+				attached <- err
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			first := true
+			for sc.Scan() {
+				if first {
+					// The status snapshot: this stream is attached.
+					attached <- nil
+					first = false
+					continue
+				}
+				delivered.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < subs; i++ {
+		if err := <-attached; err != nil {
+			return fanoutRow{}, err
+		}
+	}
+
+	start := time.Now()
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+blocker, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		return fanoutRow{}, err
+	} else {
+		resp.Body.Close()
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	n := delivered.Load()
+	return fanoutRow{
+		Subscribers: subs, EventsDelivered: n,
+		WallSeconds: wall, EventsPerSec: float64(n) / wall,
+	}, nil
+}
+
+// bench3FanoutMicro measures the raw Broadcaster: one publisher against
+// subs concurrently draining subscriptions.
+func bench3FanoutMicro(subs int) fanoutMicro {
+	const published = 200_000
+	bc := trainer.NewBroadcaster()
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < subs; i++ {
+		sub := bc.Subscribe(4096)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for {
+				if _, err := sub.Next(ctx); err != nil {
+					return
+				}
+				delivered.Add(1)
+			}
+		}()
+	}
+	start := time.Now()
+	for i := 0; i < published; i++ {
+		bc.Observe(trainer.EpochStarted{Epoch: i})
+	}
+	bc.Close()
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	n := delivered.Load()
+	return fanoutMicro{
+		Subscribers: subs, Published: published,
+		EventsDelivered: n, EventsPerSec: float64(n) / wall,
+	}
+}

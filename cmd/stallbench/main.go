@@ -6,6 +6,7 @@
 //	stallbench -run all -parallel 8 -scale 0.01 > results.txt
 //	stallbench -bench -bench-out BENCH_1.json
 //	stallbench -bench2 -bench2-out BENCH_2.json
+//	stallbench -bench3 -bench3-out BENCH_3.json
 //	stallbench -run all -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Each experiment prints a paper-style table plus the published result it
@@ -25,6 +26,12 @@
 // heap (goroutine and callback process flavours), the cache fetch loop on
 // the map-backed vs dense MinIO, and full-suite wall time, written as JSON
 // to -bench2-out (BENCH_2.json).
+//
+// -bench3 measures the stallserved HTTP job service end to end: the POST
+// /v1/jobs submit -> worker -> terminal-status round trip for a small job,
+// and aggregate /events fan-out delivery throughput at 1/4/16 concurrent
+// NDJSON subscribers (plus the raw Broadcaster data structure without
+// HTTP), written as JSON to -bench3-out (BENCH_3.json).
 //
 // -cpuprofile/-memprofile write pprof profiles of whatever work the other
 // flags select — the profiling workflow behind every hot-path PR
@@ -58,6 +65,8 @@ func run() int {
 	benchOut := flag.String("bench-out", "BENCH_1.json", "output file for -bench results")
 	bench2 := flag.Bool("bench2", false, "benchmark zero-alloc hot paths old-vs-new (engine, cache, suite)")
 	bench2Out := flag.String("bench2-out", "BENCH_2.json", "output file for -bench2 results")
+	bench3 := flag.Bool("bench3", false, "benchmark the HTTP job service (submit latency, event fan-out)")
+	bench3Out := flag.String("bench3-out", "BENCH_3.json", "output file for -bench3 results")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -107,6 +116,8 @@ func run() int {
 		return runBench(*benchOut)
 	case *bench2:
 		return runBench2(*bench2Out)
+	case *bench3:
+		return runBench3(*bench3Out)
 	case *runID == "all":
 		return runAll(ctx, *scale, *epochs, *seed, *parallel)
 	case *runID != "":

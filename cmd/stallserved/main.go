@@ -1,0 +1,99 @@
+// Command stallserved serves datastall simulations as an HTTP job service:
+// clients POST declarative scenario specs (or single training jobs) to
+// /v1/jobs, poll or stream their progress, and cancel them; built-in paper
+// specs are runnable by name.
+//
+//	stallserved -addr :8080
+//	stallserved -addr :8080 -workers 4 -queue 128 -persist ./jobs
+//
+//	curl -X POST localhost:8080/v1/jobs -d '{"spec_name": "fig5"}'
+//	curl localhost:8080/v1/jobs/job-000001
+//	curl -N localhost:8080/v1/jobs/job-000001/events
+//	curl -X DELETE localhost:8080/v1/jobs/job-000001
+//	curl localhost:8080/metrics
+//
+// SIGTERM/SIGINT begin a graceful drain: the listener stops accepting, new
+// submissions get 503, and queued/running jobs are given -drain to finish
+// before being cancelled through their contexts. Completed jobs snapshot to
+// -persist (when set) and are served again after a restart.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"datastall/internal/server"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "job worker pool size (0 = one per CPU)")
+	queue := flag.Int("queue", 64, "bounded submission queue depth (full queue rejects with 503)")
+	subBuf := flag.Int("subbuf", 256, "per-subscriber event ring size on /events streams")
+	persist := flag.String("persist", "", "directory for completed-job JSON snapshots (empty = in-memory only)")
+	maxRecords := flag.Int("maxrecords", 4096, "finished job records retained in memory (oldest evicted beyond this)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM before in-flight jobs are cancelled")
+	quiet := flag.Bool("q", false, "suppress per-job transition logging")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "stallserved: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...interface{}) {}
+	}
+
+	srv, err := server.New(server.Config{
+		Workers: *workers, QueueDepth: *queue, SubscriberBuffer: *subBuf,
+		MaxRecords: *maxRecords, PersistDir: *persist, Logf: logf,
+	})
+	if err != nil {
+		logger.Printf("%v", err)
+		return 1
+	}
+
+	// No global Write/ReadTimeout — /events streams are long-lived — but
+	// slow-header and idle connections must not pin goroutines forever.
+	httpSrv := &http.Server{
+		Addr: *addr, Handler: srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s (%d workers, queue %d)", *addr, srv.Workers(), *queue)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		logger.Printf("%v", err)
+		srv.Close()
+		return 1
+	case sig := <-sigc:
+		logger.Printf("%v: draining (budget %s)", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop the listener first so no new work arrives, then drain the
+	// scheduler; both share the drain budget.
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if srv.Drain(ctx) {
+		logger.Printf("drained cleanly")
+	} else {
+		logger.Printf("drain budget exhausted; in-flight jobs cancelled")
+	}
+	fmt.Fprintln(os.Stderr, "stallserved: bye")
+	return 0
+}

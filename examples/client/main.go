@@ -1,0 +1,176 @@
+// Service-client example: submit a scenario to a running stallserved
+// instance, stream its per-epoch events live, and print the final result —
+// the whole job lifecycle over plain HTTP, no library imports.
+//
+// Start the service, then run the client:
+//
+//	go run ./cmd/stallserved -addr :8080
+//	go run ./examples/client -addr localhost:8080 -spec testdata/specs/cache-sweep.json
+//	go run ./examples/client -addr localhost:8080 -name fig5
+//
+// Ctrl-C cancels the submitted job through DELETE before exiting, so an
+// interrupted client does not leave its simulation running server-side.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "client: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "localhost:8080", "stallserved address")
+	specFile := flag.String("spec", "", "scenario spec JSON file to submit")
+	specName := flag.String("name", "", "built-in spec to run by name (see GET /v1/specs)")
+	flag.Parse()
+	base := "http://" + *addr
+
+	var body []byte
+	switch {
+	case *specFile != "" && *specName == "":
+		raw, err := os.ReadFile(*specFile)
+		if err != nil {
+			return err
+		}
+		body = []byte(`{"spec": ` + string(raw) + `}`)
+	case *specName != "" && *specFile == "":
+		b, _ := json.Marshal(map[string]string{"spec_name": *specName})
+		body = b
+	default:
+		return fmt.Errorf("pass exactly one of -spec or -name")
+	}
+
+	// Submit.
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	rb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: %s: %s", resp.Status, rb)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(rb, &sub); err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s\n", sub.ID)
+
+	// On Ctrl-C the context cancels, the stream read below fails, and the
+	// cleanup after the loop DELETEs the job synchronously — so the
+	// process never exits with its simulation still running server-side.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Stream events until the job_done marker.
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/jobs/"+sub.ID+"/events", nil)
+	if err != nil {
+		return err
+	}
+	stream, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer stream.Body.Close()
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Type   string `json:"type"`
+			Status string `json:"status"`
+			Epoch  *int   `json:"epoch"`
+			Text   string `json:"text"`
+			Index  int    `json:"index"`
+			Total  int    `json:"total"`
+			Error  string `json:"error"`
+			Stats  *struct {
+				Duration  float64 `json:"Duration"`
+				StallTime float64 `json:"StallTime"`
+			} `json:"stats"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch ev.Type {
+		case "status":
+			fmt.Printf("  job is %s\n", ev.Status)
+		case "case_started":
+			fmt.Printf("  [%d/%d] %s\n", ev.Index+1, ev.Total, ev.Text)
+		case "epoch_ended":
+			if ev.Stats != nil && ev.Epoch != nil {
+				stallPct := 0.0
+				if ev.Stats.Duration > 0 {
+					stallPct = 100 * ev.Stats.StallTime / ev.Stats.Duration
+				}
+				fmt.Printf("    epoch %d: %.2fs, stall %.1f%%\n", *ev.Epoch, ev.Stats.Duration, stallPct)
+			}
+		case "job_done":
+			fmt.Printf("  job %s", ev.Status)
+			if ev.Error != "" {
+				fmt.Printf(" (%s)", ev.Error)
+			}
+			fmt.Println()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			// Interrupted: cancel the job server-side before exiting, and
+			// wait for the DELETE to land.
+			req, derr := http.NewRequest("DELETE", base+"/v1/jobs/"+sub.ID, nil)
+			if derr == nil {
+				if resp, derr := http.DefaultClient.Do(req); derr == nil {
+					resp.Body.Close()
+					fmt.Printf("interrupted: cancelled %s server-side\n", sub.ID)
+				}
+			}
+			return fmt.Errorf("interrupted: %w", ctx.Err())
+		}
+		return err
+	}
+
+	// Fetch the final record and print the result table.
+	final, err := http.Get(base + "/v1/jobs/" + sub.ID)
+	if err != nil {
+		return err
+	}
+	defer final.Body.Close()
+	var rec struct {
+		Status string `json:"status"`
+		Report *struct {
+			Title string `json:"title"`
+			Table *struct {
+				Columns []string   `json:"columns"`
+				Rows    [][]string `json:"rows"`
+			} `json:"table"`
+		} `json:"report"`
+	}
+	if err := json.NewDecoder(final.Body).Decode(&rec); err != nil {
+		return err
+	}
+	if rec.Status != "completed" || rec.Report == nil || rec.Report.Table == nil {
+		return fmt.Errorf("job ended %s", rec.Status)
+	}
+	fmt.Printf("\n%s\n", rec.Report.Title)
+	fmt.Println(strings.Join(rec.Report.Table.Columns, " | "))
+	for _, row := range rec.Report.Table.Rows {
+		fmt.Println(strings.Join(row, " | "))
+	}
+	return nil
+}

@@ -261,6 +261,16 @@ func (s JobSpec) build(o Options) (trainer.Config, error) {
 	return cfg, nil
 }
 
+// Build resolves the JobSpec into a runnable trainer.Config, exactly as
+// RunSpec resolves each sweep cell. o supplies the scale/epochs/seed
+// defaults for fields the spec leaves zero (zero Epochs and Seed in o fall
+// back to the package defaults, 3 and 1). Exported for embedders that
+// accept single-job specs — notably the HTTP job service, which validates
+// the resolved config at submission time.
+func (s JobSpec) Build(o Options) (trainer.Config, error) {
+	return s.build(o.withDefaults(o.Scale))
+}
+
 // names resolves the display names the row-label columns derive from.
 func (s JobSpec) names() (model, ds, server string) {
 	model = s.Model
@@ -417,6 +427,12 @@ func LoadSpec(data []byte) (*Spec, error) {
 	return &sp, nil
 }
 
+// Validate checks the spec's shape (axes and column references) without
+// running it — the same check LoadSpec applies after decoding, exported for
+// callers that receive an already-decoded Spec (the HTTP job service
+// validates inline spec submissions with it before queueing).
+func (sp *Spec) Validate() error { return sp.check() }
+
 // check validates the spec's shape (axes and column references).
 func (sp *Spec) check() error {
 	if sp.Name == "" {
@@ -525,11 +541,30 @@ func metricValue(name string, res *trainer.Result, servers int) float64 {
 	return 0
 }
 
+// CaseProgress identifies one cell of a spec's row x sweep grid as it is
+// about to run: Row and Case are the axis labels ("" Case when the spec has
+// no sweep axis), Index counts cells from 0 in execution order, and Total
+// is the grid size. The HTTP job service forwards these as stream
+// annotations so clients watching a long sweep see which cell is running.
+type CaseProgress struct {
+	Row   string
+	Case  string
+	Index int
+	Total int
+}
+
 // RunSpec executes a declarative spec under ctx: the cartesian product of
 // the row axis and the sweep axis, one simulation per cell, assembled into a
 // Report exactly as a hand-written experiment would build it. obs observers
 // are attached to every underlying training run (progress streaming).
 func RunSpec(ctx context.Context, sp *Spec, o Options, obs ...trainer.Observer) (*Report, error) {
+	return RunSpecProgress(ctx, sp, o, nil, obs...)
+}
+
+// RunSpecProgress is RunSpec with a per-case hook: progress (when non-nil)
+// is called synchronously just before each cell's simulation starts. The
+// report is identical to RunSpec's — the hook only observes.
+func RunSpecProgress(ctx context.Context, sp *Spec, o Options, progress func(CaseProgress), obs ...trainer.Observer) (*Report, error) {
 	if err := sp.check(); err != nil {
 		return nil, err
 	}
@@ -554,23 +589,14 @@ func RunSpec(ctx context.Context, sp *Spec, o Options, obs ...trainer.Observer) 
 		Notes: sp.Notes,
 	}
 	seenRows := map[string]bool{}
+	caseIndex, caseTotal := 0, len(rows)*len(sweep)
 	for _, row := range rows {
 		js := sp.Base.overlay(row.set)
-		results := make(map[string]*trainer.Result, len(sweep))
-		servers := make(map[string]int, len(sweep))
-		for _, sc := range sweep {
-			cfg, err := js.overlay(sc.set).build(o)
-			if err != nil {
-				return nil, err
-			}
-			res, err := trainer.RunContext(ctx, cfg, obs...)
-			if err != nil {
-				return nil, err
-			}
-			results[sc.label] = res
-			servers[sc.label] = cfg.NumServers
-		}
 
+		// Resolve the row's label before its simulations run so both the
+		// duplicate check and the progress hook can use it up front; the
+		// derivation only reads the overlaid spec, so the report bytes are
+		// unchanged.
 		cells := row.cells
 		if cells == nil {
 			cells = deriveCells(js, sp.RowHeader)
@@ -584,6 +610,26 @@ func RunSpec(ctx context.Context, sp *Spec, o Options, obs ...trainer.Observer) 
 				sp.Name, rowLabel)
 		}
 		seenRows[rowLabel] = true
+
+		results := make(map[string]*trainer.Result, len(sweep))
+		servers := make(map[string]int, len(sweep))
+		for _, sc := range sweep {
+			if progress != nil {
+				progress(CaseProgress{Row: rowLabel, Case: sc.label, Index: caseIndex, Total: caseTotal})
+			}
+			caseIndex++
+			cfg, err := js.overlay(sc.set).build(o)
+			if err != nil {
+				return nil, err
+			}
+			res, err := trainer.RunContext(ctx, cfg, obs...)
+			if err != nil {
+				return nil, err
+			}
+			results[sc.label] = res
+			servers[sc.label] = cfg.NumServers
+		}
+
 		for _, col := range sp.Columns {
 			v := metricValue(col.Metric, results[col.Of], servers[col.Of])
 			if col.Over != "" {

@@ -1,25 +1,36 @@
 // Concurrent prep accounting: Pool is the prep-stage counterpart of the
 // sharded caches. Many pipeline prep workers call Process concurrently; the
 // pool charges each batch its modeled decode cost (bytes / Rate) and
-// accumulates busy time on a CAS float64, so the concurrent backend reports
-// the same aggregate prep-busy seconds the analytic backend would for the
-// same bytes — without a lock on the hot path.
+// accumulates the raw bytes on an integer fixed-point atomic — the same
+// 2^-20-byte units the sharded cache budgets use — so the concurrent
+// backend reports the same aggregate prep-busy seconds the analytic backend
+// would for the same bytes, without a lock (or a CAS retry loop) on the hot
+// path. Busy time is derived from the byte total at read time, which makes
+// the accumulation order-independent: unlike the float CAS accumulator this
+// replaced, N workers charging interleaved batches can never produce a
+// rounding-order-dependent sum.
 package prep
 
 import (
+	"math"
 	"sync/atomic"
 
 	"datastall/internal/gpu"
-	"datastall/internal/xatomic"
 )
+
+// byteScale converts bytes to fixed-point units (2^-20 bytes per unit), so
+// integer accumulation is exact; any integer or dyadic-fraction byte size
+// converts losslessly. An int64 of units overflows at ~8 EiB-units = 8 TiB
+// of raw bytes per pool — far beyond a training job's per-server traffic
+// (pools reset at epoch boundaries' warmup cut anyway).
+const byteScale = 1 << 20
 
 // Pool tracks pre-processing work performed by concurrent prep workers.
 type Pool struct {
 	rate float64 // bytes/sec aggregate throughput of the prep stage
 
-	busy    xatomic.Float64 // accumulated busy seconds
-	bytes   xatomic.Float64 // accumulated raw bytes
-	batches atomic.Int64
+	bytesUnits atomic.Int64 // accumulated raw bytes, 2^-20-byte units
+	batches    atomic.Int64
 }
 
 // NewPool returns a pool processing at the modeled Rate(m, cfg).
@@ -41,27 +52,32 @@ func (p *Pool) Process(rawBytes float64) float64 {
 		return 0
 	}
 	p.batches.Add(1)
-	p.bytes.Add(rawBytes)
+	p.bytesUnits.Add(int64(math.Round(rawBytes * byteScale)))
 	if p.rate <= 0 {
 		return 0
 	}
-	d := rawBytes / p.rate
-	p.busy.Add(d)
-	return d
+	return rawBytes / p.rate
 }
 
-// BusySeconds returns accumulated modeled prep time.
-func (p *Pool) BusySeconds() float64 { return p.busy.Load() }
+// BusySeconds returns accumulated modeled prep time, derived from the byte
+// total so it is exact regardless of how charges interleaved.
+func (p *Pool) BusySeconds() float64 {
+	if p.rate <= 0 {
+		return 0
+	}
+	return p.ProcessedBytes() / p.rate
+}
 
 // ProcessedBytes returns accumulated raw bytes.
-func (p *Pool) ProcessedBytes() float64 { return p.bytes.Load() }
+func (p *Pool) ProcessedBytes() float64 {
+	return float64(p.bytesUnits.Load()) / byteScale
+}
 
 // Batches returns the number of batches processed.
 func (p *Pool) Batches() int64 { return p.batches.Load() }
 
 // Reset clears all counters (after the warmup epoch).
 func (p *Pool) Reset() {
-	p.busy.Store(0)
-	p.bytes.Store(0)
+	p.bytesUnits.Store(0)
 	p.batches.Store(0)
 }

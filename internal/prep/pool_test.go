@@ -23,7 +23,8 @@ func TestPoolMatchesBatchTime(t *testing.T) {
 }
 
 // TestPoolConcurrentAccumulation: N workers charging batches concurrently
-// must lose nothing on the CAS float accumulators (run under -race).
+// must lose nothing on the fixed-point atomic accumulators (run under
+// -race).
 func TestPoolConcurrentAccumulation(t *testing.T) {
 	p := NewPoolRate(100) // 100 bytes/sec: each 1-byte batch costs 0.01s
 	const (
@@ -50,6 +51,39 @@ func TestPoolConcurrentAccumulation(t *testing.T) {
 	// Equal-sized charges commute exactly in FP, so the sum is exact.
 	if got, want := p.BusySeconds(), float64(workers*perW)/100; math.Abs(got-want) > 1e-9 {
 		t.Fatalf("busy %v, want %v", got, want)
+	}
+}
+
+// TestPoolUnequalBatchesExact: mixed batch sizes accumulate exactly in
+// fixed-point units — the property the float CAS accumulator could not
+// guarantee (its sum depended on interleaving order). Integer and dyadic
+// sizes convert losslessly, so the totals are equalities, not tolerances.
+func TestPoolUnequalBatchesExact(t *testing.T) {
+	p := NewPoolRate(1 << 10)
+	sizes := []float64{1, 3, 1 << 20, 0.5, 1048575.25, 7}
+	var wg sync.WaitGroup
+	const rounds = 500
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				p.Process(sizes[(w+i)%len(sizes)])
+			}
+		}(w)
+	}
+	wg.Wait()
+	var want float64
+	for w := 0; w < 4; w++ {
+		for i := 0; i < rounds; i++ {
+			want += sizes[(w+i)%len(sizes)]
+		}
+	}
+	if got := p.ProcessedBytes(); got != want {
+		t.Fatalf("ProcessedBytes %v, want exactly %v", got, want)
+	}
+	if got, want := p.BusySeconds(), want/(1<<10); got != want {
+		t.Fatalf("BusySeconds %v, want exactly %v", got, want)
 	}
 }
 

@@ -1,0 +1,296 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"datastall/internal/experiments"
+)
+
+// TestE2ESpecByteIdentical is the service's core fidelity guarantee: a spec
+// submitted over HTTP produces a result byte-identical to running the same
+// spec in-process through RunSpec.
+func TestE2ESpecByteIdentical(t *testing.T) {
+	raw, err := os.ReadFile("../../testdata/specs/cache-sweep.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Config{Workers: 2})
+	id := submitID(t, ts, `{"spec": `+string(raw)+`}`)
+	if st := waitTerminal(t, srv, id, 120*time.Second); st != StatusCompleted {
+		t.Fatalf("job ended %s (%s)", st, srv.store.get(id).view(true).Error)
+	}
+	_, body := getJSON(t, ts.URL+"/v1/jobs/"+id)
+	var v jobJSON
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Report == nil {
+		t.Fatal("completed spec job has no report")
+	}
+	viaHTTP, err := json.Marshal(v.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sp, err := experiments.LoadSpec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := experiments.RunSpec(context.Background(), sp, experiments.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inProcess, err := json.Marshal(toReportJSON(direct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(viaHTTP) != string(inProcess) {
+		t.Fatalf("HTTP result differs from in-process RunSpec:\nhttp:   %s\ndirect: %s", viaHTTP, inProcess)
+	}
+}
+
+// cancelJobBody runs long enough (~seconds uncancelled) that a DELETE
+// triggered by the first streamed epoch event lands mid-run with a wide
+// margin.
+const cancelJobBody = `{"job": {"model": "resnet18", "dataset": "imagenet-1k", "scale": 0.2, "epochs": 50, "batch": 16, "loader": "coordl", "cache_fraction": 0.35}}`
+
+// TestE2ECancelMidRunOverHTTP submits a long job, watches its NDJSON event
+// stream, DELETEs at the first epoch boundary, and requires: a prompt
+// cancel response with status "cancelled", an aborted run (far fewer epochs
+// than requested), and a terminal job_done marker carrying the same status.
+func TestE2ECancelMidRunOverHTTP(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1})
+	id := submitID(t, ts, cancelJobBody)
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	resp, err := http.DefaultClient.Do(req.WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+
+	epochsEnded := 0
+	sawDone := false
+	var doneEvent wireEvent
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		var ev wireEvent
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", scanner.Text(), err)
+		}
+		switch ev.Type {
+		case "epoch_ended":
+			epochsEnded++
+			if epochsEnded == 1 {
+				start := time.Now()
+				dresp, dbody := doMethod(t, "DELETE", ts.URL+"/v1/jobs/"+id)
+				if dresp.StatusCode != 200 || !strings.Contains(dbody, string(StatusCancelled)) {
+					t.Fatalf("DELETE: %d %s", dresp.StatusCode, dbody)
+				}
+				if d := time.Since(start); d > 5*time.Second {
+					t.Fatalf("DELETE took %v, want prompt", d)
+				}
+			}
+		case "job_done":
+			sawDone = true
+			doneEvent = ev
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawDone {
+		t.Fatal("stream ended without a job_done marker")
+	}
+	if doneEvent.Status != StatusCancelled {
+		t.Fatalf("job_done status %s, want cancelled", doneEvent.Status)
+	}
+	if epochsEnded >= 50 {
+		t.Fatalf("saw %d epoch_ended events; the run was never aborted", epochsEnded)
+	}
+	if st := srv.store.get(id).StatusNow(); st != StatusCancelled {
+		t.Fatalf("store status %s, want cancelled", st)
+	}
+}
+
+// TestE2EEventStreamSSE checks the SSE rendering and that a spec job's
+// stream interleaves the experiments layer's case_started annotations.
+func TestE2EEventStreamSSE(t *testing.T) {
+	raw, err := os.ReadFile("../../testdata/specs/cache-sweep.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Config{Workers: 1})
+	// Park a long job on the single worker so the spec job stays queued
+	// until the stream below is provably attached.
+	blocker := submitID(t, ts, cancelJobBody)
+	id := submitID(t, ts, `{"spec": `+string(raw)+`}`)
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	resp, err := http.DefaultClient.Do(req.WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var eventLines, caseStarted, caseTotal int
+	released := false
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !released {
+			// The opening status snapshot is written after the
+			// subscription attaches; once it arrives, no later event can
+			// be missed, so it is safe to let the spec job start.
+			if resp, body := doMethod(t, "DELETE", ts.URL+"/v1/jobs/"+blocker); resp.StatusCode != 200 {
+				t.Fatalf("DELETE blocker: %d %s", resp.StatusCode, body)
+			}
+			released = true
+		}
+		if strings.HasPrefix(line, "event: ") {
+			eventLines++
+			if line == "event: case_started" {
+				caseStarted++
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "data: ") && caseStarted == 1 && caseTotal == 0 {
+			var ev wireEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad SSE data line %q: %v", line, err)
+			}
+			if ev.Type == "case_started" {
+				caseTotal = ev.Total
+				if !strings.Contains(ev.Text, "row=") {
+					t.Fatalf("case_started text %q has no row", ev.Text)
+				}
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if eventLines == 0 {
+		t.Fatal("no SSE event: lines seen")
+	}
+	// cache-sweep is a 5-row x 2-case sweep: 10 cells.
+	if caseStarted != 10 || caseTotal != 10 {
+		t.Fatalf("saw %d case_started (total field %d), want 10/10", caseStarted, caseTotal)
+	}
+	if st := waitTerminal(t, srv, id, time.Second); st != StatusCompleted {
+		t.Fatalf("job ended %s", st)
+	}
+}
+
+// TestE2ESubmitBuiltinSpecByName: the documented {"spec_name": "fig5"}
+// submission must actually run — built-in specs carry no scale of their
+// own, so the handler has to fill in the registry experiment's
+// DefaultScale exactly as the CLI path does.
+func TestE2ESubmitBuiltinSpecByName(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1})
+	id := submitID(t, ts, `{"spec_name": "fig5"}`)
+	if st := waitTerminal(t, srv, id, 120*time.Second); st != StatusCompleted {
+		t.Fatalf("fig5 by name ended %s (%s)", st, srv.store.get(id).view(true).Error)
+	}
+	_, body := getJSON(t, ts.URL+"/v1/jobs/"+id)
+	var v jobJSON
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Report == nil || v.Report.Table == nil || len(v.Report.Table.Rows) == 0 {
+		t.Fatalf("fig5 by name produced no table: %s", body)
+	}
+	// An explicit request scale still wins over the default.
+	id2 := submitID(t, ts, `{"spec_name": "fig5", "scale": 0.02}`)
+	if st := waitTerminal(t, srv, id2, 120*time.Second); st != StatusCompleted {
+		t.Fatalf("fig5 with explicit scale ended %s", st)
+	}
+}
+
+// TestE2EMetricsReconcile drives one job to each terminal state and
+// requires /metrics to agree exactly with the job store.
+func TestE2EMetricsReconcile(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1})
+
+	done := submitID(t, ts, tinyJob)
+	if st := waitTerminal(t, srv, done, 60*time.Second); st != StatusCompleted {
+		t.Fatalf("job ended %s", st)
+	}
+	// A spec whose base never sets a scale fails at run time.
+	failing := submitID(t, ts, `{"spec": {"name": "noscale", "row_header": ["model"],
+		"base": {"model": "resnet18", "epochs": 1},
+		"rows": {"cases": [{"set": {}}]},
+		"columns": [{"label": "s", "metric": "epoch_s"}]}}`)
+	if st := waitTerminal(t, srv, failing, 60*time.Second); st != StatusFailed {
+		t.Fatalf("no-scale spec ended %s, want failed", st)
+	}
+	cancelled := submitID(t, ts, cancelJobBody)
+	waitStatus(t, srv, cancelled, StatusRunning, 10*time.Second)
+	if resp, body := doMethod(t, "DELETE", ts.URL+"/v1/jobs/"+cancelled); resp.StatusCode != 200 {
+		t.Fatalf("DELETE: %d %s", resp.StatusCode, body)
+	}
+	if st := waitTerminal(t, srv, cancelled, 60*time.Second); st != StatusCancelled {
+		t.Fatalf("job ended %s, want cancelled", st)
+	}
+
+	_, text := getJSON(t, ts.URL+"/metrics")
+	metric := func(name string) int {
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, name+" ") {
+				var v int
+				fmt.Sscanf(strings.TrimPrefix(line, name+" "), "%d", &v)
+				return v
+			}
+		}
+		t.Fatalf("metric %s missing from /metrics:\n%s", name, text)
+		return -1
+	}
+	byStatus := map[Status]int{}
+	for _, j := range srv.store.list() {
+		byStatus[j.StatusNow()]++
+	}
+	checks := map[string]int{
+		"stallserved_jobs_submitted_total": len(srv.store.list()),
+		"stallserved_jobs_completed_total": byStatus[StatusCompleted],
+		"stallserved_jobs_failed_total":    byStatus[StatusFailed],
+		"stallserved_jobs_cancelled_total": byStatus[StatusCancelled],
+		"stallserved_jobs_queued":          0,
+		"stallserved_jobs_running":         0,
+		"stallserved_queue_depth":          0,
+		"stallserved_event_subscribers":    0,
+	}
+	for name, want := range checks {
+		if got := metric(name); got != want {
+			t.Errorf("%s = %d, want %d (store: %v)", name, got, want, byStatus)
+		}
+	}
+	if metric("stallserved_events_published_total") == 0 {
+		t.Error("no events counted across three jobs")
+	}
+}

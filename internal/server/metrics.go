@@ -1,0 +1,53 @@
+// Service counters, exposed in Prometheus text exposition format on
+// /metrics. Everything is a plain atomic — no dependency on a metrics
+// library — and every counter is bumped at exactly one transition point, so
+// at any quiescent moment
+//
+//	submitted_total = queued + running + completed_total + failed_total + cancelled_total
+//
+// and the by-status totals match the jobs that reached each state (the
+// store itself retains at most Config.MaxRecords finished records;
+// counters keep counting past eviction).
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+type metrics struct {
+	// Counters.
+	submitted     atomic.Int64
+	completed     atomic.Int64
+	failed        atomic.Int64
+	cancelled     atomic.Int64
+	events        atomic.Int64 // observer events published to job streams
+	eventsDropped atomic.Int64 // events lost to slow-subscriber overflow
+
+	// Gauges.
+	queued      atomic.Int64
+	running     atomic.Int64
+	subscribers atomic.Int64 // live /events streams
+}
+
+// writeProm renders the metrics in Prometheus text format. queueDepth is
+// sampled from the scheduler's channel at render time.
+func (m *metrics) writeProm(w io.Writer, queueDepth int) {
+	c := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	g := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	c("stallserved_jobs_submitted_total", "Jobs accepted by POST /v1/jobs.", m.submitted.Load())
+	c("stallserved_jobs_completed_total", "Jobs that finished with a result.", m.completed.Load())
+	c("stallserved_jobs_failed_total", "Jobs that returned an error or panicked.", m.failed.Load())
+	c("stallserved_jobs_cancelled_total", "Jobs cancelled by DELETE or server drain.", m.cancelled.Load())
+	c("stallserved_events_published_total", "Observer events published to job event streams.", m.events.Load())
+	c("stallserved_events_dropped_total", "Events dropped on slow /events subscribers.", m.eventsDropped.Load())
+	g("stallserved_jobs_queued", "Jobs waiting for a worker.", m.queued.Load())
+	g("stallserved_jobs_running", "Jobs currently executing.", m.running.Load())
+	g("stallserved_queue_depth", "Jobs buffered in the scheduler queue.", int64(queueDepth))
+	g("stallserved_event_subscribers", "Live /events streams.", m.subscribers.Load())
+}

@@ -1,0 +1,247 @@
+// The scheduler: a bounded submission queue feeding a fixed worker pool,
+// with the same isolation semantics as the experiment-suite orchestrator —
+// a panicking or failing job is captured into its own record and cannot
+// take down a worker or the service. Cancellation is context plumbing end
+// to end: DELETE cancels the per-job context, which the simulation engine
+// polls, so mid-epoch aborts unwind promptly.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"datastall/internal/experiments"
+	"datastall/internal/trainer"
+)
+
+// errQueueFull rejects submissions when the bounded queue has no room.
+var errQueueFull = errors.New("job queue full")
+
+// errDraining rejects submissions once a graceful drain has begun.
+var errDraining = errors.New("server draining, not accepting jobs")
+
+func (s *Server) startWorkers() {
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	s.workers = workers
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runOne(j)
+			}
+		}()
+	}
+}
+
+// submit registers a new job and enqueues it; the caller has already
+// resolved and validated the workload. Ordering matters three ways: the
+// queued gauge moves before the enqueue (a worker decrements it only after
+// receiving, so it can never go negative; a gauge may be rolled back), the
+// submitted counter moves only after the enqueue succeeds (Prometheus
+// counters must be monotone, and no one else touches it), and the job
+// enters the store only after the enqueue succeeds (a rejected submission
+// is never visible, so nothing can race a DELETE against the rollback).
+func (s *Server) submit(build func(id string) *Job) (*Job, error) {
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	if s.draining {
+		return nil, errDraining
+	}
+	j := build(s.store.nextID())
+	s.metrics.queued.Add(1)
+	select {
+	case s.queue <- j:
+	default:
+		s.metrics.queued.Add(-1)
+		return nil, fmt.Errorf("%w (depth %d); retry later", errQueueFull, cap(s.queue))
+	}
+	s.metrics.submitted.Add(1)
+	s.store.insert(j)
+	s.logf("job %s: queued (%s %s)", j.ID, j.Kind, j.Name)
+	return j, nil
+}
+
+// runOne executes one job on the calling worker goroutine.
+func (s *Server) runOne(j *Job) {
+	ctx, cancel := context.WithCancel(s.runCtx)
+	defer cancel()
+	if !j.markRunning(cancel) {
+		// Cancelled out of the queue; the DELETE handler already
+		// finalized the record.
+		return
+	}
+	s.metrics.queued.Add(-1)
+	s.metrics.running.Add(1)
+	s.logf("job %s: running", j.ID)
+	rep, res, err := s.execute(ctx, j)
+	s.finishRun(j, rep, res, err)
+}
+
+// execute runs the job's workload with panic isolation, streaming events
+// through the job's broadcaster.
+func (s *Server) execute(ctx context.Context, j *Job) (rep *experiments.Report, res *trainer.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("job %s: panic: %v", j.ID, p)
+		}
+	}()
+	if s.cfg.runJob != nil {
+		return s.cfg.runJob(ctx, j)
+	}
+	counting := trainer.ObserverFunc(func(trainer.Event) { s.metrics.events.Add(1) })
+	switch j.Kind {
+	case KindSpec:
+		rep, err = experiments.RunSpecProgress(ctx, j.spec, j.opts, func(cp experiments.CaseProgress) {
+			text := "row=" + cp.Row
+			if cp.Case != "" {
+				text += " case=" + cp.Case
+			}
+			s.metrics.events.Add(1)
+			j.bc.Observe(trainer.Annotation{
+				Kind: "case_started", Text: text, Index: cp.Index, Total: cp.Total,
+			})
+		}, counting, j.bc)
+	case KindJob:
+		res, err = trainer.RunContext(ctx, j.cfg, counting, j.bc)
+	default:
+		err = fmt.Errorf("job %s: unknown kind %q", j.ID, j.Kind)
+	}
+	return rep, res, err
+}
+
+// finishRun records a finished run's terminal state. If a DELETE already
+// moved the job to cancelled, that wins and the run's output is discarded —
+// the client was told "cancelled" and the record stays consistent with it.
+func (s *Server) finishRun(j *Job, rep *experiments.Report, res *trainer.Result, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.wall = time.Since(j.started).Seconds()
+	deleted := j.status == StatusCancelled
+	switch {
+	case deleted:
+		// DELETE won the race; keep its verdict (and its counter bump).
+	case err == nil:
+		j.status = StatusCompleted
+		j.report = rep
+		j.result = res
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Cancelled by server drain (DELETE sets StatusCancelled itself).
+		j.status = StatusCancelled
+		j.errMsg = err.Error()
+	default:
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+	}
+	st := j.status
+	j.mu.Unlock()
+	switch {
+	case deleted:
+		// Counted by cancelJob.
+	case st == StatusCompleted:
+		s.metrics.completed.Add(1)
+	case st == StatusFailed:
+		s.metrics.failed.Add(1)
+	case st == StatusCancelled:
+		s.metrics.cancelled.Add(1)
+	}
+	// Settle the gauge before finalize closes Done(): anyone who observed
+	// the job terminal sees gauges that already reconcile.
+	s.metrics.running.Add(-1)
+	s.finalize(j)
+	s.logf("job %s: %s (%.2fs)", j.ID, st, j.wall)
+}
+
+// finalize closes the job's event stream, accounts its drops, snapshots it,
+// and signals Done. Exactly one caller reaches it per job: the worker via
+// finishRun, or the DELETE handler for a job cancelled out of the queue.
+func (s *Server) finalize(j *Job) {
+	if j.bc != nil {
+		j.bc.Close()
+		s.metrics.eventsDropped.Add(int64(j.bc.Dropped()))
+	}
+	close(j.done)
+	if s.cfg.PersistDir != "" {
+		if err := persistJob(s.cfg.PersistDir, j); err != nil {
+			s.logf("job %s: persist: %v", j.ID, err)
+		}
+	}
+	s.store.evictTerminal(s.cfg.MaxRecords)
+}
+
+// cancelJob implements DELETE: it resolves the race against completion
+// under the job's mutex. Terminal jobs are not cancellable (the caller
+// turns that into 409); queued jobs finalize immediately; running jobs are
+// marked cancelled and their context cancelled — the worker observes
+// ctx.Err() at the engine's next poll and unwinds, keeping the verdict.
+func (s *Server) cancelJob(j *Job) (Status, bool) {
+	j.mu.Lock()
+	switch {
+	case j.status.Terminal():
+		st := j.status
+		j.mu.Unlock()
+		return st, false
+	case j.status == StatusQueued:
+		j.status = StatusCancelled
+		j.finished = time.Now()
+		j.errMsg = "cancelled while queued"
+		j.mu.Unlock()
+		s.metrics.queued.Add(-1)
+		s.metrics.cancelled.Add(1)
+		s.finalize(j)
+		s.logf("job %s: cancelled (was queued)", j.ID)
+		return StatusCancelled, true
+	default: // running
+		j.status = StatusCancelled
+		j.errMsg = "cancelled"
+		cancel := j.cancel
+		j.mu.Unlock()
+		cancel()
+		s.metrics.cancelled.Add(1)
+		s.logf("job %s: cancelling (was running)", j.ID)
+		return StatusCancelled, true
+	}
+}
+
+// Drain gracefully shuts the scheduler down: new submissions are refused,
+// queued and running jobs are given until ctx expires to finish, then
+// whatever is still in flight is cancelled through its context. Drain
+// returns once every worker has exited; the return value reports whether
+// the drain completed without forced cancellation. Safe to call once.
+func (s *Server) Drain(ctx context.Context) bool {
+	s.submitMu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.submitMu.Unlock()
+
+	workersDone := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(workersDone)
+	}()
+	select {
+	case <-workersDone:
+		return true
+	case <-ctx.Done():
+		s.runCancel()
+		<-workersDone
+		return false
+	}
+}
+
+// Close shuts down immediately: in-flight jobs are cancelled and Close
+// returns when the workers have exited.
+func (s *Server) Close() {
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Drain(done)
+}

@@ -1,0 +1,368 @@
+// Package server is the HTTP job service around the datastall simulation
+// engine: it turns the library's context-cancellable, observable training
+// jobs and declarative scenario specs into long-running service
+// infrastructure. Clients submit work to a bounded queue, poll or stream
+// its progress, and cancel it; the service exposes its built-in specs,
+// health, and Prometheus-text metrics.
+//
+// API (all request/response bodies JSON):
+//
+//	POST   /v1/jobs             submit {"spec": <Spec>} | {"spec_name": "fig5"} |
+//	                            {"job": <JobSpec>} (+ optional scale/epochs/seed),
+//	                            or a bare Spec document -> 202 {"id", "status"}
+//	GET    /v1/jobs             list jobs (no payloads)
+//	GET    /v1/jobs/{id}        full record incl. report/result when completed
+//	DELETE /v1/jobs/{id}        cancel (mid-run aborts propagate into the engine)
+//	GET    /v1/jobs/{id}/events live event stream, NDJSON or SSE
+//	GET    /v1/specs            built-in runnable specs (fig5, fig9a, fig18)
+//	GET    /v1/specs/{name}     one built-in spec document
+//	GET    /healthz             liveness + uptime
+//	GET    /metrics             Prometheus text format counters/gauges
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"datastall/internal/experiments"
+	"datastall/internal/trainer"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds the job worker pool (<= 0: one per CPU).
+	Workers int
+	// QueueDepth bounds the submission queue (<= 0: 64). A full queue
+	// rejects POSTs with 503 rather than buffering unboundedly.
+	QueueDepth int
+	// SubscriberBuffer is the per-/events-stream ring size (<= 0: 256
+	// events). A subscriber that falls further behind than this loses
+	// oldest events (reported in its terminal marker) instead of
+	// stalling the simulation.
+	SubscriberBuffer int
+	// MaxRecords bounds how many finished job records the in-memory store
+	// retains (<= 0: 4096); beyond it, oldest terminal records are
+	// evicted so a long-running service cannot grow without bound.
+	// Metrics counters are totals and are unaffected; queued/running jobs
+	// are never evicted; persisted snapshots stay on disk.
+	MaxRecords int
+	// PersistDir, when set, snapshots every terminal job to
+	// <dir>/<id>.json and reloads snapshots on startup.
+	PersistDir string
+	// Logf receives one line per job transition (nil: silent).
+	Logf func(format string, args ...interface{})
+
+	// runJob, when non-nil, replaces the real workload execution — a test
+	// seam for exercising scheduler races without real simulations.
+	runJob func(ctx context.Context, j *Job) (*experiments.Report, *trainer.Result, error)
+}
+
+// Server is the job service. Create with New, mount Handler on an
+// http.Server, and Drain on shutdown.
+type Server struct {
+	cfg     Config
+	store   *store
+	metrics *metrics
+	mux     *http.ServeMux
+	start   time.Time
+	workers int
+
+	queue     chan *Job
+	wg        sync.WaitGroup
+	submitMu  sync.RWMutex
+	draining  bool
+	runCtx    context.Context
+	runCancel context.CancelFunc
+}
+
+// New builds a Server and starts its worker pool. PersistDir (when set) is
+// created if missing and existing snapshots are loaded as completed jobs.
+func New(cfg Config) (*Server, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.SubscriberBuffer <= 0 {
+		cfg.SubscriberBuffer = 256
+	}
+	if cfg.MaxRecords <= 0 {
+		cfg.MaxRecords = 4096
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+	s := &Server{
+		cfg:     cfg,
+		store:   newStore(),
+		metrics: &metrics{},
+		queue:   make(chan *Job, cfg.QueueDepth),
+		start:   time.Now(),
+	}
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+	if cfg.PersistDir != "" {
+		if err := os.MkdirAll(cfg.PersistDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: persist dir: %w", err)
+		}
+		loadPersisted(cfg.PersistDir, s.store, cfg.Logf)
+		s.store.evictTerminal(cfg.MaxRecords)
+	}
+	s.buildMux()
+	s.startWorkers()
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...interface{}) { s.cfg.Logf(format, args...) }
+
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/specs", s.handleSpecs)
+	mux.HandleFunc("GET /v1/specs/{name}", s.handleSpec)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux = mux
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Workers returns the size of the running worker pool.
+func (s *Server) Workers() int { return s.workers }
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// SubmitRequest is the POST /v1/jobs body. Exactly one of Spec, SpecName
+// or Job selects the workload; Scale/Epochs/Seed fill fields the workload
+// leaves zero (epochs default 3, seed 1, exactly as the CLIs default them).
+type SubmitRequest struct {
+	// Spec is an inline declarative sweep; the whole body may equally be
+	// a bare Spec document.
+	Spec *experiments.Spec `json:"spec,omitempty"`
+	// SpecName runs a built-in spec (see GET /v1/specs) by name.
+	SpecName string `json:"spec_name,omitempty"`
+	// Job is a single training job.
+	Job *experiments.JobSpec `json:"job,omitempty"`
+
+	Scale  float64 `json:"scale,omitempty"`
+	Epochs int     `json:"epochs,omitempty"`
+	Seed   int64   `json:"seed,omitempty"`
+}
+
+// decodeSubmit parses a submission body: the wrapped SubmitRequest form
+// first, then a bare Spec document.
+func decodeSubmit(body []byte) (*SubmitRequest, error) {
+	var req SubmitRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	err := dec.Decode(&req)
+	if err == nil {
+		// Decode stops at the first JSON value; trailing content means a
+		// malformed (e.g. concatenated) request that must not be half-run.
+		if dec.More() {
+			return nil, fmt.Errorf("trailing data after the request document")
+		}
+		return &req, nil
+	}
+	if sp, sperr := experiments.LoadSpec(body); sperr == nil {
+		return &SubmitRequest{Spec: sp}, nil
+	}
+	return nil, fmt.Errorf("body is not a submit request (spec|spec_name|job + scale/epochs/seed) or a bare spec: %v", err)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				"request body over the %d-byte limit", tooBig.Limit)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	req, err := decodeSubmit(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	selected := 0
+	for _, on := range []bool{req.Spec != nil, req.SpecName != "", req.Job != nil} {
+		if on {
+			selected++
+		}
+	}
+	if selected != 1 {
+		writeErr(w, http.StatusBadRequest,
+			"exactly one of \"spec\", \"spec_name\" or \"job\" must be set (got %d)", selected)
+		return
+	}
+	opts := experiments.Options{Scale: req.Scale, Epochs: req.Epochs, Seed: req.Seed}
+
+	var build func(id string) *Job
+	switch {
+	case req.SpecName != "":
+		sp := experiments.SpecFor(req.SpecName)
+		if sp == nil {
+			writeErr(w, http.StatusNotFound, "unknown spec %q (see GET /v1/specs)", req.SpecName)
+			return
+		}
+		// Built-in specs carry no scale in their base — the CLI path fills
+		// the registry experiment's DefaultScale in, so a by-name
+		// submission must too or it could only ever fail at run time.
+		if opts.Scale == 0 && sp.Base.Scale == 0 {
+			if e, err := experiments.ByID(req.SpecName); err == nil {
+				opts.Scale = e.DefaultScale
+			}
+		}
+		build = specJob(sp, opts)
+	case req.Spec != nil:
+		if err := req.Spec.Validate(); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		build = specJob(req.Spec, opts)
+	default: // req.Job != nil
+		cfg, err := req.Job.Build(opts)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// Surface the trainer's typed validation (*FieldError) now, with
+		// a 400 naming the offending field, instead of queueing a job
+		// that can only fail.
+		if err := trainer.FromConfig(cfg).Validate(); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		build = func(id string) *Job {
+			return &Job{
+				ID: id, Kind: KindJob, Name: req.Job.Model,
+				cfg: cfg, opts: opts,
+				status: StatusQueued, submitted: time.Now(),
+				bc:   trainer.NewBroadcaster(),
+				done: make(chan struct{}),
+			}
+		}
+	}
+
+	j, err := s.submit(build)
+	if err != nil {
+		code := http.StatusServiceUnavailable
+		if !errors.Is(err, errQueueFull) && !errors.Is(err, errDraining) {
+			code = http.StatusInternalServerError
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"id": j.ID, "status": string(StatusQueued),
+	})
+}
+
+// specJob builds the Job record for a declarative sweep submission.
+func specJob(sp *experiments.Spec, opts experiments.Options) func(id string) *Job {
+	return func(id string) *Job {
+		return &Job{
+			ID: id, Kind: KindSpec, Name: sp.Name,
+			spec: sp, opts: opts,
+			status: StatusQueued, submitted: time.Now(),
+			bc:   trainer.NewBroadcaster(),
+			done: make(chan struct{}),
+		}
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.store.list()
+	out := make([]*jobJSON, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.view(false))
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": out})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view(true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	st, ok := s.cancelJob(j)
+	if !ok {
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"id": j.ID, "status": string(st),
+			"error": fmt.Sprintf("job already %s", st),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": j.ID, "status": string(st)})
+}
+
+func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
+	type specInfo struct {
+		Name  string `json:"name"`
+		Title string `json:"title,omitempty"`
+		Notes string `json:"notes,omitempty"`
+	}
+	specs := experiments.Specs()
+	out := make([]specInfo, 0, len(specs))
+	for _, sp := range specs {
+		out = append(out, specInfo{Name: sp.Name, Title: sp.Title, Notes: sp.Notes})
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"specs": out})
+}
+
+func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
+	sp := experiments.SpecFor(r.PathValue("name"))
+	if sp == nil {
+		writeErr(w, http.StatusNotFound, "unknown spec %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"workers":        s.workers,
+		"jobs":           s.store.count(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.writeProm(w, len(s.queue))
+}

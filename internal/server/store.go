@@ -1,0 +1,369 @@
+// Job records and the in-memory job store. A Job moves through a strict
+// state machine — queued -> running -> {completed, failed, cancelled}, with
+// the queued -> cancelled shortcut for jobs killed before a worker picks
+// them up — and every transition happens under the job's own mutex, so the
+// cancel-vs-completion race resolves to exactly one terminal state.
+// Completed records optionally snapshot to JSON files (Config.PersistDir)
+// and are reloaded on startup.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"datastall/internal/experiments"
+	"datastall/internal/stats"
+	"datastall/internal/trainer"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states.
+const (
+	// StatusQueued: accepted, waiting for a worker.
+	StatusQueued Status = "queued"
+	// StatusRunning: a worker is executing the simulation.
+	StatusRunning Status = "running"
+	// StatusCompleted: finished with a result.
+	StatusCompleted Status = "completed"
+	// StatusFailed: the run returned an error or panicked.
+	StatusFailed Status = "failed"
+	// StatusCancelled: killed by DELETE (or server drain) before finishing.
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s Status) Terminal() bool {
+	return s == StatusCompleted || s == StatusFailed || s == StatusCancelled
+}
+
+// Job kinds.
+const (
+	// KindSpec: a declarative sweep (experiments.Spec) producing a Report.
+	KindSpec = "spec"
+	// KindJob: a single training job (experiments.JobSpec) producing a
+	// trainer.Result.
+	KindJob = "job"
+)
+
+// Job is one submitted workload and its live state.
+type Job struct {
+	// ID, Kind and Name are immutable after submission.
+	ID   string
+	Kind string
+	// Name is the spec name (KindSpec) or the model name (KindJob).
+	Name string
+
+	// Workload, resolved at submission time (immutable).
+	spec *experiments.Spec
+	cfg  trainer.Config
+	opts experiments.Options
+
+	// bc fans the run's Observer events out to /events subscribers; nil
+	// only for terminal jobs reloaded from a persist snapshot.
+	bc *Broadcaster
+
+	mu        sync.Mutex
+	status    Status
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	wall      float64
+	errMsg    string
+	report    *experiments.Report
+	result    *trainer.Result
+	cancel    func()
+
+	// done closes exactly once, when the job reaches a terminal state and
+	// its event stream has been closed.
+	done chan struct{}
+}
+
+// Broadcaster is the trainer's fan-out observer; aliased so the API
+// surface of this package reads without the trainer import.
+type Broadcaster = trainer.Broadcaster
+
+// StatusNow returns the job's current state.
+func (j *Job) StatusNow() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// markRunning transitions queued -> running, recording the start time and
+// the run's cancel hook; it fails (false) when a DELETE already cancelled
+// the job out of the queue.
+func (j *Job) markRunning(cancel func()) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// jobJSON is the wire (and persist-snapshot) form of a Job.
+type jobJSON struct {
+	ID          string     `json:"id"`
+	Kind        string     `json:"kind"`
+	Name        string     `json:"name,omitempty"`
+	Status      Status     `json:"status"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	WallSeconds float64    `json:"wall_seconds,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	// Report is the KindSpec result; Result the KindJob one.
+	Report *reportJSON     `json:"report,omitempty"`
+	Result *trainer.Result `json:"result,omitempty"`
+}
+
+// reportJSON is the wire form of an experiments.Report (the Table rendered
+// through its pre-formatted string cells, so values match the CLI tables
+// digit-for-digit).
+type reportJSON struct {
+	ID     string             `json:"id,omitempty"`
+	Title  string             `json:"title,omitempty"`
+	Paper  string             `json:"paper,omitempty"`
+	Notes  string             `json:"notes,omitempty"`
+	Values map[string]float64 `json:"values,omitempty"`
+	Table  *stats.TableJSON   `json:"table,omitempty"`
+}
+
+func toReportJSON(r *experiments.Report) *reportJSON {
+	if r == nil {
+		return nil
+	}
+	out := &reportJSON{ID: r.ID, Title: r.Title, Paper: r.Paper, Notes: r.Notes, Values: r.Values}
+	if r.Table != nil {
+		out.Table = r.Table.JSON()
+	}
+	return out
+}
+
+// view renders the job's wire form; withOutput false omits the (possibly
+// large) report/result payloads for listings.
+func (j *Job) view(withOutput bool) *jobJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := &jobJSON{
+		ID: j.ID, Kind: j.Kind, Name: j.Name,
+		Status: j.status, SubmittedAt: j.submitted,
+		WallSeconds: j.wall, Error: j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	if withOutput {
+		v.Report = toReportJSON(j.report)
+		v.Result = j.result
+	}
+	return v
+}
+
+// store is the in-memory job index, insertion-ordered.
+type store struct {
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string
+	seq   int
+}
+
+func newStore() *store { return &store{jobs: map[string]*Job{}} }
+
+// nextID allocates the next job ID.
+func (st *store) nextID() string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	return fmt.Sprintf("job-%06d", st.seq)
+}
+
+// insert registers a successfully enqueued job.
+func (st *store) insert(j *Job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.jobs[j.ID] = j
+	st.order = append(st.order, j.ID)
+}
+
+// count returns the number of registered jobs.
+func (st *store) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.jobs)
+}
+
+// evictable reports whether the job is safe to drop from the store: fully
+// finished (Done closed), not merely marked terminal — a DELETE-cancelled
+// job whose worker is still unwinding stays visible until finalize.
+func (j *Job) evictable() bool {
+	if !j.StatusNow().Terminal() {
+		return false
+	}
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// evictTerminal drops the oldest finished records beyond max, bounding a
+// long-running service's memory: counters on /metrics are totals and keep
+// counting, but the store retains at most max finished jobs (queued,
+// running, and still-unwinding cancelled jobs are never evicted; persisted
+// snapshots on disk are not touched).
+func (st *store) evictTerminal(max int) {
+	if max <= 0 {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	finished := 0
+	for _, id := range st.order {
+		if st.jobs[id].evictable() {
+			finished++
+		}
+	}
+	if finished <= max {
+		return
+	}
+	kept := st.order[:0]
+	for _, id := range st.order {
+		if finished > max && st.jobs[id].evictable() {
+			delete(st.jobs, id)
+			finished--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	st.order = kept
+}
+
+// get looks a job up by ID.
+func (st *store) get(id string) *Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.jobs[id]
+}
+
+// list returns every job in submission order.
+func (st *store) list() []*Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*Job, 0, len(st.order))
+	for _, id := range st.order {
+		out = append(out, st.jobs[id])
+	}
+	return out
+}
+
+// insertLoaded re-registers a persisted terminal job under its original ID,
+// bumping the sequence counter past it so new IDs never collide.
+func (st *store) insertLoaded(j *Job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.jobs[j.ID]; dup {
+		return
+	}
+	var n int
+	if _, err := fmt.Sscanf(j.ID, "job-%06d", &n); err == nil && n > st.seq {
+		st.seq = n
+	}
+	st.jobs[j.ID] = j
+	st.order = append(st.order, j.ID)
+	sort.Strings(st.order)
+}
+
+// persistJob snapshots a terminal job's wire form to dir/<id>.json.
+func persistJob(dir string, j *Job) error {
+	b, err := json.MarshalIndent(j.view(true), "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, j.ID+".json.tmp")
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, j.ID+".json"))
+}
+
+// loadPersisted reads every snapshot in dir into the store as terminal
+// jobs. Snapshots that fail to parse (or are non-terminal) are skipped —
+// a corrupt file must not keep the service from starting.
+func loadPersisted(dir string, st *store, logf func(string, ...interface{})) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		logf("persist: %v", err)
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		b, err := os.ReadFile(path)
+		if err != nil {
+			logf("persist: %s: %v", path, err)
+			continue
+		}
+		var v jobJSON
+		if err := json.Unmarshal(b, &v); err != nil {
+			logf("persist: %s: %v", path, err)
+			continue
+		}
+		if v.ID == "" || !v.Status.Terminal() {
+			logf("persist: %s: not a terminal job snapshot, skipping", path)
+			continue
+		}
+		j := &Job{
+			ID: v.ID, Kind: v.Kind, Name: v.Name,
+			status: v.Status, submitted: v.SubmittedAt,
+			wall: v.WallSeconds, errMsg: v.Error,
+			result: v.Result,
+			done:   make(chan struct{}),
+		}
+		if v.StartedAt != nil {
+			j.started = *v.StartedAt
+		}
+		if v.FinishedAt != nil {
+			j.finished = *v.FinishedAt
+		}
+		if v.Report != nil {
+			// Rehydrate the report far enough for view() to re-render it:
+			// the table keeps its pre-formatted cells.
+			rep := &experiments.Report{
+				ID: v.Report.ID, Title: v.Report.Title, Paper: v.Report.Paper,
+				Notes: v.Report.Notes, Values: v.Report.Values,
+			}
+			if v.Report.Table != nil {
+				rep.Table = &stats.Table{
+					Title:   v.Report.Table.Title,
+					Columns: v.Report.Table.Columns,
+					Rows:    v.Report.Table.Rows,
+				}
+			}
+			j.report = rep
+		}
+		close(j.done)
+		st.insertLoaded(j)
+	}
+}

@@ -1,0 +1,115 @@
+#!/bin/sh
+# End-to-end smoke of the stallserved HTTP job service, run by
+# `make servesmoke` locally and in CI. It exercises the full service story:
+# boot, health, spec listing, submitting the committed example scenario,
+# live event streaming to job_done, result retrieval, cancelling a second
+# job mid-run, /metrics reconciliation against what actually happened, and
+# a clean SIGTERM drain.
+set -eu
+
+BUILD_DIR=${BUILD_DIR:-build}
+PORT=${SERVESMOKE_PORT:-18080}
+BASE=http://127.0.0.1:$PORT
+LOG=$BUILD_DIR/servesmoke.log
+
+fail() { echo "servesmoke: FAIL: $*" >&2; sed 's/^/servesmoke: log: /' "$LOG" >&2 || true; exit 1; }
+
+mkdir -p "$BUILD_DIR"
+go build -o "$BUILD_DIR/stallserved" ./cmd/stallserved
+
+"$BUILD_DIR/stallserved" -addr 127.0.0.1:"$PORT" -workers 1 >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Boot + health.
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -lt 100 ] || fail "server never became healthy"
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" | grep -q '"ok"' || fail "healthz"
+
+# Built-in specs are listed and fetchable by name.
+curl -sf "$BASE/v1/specs" | grep -q '"fig5"' || fail "/v1/specs does not list fig5"
+curl -sf "$BASE/v1/specs/fig5" | grep -q '"name": "fig5"' || fail "/v1/specs/fig5"
+
+# Park the single worker on a long job so the scenario below stays queued
+# while its event stream attaches; the blocker then doubles as the
+# cancel-mid-run subject.
+ID2=$(curl -sf -X POST -d '{"job": {"model": "resnet18", "dataset": "imagenet-1k", "scale": 0.2, "epochs": 50, "batch": 16, "loader": "coordl", "cache_fraction": 0.35}}' \
+  "$BASE/v1/jobs" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$ID2" ] || fail "blocker submit returned no job id"
+i=0
+until curl -sf "$BASE/v1/jobs/$ID2" | grep -q '"status": "running"'; do
+  i=$((i + 1))
+  [ "$i" -lt 100 ] || fail "$ID2 never started running"
+  sleep 0.05
+done
+
+# Submit the committed example scenario (queued behind the blocker) and
+# attach its event stream before it starts: nothing can be missed.
+printf '{"spec": %s}' "$(cat testdata/specs/cache-sweep.json)" >"$BUILD_DIR/servesmoke-submit.json"
+ID=$(curl -sf -X POST --data-binary @"$BUILD_DIR/servesmoke-submit.json" "$BASE/v1/jobs" |
+  sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$ID" ] || fail "submit returned no job id"
+echo "servesmoke: submitted $ID (queued behind $ID2)"
+: >"$BUILD_DIR/servesmoke-events.ndjson"
+curl -sfN "$BASE/v1/jobs/$ID/events" >"$BUILD_DIR/servesmoke-events.ndjson" &
+CURLPID=$!
+i=0
+until grep -q '"type":"status"' "$BUILD_DIR/servesmoke-events.ndjson"; do
+  i=$((i + 1))
+  [ "$i" -lt 100 ] || fail "event stream never attached"
+  sleep 0.05
+done
+
+# Cancel the blocker mid-run; the worker frees up and runs the scenario.
+curl -sf -X DELETE "$BASE/v1/jobs/$ID2" | grep -q '"status": "cancelled"' || fail "DELETE did not report cancelled"
+i=0
+until curl -sf "$BASE/v1/jobs/$ID2" | grep -q '"status": "cancelled"'; do
+  i=$((i + 1))
+  [ "$i" -lt 100 ] || fail "$ID2 never settled cancelled"
+  sleep 0.05
+done
+echo "servesmoke: $ID2 cancelled mid-run"
+
+wait "$CURLPID" || fail "event stream"
+grep -q '"type":"case_started"' "$BUILD_DIR/servesmoke-events.ndjson" || fail "no case_started events streamed"
+grep -q '"type":"epoch_ended"' "$BUILD_DIR/servesmoke-events.ndjson" || fail "no epoch_ended events streamed"
+tail -n 1 "$BUILD_DIR/servesmoke-events.ndjson" | grep -q '"type":"job_done".*"status":"completed"' ||
+  fail "stream did not end in a completed job_done"
+curl -sf "$BASE/v1/jobs/$ID" | grep -q '"status": "completed"' || fail "job record not completed"
+curl -sf "$BASE/v1/jobs/$ID" | grep -q '"table"' || fail "completed job has no result table"
+echo "servesmoke: $ID completed with a fully streamed result"
+
+# Metrics reconcile with the two jobs above. The cancelled status flips at
+# DELETE time while the worker is still unwinding the engine, so give the
+# running gauge a bounded moment to settle before the exact asserts.
+i=0
+until curl -sf "$BASE/metrics" | grep -q '^stallserved_jobs_running 0$'; do
+  i=$((i + 1))
+  [ "$i" -lt 100 ] || fail "running gauge never settled to 0"
+  sleep 0.05
+done
+curl -sf "$BASE/metrics" >"$BUILD_DIR/servesmoke-metrics.txt"
+for want in \
+  'stallserved_jobs_submitted_total 2' \
+  'stallserved_jobs_completed_total 1' \
+  'stallserved_jobs_cancelled_total 1' \
+  'stallserved_jobs_failed_total 0' \
+  'stallserved_jobs_queued 0' \
+  'stallserved_jobs_running 0' \
+  'stallserved_queue_depth 0'; do
+  grep -q "^$want\$" "$BUILD_DIR/servesmoke-metrics.txt" ||
+    fail "metrics: wanted '$want', got: $(grep "^${want%% *}" "$BUILD_DIR/servesmoke-metrics.txt" || echo missing)"
+done
+grep -q '^stallserved_events_published_total [1-9]' "$BUILD_DIR/servesmoke-metrics.txt" ||
+  fail "metrics: no events published"
+echo "servesmoke: metrics reconcile"
+
+# Graceful drain on SIGTERM: exit 0 and the farewell line.
+kill -TERM "$PID"
+if wait "$PID"; then :; else fail "server exited non-zero on SIGTERM"; fi
+grep -q 'bye' "$LOG" || fail "no clean-shutdown marker in log"
+echo "servesmoke: PASS (clean SIGTERM drain)"
