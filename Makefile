@@ -5,13 +5,13 @@ GO ?= go
 
 # Coverage floor (%) enforced on the concurrency-critical packages.
 COVER_FLOOR ?= 70
-COVER_PKGS  ?= internal/cache internal/loader internal/server
+COVER_PKGS  ?= internal/cache internal/loader internal/server internal/query
 
 # Scratch directory for generated build artifacts (coverage profiles, smoke
 # binaries); git-ignored, removed by clean.
 BUILD_DIR ?= build
 
-.PHONY: all build test cover lint bench benchjson bench2 bench3 allocguard profile suite speccheck servesmoke experiments-md clean
+.PHONY: all build test cover lint bench benchjson bench2 bench3 allocguard profile suite speccheck querycheck servesmoke experiments-md clean
 
 all: lint build test
 
@@ -90,6 +90,19 @@ suite:
 speccheck:
 	$(GO) test -count=1 -run 'TestSpec|TestLoadSpec' ./internal/experiments
 	$(GO) run ./cmd/runsuite -spec testdata/specs/cache-sweep.json > /dev/null
+
+# Query gate: the committed example queries run against the committed
+# fig18-style scenario (testdata/specs/fig18-query.json) and their NDJSON
+# must be byte-identical to the goldens — same no-reblessing discipline as
+# the suite goldens. Catches drift anywhere in the chain: simulation,
+# case capture, report round-trip, query operators, NDJSON rendering.
+querycheck:
+	@mkdir -p $(BUILD_DIR)
+	$(GO) run ./cmd/runsuite -spec testdata/specs/fig18-query.json -query testdata/queries/best-cache.json > $(BUILD_DIR)/best-cache.ndjson
+	cmp testdata/queries/best-cache.golden $(BUILD_DIR)/best-cache.ndjson
+	$(GO) run ./cmd/runsuite -spec testdata/specs/fig18-query.json -query testdata/queries/epoch-stalls.json > $(BUILD_DIR)/epoch-stalls.ndjson
+	cmp testdata/queries/epoch-stalls.golden $(BUILD_DIR)/epoch-stalls.ndjson
+	@echo "querycheck: example query output matches goldens"
 
 # Job-service bench: HTTP submit->complete latency and /events fan-out
 # delivery throughput at 1/4/16 concurrent subscribers, written to

@@ -21,6 +21,17 @@
 // -progress to stream per-epoch events of every underlying training run to
 // stderr. SIGINT cancels whatever is running (suite or scenario) cleanly
 // through its context.
+//
+// -query runs a JSON relational query (internal/query) over the captured
+// training runs and streams the result as NDJSON on stdout:
+//
+//	runsuite -spec spec.json -query q.json     # query a just-ran scenario
+//	runsuite -ids fig18 -query q.json          # query a just-ran suite subset
+//	runsuite -json -cases > suite.json         # save a queryable report ...
+//	runsuite -report suite.json -query q.json  # ... and query it offline
+//
+// With -query, stdout carries only the NDJSON rows (tables are skipped), so
+// the output pipes straight into jq or diff.
 package main
 
 import (
@@ -35,6 +46,7 @@ import (
 
 	"datastall"
 	"datastall/internal/experiments"
+	"datastall/internal/query"
 	"datastall/internal/trainer"
 )
 
@@ -52,6 +64,9 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress per-experiment progress on stderr")
 	specFile := flag.String("spec", "", "run a declarative JSON scenario spec from this file")
 	progress := flag.Bool("progress", false, "with -spec: stream per-epoch training progress to stderr")
+	queryFile := flag.String("query", "", "run a JSON query over the captured training runs; NDJSON on stdout")
+	reportFile := flag.String("report", "", "with -query: query a saved suite report (written with -json -cases) instead of running anything")
+	withCases := flag.Bool("cases", false, "with -json: embed the per-case capture, making the report queryable via -report")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -64,6 +79,28 @@ func main() {
 		}
 		return
 	}
+	// -query claims stdout for NDJSON; -json claims it for the report. The
+	// combination would interleave two formats, so refuse it (save the
+	// report with -json -cases first, then -report it).
+	if *queryFile != "" && *jsonOut {
+		fmt.Fprintln(os.Stderr, "runsuite: -query and -json both write stdout; run them separately (-json -cases saves a -report-able file)")
+		os.Exit(2)
+	}
+	if *withCases && !*jsonOut {
+		fmt.Fprintln(os.Stderr, "runsuite: -cases only applies to the -json report")
+		os.Exit(2)
+	}
+	if *reportFile != "" {
+		if *queryFile == "" {
+			fmt.Fprintln(os.Stderr, "runsuite: -report requires -query (it selects what to query, not what to run)")
+			os.Exit(2)
+		}
+		if *specFile != "" {
+			fmt.Fprintln(os.Stderr, "runsuite: -report and -spec are two different case sources; pick one")
+			os.Exit(2)
+		}
+		os.Exit(queryReportFile(ctx, *reportFile, *queryFile))
+	}
 	if *specFile != "" {
 		// The suite-only flags do nothing on the -spec path; silently
 		// accepting them would hand back the wrong output format (-json,
@@ -73,7 +110,7 @@ func main() {
 				strings.Join(bad, ", -"))
 			os.Exit(2)
 		}
-		os.Exit(runSpecFile(ctx, *specFile, *scale, *epochs, *seed, *progress))
+		os.Exit(runSpecFile(ctx, *specFile, *scale, *epochs, *seed, *progress, *queryFile))
 	}
 	if *progress {
 		fmt.Fprintln(os.Stderr, "runsuite: -progress applies to -spec runs; ignored")
@@ -119,8 +156,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "runsuite: wrote %s\n", *mdOut)
 	}
 	switch {
+	case *queryFile != "":
+		// Round-trip through the report's wire form: the same path a saved
+		// -report file takes, so on-line and off-line queries see identical
+		// cases.
+		b, jerr := rep.JSONWith(false, true)
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "runsuite: %v\n", jerr)
+			os.Exit(1)
+		}
+		cases, cerr := experiments.LoadSuiteCases(b)
+		if cerr != nil {
+			fmt.Fprintf(os.Stderr, "runsuite: %v\n", cerr)
+			os.Exit(1)
+		}
+		if code := runQueryNDJSON(ctx, *queryFile, cases); code != 0 {
+			os.Exit(code)
+		}
 	case *jsonOut:
-		b, jerr := rep.JSON(*timings)
+		b, jerr := rep.JSONWith(*timings, *withCases)
 		if jerr != nil {
 			fmt.Fprintf(os.Stderr, "runsuite: %v\n", jerr)
 			os.Exit(1)
@@ -161,7 +215,7 @@ func suiteOnlyFlagsSet() []string {
 // scenario runs through the same Spec machinery as the registry's
 // sweep-shaped figures; withProgress attaches a console observer so every
 // underlying training run streams per-epoch events to stderr.
-func runSpecFile(ctx context.Context, path string, scale float64, epochs int, seed int64, withProgress bool) int {
+func runSpecFile(ctx context.Context, path string, scale float64, epochs int, seed int64, withProgress bool, queryFile string) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "runsuite: %v\n", err)
@@ -197,10 +251,61 @@ func runSpecFile(ctx context.Context, path string, scale float64, epochs int, se
 		fmt.Fprintf(os.Stderr, "runsuite: spec %s: %v\n", sp.Name, err)
 		return 1
 	}
-	fmt.Printf("== %s: %s ==\n%s", sp.Name, sp.Title, rep.Table.String())
-	if rep.Notes != "" {
-		fmt.Printf("notes: %s\n", rep.Notes)
+	if queryFile != "" {
+		// -query owns stdout: the scenario's table would corrupt the NDJSON
+		// stream, so it is skipped (run without -query to see it).
+		if code := runQueryNDJSON(ctx, queryFile, rep.Cases); code != 0 {
+			return code
+		}
+	} else {
+		fmt.Printf("== %s: %s ==\n%s", sp.Name, sp.Title, rep.Table.String())
+		if rep.Notes != "" {
+			fmt.Printf("notes: %s\n", rep.Notes)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "runsuite: spec %s done in %.2fs\n", sp.Name, time.Since(start).Seconds())
+	return 0
+}
+
+// queryReportFile queries a saved suite report (-json -cases) offline: no
+// simulation runs, the saved per-case capture is the data source.
+func queryReportFile(ctx context.Context, reportPath, queryPath string) int {
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runsuite: %v\n", err)
+		return 1
+	}
+	cases, err := experiments.LoadSuiteCases(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runsuite: %s: %v\n", reportPath, err)
+		return 1
+	}
+	return runQueryNDJSON(ctx, queryPath, cases)
+}
+
+// runQueryNDJSON executes the query file over the cases and streams the
+// result rows as NDJSON on stdout.
+func runQueryNDJSON(ctx context.Context, queryPath string, cases []*experiments.CaseResult) int {
+	src, err := os.ReadFile(queryPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runsuite: %v\n", err)
+		return 1
+	}
+	q, err := query.ParseQuery(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runsuite: %s: %v\n", queryPath, err)
+		return 1
+	}
+	st := query.NewStore()
+	st.AddCases(cases)
+	rows, err := query.New(st).Run(ctx, q)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runsuite: %s: %v\n", queryPath, err)
+		return 1
+	}
+	if _, err := query.WriteNDJSON(os.Stdout, rows); err != nil {
+		fmt.Fprintf(os.Stderr, "runsuite: query: %v\n", err)
+		return 1
+	}
 	return 0
 }

@@ -191,7 +191,8 @@ type TrainConfig struct {
 	Scale float64
 	// Seed drives all randomness (default 1).
 	Seed int64
-	// TraceDiskIO / TraceCPU collect time series.
+	// TraceDiskIO / TraceCPU collect time series (mapped onto the
+	// trainer's DiskTraceObserver / CPUTraceObserver internally).
 	TraceDiskIO bool
 	TraceCPU    bool
 }
@@ -228,7 +229,6 @@ func (c TrainConfig) internal() (trainer.Config, error) {
 		Batch: c.Batch, Epochs: c.Epochs,
 		ThreadsPerGPU: c.PrepThreadsPerGPU,
 		Loader:        k, Seed: c.Seed,
-		TraceDiskIO: c.TraceDiskIO, TraceCPU: c.TraceCPU,
 	}
 	if c.PyTorchPrep {
 		cfg.Framework = prep.PyTorchNative
@@ -324,7 +324,14 @@ func TrainContext(ctx context.Context, c TrainConfig) (*TrainResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := trainer.RunContext(ctx, cfg)
+	var obs []trainer.Observer
+	if c.TraceDiskIO {
+		obs = append(obs, trainer.DiskTraceObserver())
+	}
+	if c.TraceCPU {
+		obs = append(obs, trainer.CPUTraceObserver())
+	}
+	r, err := trainer.RunContext(ctx, cfg, obs...)
 	if err != nil {
 		return nil, err
 	}

@@ -170,6 +170,14 @@ func (r *SuiteReport) Values() map[string]float64 { return r.inner.AggregateValu
 // the bytes are identical across runs and worker counts for a given seed.
 func (r *SuiteReport) JSON(includeTiming bool) ([]byte, error) { return r.inner.JSON(includeTiming) }
 
+// JSONWith renders the suite report with optional extras: includeTiming as
+// in JSON, includeCases to embed every captured training run (the
+// per-case identity + per-epoch stats that internal/query ingests), making
+// the saved report queryable offline.
+func (r *SuiteReport) JSONWith(includeTiming, includeCases bool) ([]byte, error) {
+	return r.inner.JSONWith(includeTiming, includeCases)
+}
+
 // Markdown renders the suite as an EXPERIMENTS.md document.
 func (r *SuiteReport) Markdown() string { return r.inner.Markdown() }
 

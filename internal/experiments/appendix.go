@@ -164,10 +164,10 @@ func runFig19(ctx context.Context, o Options) (*Report, error) {
 	cacheBytes := cacheFor(d, full, 400*stats.GiB)
 	spec := cluster.ConfigSSDV100()
 	util := func(k loader.Kind) ([]float64, float64, error) {
-		res, err := mustRun(ctx, trainer.Config{
+		res, err := trainer.RunContext(ctx, trainer.Config{
 			Model: m, Dataset: d, Spec: spec, Loader: k,
-			CacheBytes: cacheBytes, Epochs: 2, Seed: o.Seed, TraceCPU: true,
-		})
+			CacheBytes: cacheBytes, Epochs: 2, Seed: o.Seed,
+		}, trainer.CPUTraceObserver())
 		if err != nil {
 			return nil, 0, err
 		}

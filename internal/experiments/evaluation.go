@@ -333,11 +333,11 @@ func runFig11(ctx context.Context, o Options) (*Report, error) {
 		horizon float64
 	}
 	runT := func(k loader.Kind) (*trace, error) {
-		res, err := mustRun(ctx, trainer.Config{
+		res, err := trainer.RunContext(ctx, trainer.Config{
 			Model: m, Dataset: d, Spec: cluster.ConfigSSDV100(),
 			Loader: k, CacheBytes: cacheBytes, Epochs: 2,
-			Seed: o.Seed, TraceDiskIO: true,
-		})
+			Seed: o.Seed,
+		}, trainer.DiskTraceObserver())
 		if err != nil {
 			return nil, err
 		}

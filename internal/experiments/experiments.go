@@ -64,6 +64,11 @@ type Report struct {
 	Values map[string]float64
 	// Notes records deviations or caveats.
 	Notes string
+	// Cases holds the per-cell results captured by spec-driven sweeps
+	// (RunSpec), the feed for internal/query. Hand-written experiments
+	// leave it nil. It is excluded from the default JSON report; pass
+	// includeCases to SuiteResult.JSONWith to emit it.
+	Cases []*CaseResult
 }
 
 func (r *Report) set(key string, v float64) {

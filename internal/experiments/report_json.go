@@ -36,6 +36,7 @@ type experimentJSON struct {
 	Notes       string             `json:"notes,omitempty"`
 	Values      map[string]float64 `json:"values,omitempty"`
 	Table       *stats.TableJSON   `json:"table,omitempty"`
+	Cases       []*caseResultJSON  `json:"cases,omitempty"`
 	WallSeconds float64            `json:"wall_seconds,omitempty"`
 }
 
@@ -45,6 +46,15 @@ type experimentJSON struct {
 // with the same seed compare byte-for-byte; includeTiming true adds
 // per-experiment and total wall seconds plus the worker count.
 func (r *SuiteResult) JSON(includeTiming bool) ([]byte, error) {
+	return r.JSONWith(includeTiming, false)
+}
+
+// JSONWith renders the suite report with optional extras: includeTiming as
+// in JSON, and includeCases to additionally emit each experiment's captured
+// per-case results ("cases" arrays) so the report can feed `runsuite
+// -report saved.json -query ...`. The default report (both false) is
+// byte-identical to what JSON always produced.
+func (r *SuiteResult) JSONWith(includeTiming, includeCases bool) ([]byte, error) {
 	// Record what the experiments actually ran with, not the raw zero
 	// options; a zero scale stays omitted (per-experiment defaults).
 	eff := r.Options.withDefaults(r.Options.Scale)
@@ -69,6 +79,11 @@ func (r *SuiteResult) JSON(includeTiming bool) ([]byte, error) {
 			ej.Notes = er.Report.Notes
 			ej.Values = er.Report.Values
 			ej.Table = er.Report.Table.JSON()
+			if includeCases {
+				for _, c := range er.Report.Cases {
+					ej.Cases = append(ej.Cases, toCaseJSON(c))
+				}
+			}
 		}
 		if includeTiming {
 			ej.WallSeconds = er.WallSeconds

@@ -628,6 +628,7 @@ func RunSpecProgress(ctx context.Context, sp *Spec, o Options, progress func(Cas
 			}
 			results[sc.label] = res
 			servers[sc.label] = cfg.NumServers
+			r.Cases = append(r.Cases, newCaseResult(sp.Name, rowLabel, sc.label, cfg, res))
 		}
 
 		for _, col := range sp.Columns {

@@ -1,0 +1,299 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Query is the JSON query AST. The zero value scans every "cases" row; each
+// clause composes one more operator onto the pipeline, applied in the fixed
+// order scan -> join -> where -> aggregate -> select -> order_by -> limit.
+type Query struct {
+	// From names the table: "cases" (default) or "epochs".
+	From string `json:"from,omitempty"`
+	// Join (on "epochs" only) appends each epoch row's case identity
+	// columns — everything from "spec" through "seed" — keyed by case_id.
+	Join bool `json:"join,omitempty"`
+	// Where keeps rows matching every condition (AND).
+	Where []Cond `json:"where,omitempty"`
+	// GroupBy + Aggs aggregate: output is one row per distinct group key,
+	// sorted by key, with the group columns followed by the aggregates.
+	// Aggs without GroupBy aggregates the whole input into one row.
+	GroupBy []string `json:"group_by,omitempty"`
+	Aggs    []Agg    `json:"aggs,omitempty"`
+	// Select projects the named columns, in order (no aggregation).
+	Select []string `json:"select,omitempty"`
+	// OrderBy sorts the output rows (stable; ties keep pipeline order).
+	OrderBy []Order `json:"order_by,omitempty"`
+	// Limit > 0 keeps only the first Limit rows.
+	Limit int `json:"limit,omitempty"`
+}
+
+// Cond is one where-clause condition.
+type Cond struct {
+	// Col names the column tested.
+	Col string `json:"col"`
+	// Op is "eq", "ne", "lt", "le", "gt" or "ge" (string columns support
+	// only eq/ne).
+	Op string `json:"op"`
+	// Value is the literal compared against: a JSON number for numeric
+	// columns, a JSON string for string columns.
+	Value interface{} `json:"value"`
+}
+
+// Agg is one aggregate output.
+type Agg struct {
+	// Op is "min", "max", "sum", "avg" or "count".
+	Op string `json:"op"`
+	// Col is the aggregated column; count may omit it (row count).
+	Col string `json:"col,omitempty"`
+	// As names the output column (default "<op>_<col>", or "count").
+	As string `json:"as,omitempty"`
+}
+
+// name returns the aggregate's output column name.
+func (a Agg) name() string {
+	if a.As != "" {
+		return a.As
+	}
+	if a.Col == "" {
+		return a.Op
+	}
+	return a.Op + "_" + a.Col
+}
+
+// Validation sentinels. Validate (and Run) return a *FieldError wrapping
+// one of these, so callers can match the failure class with errors.Is and
+// recover the offending AST field.
+var (
+	// ErrUnknownTable: From is neither "cases" nor "epochs".
+	ErrUnknownTable = errors.New("unknown table")
+	// ErrBadJoin: Join set on a table that has no join.
+	ErrBadJoin = errors.New("join is only defined for the epochs table")
+	// ErrUnknownColumn: a referenced column is not in the scanned schema.
+	ErrUnknownColumn = errors.New("unknown column")
+	// ErrBadOp: a condition operator is not recognized, or not applicable
+	// to the column's type.
+	ErrBadOp = errors.New("unknown or inapplicable operator")
+	// ErrBadValue: a condition value's JSON type does not match the column.
+	ErrBadValue = errors.New("value does not match the column type")
+	// ErrBadAgg: an aggregate op is not recognized, or not applicable.
+	ErrBadAgg = errors.New("unknown or inapplicable aggregate")
+	// ErrBadShape: clauses that cannot compose (select with aggs, group_by
+	// without aggs).
+	ErrBadShape = errors.New("invalid clause combination")
+	// ErrBadLimit: negative limit.
+	ErrBadLimit = errors.New("limit must be >= 0")
+)
+
+// FieldError is a typed validation failure, mirroring the trainer's Job
+// validation idiom: Field names the offending query clause and Unwrap
+// yields the matching sentinel.
+type FieldError struct {
+	// Field locates the failure, e.g. "where[1].col" or "aggs[0].op".
+	Field string
+	// Err is the sentinel classifying the failure.
+	Err error
+	// Detail elaborates with the offending values.
+	Detail string
+}
+
+// Error implements error.
+func (e *FieldError) Error() string {
+	s := "query: " + e.Field + ": " + e.Err.Error()
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	return s
+}
+
+// Unwrap yields the sentinel for errors.Is.
+func (e *FieldError) Unwrap() error { return e.Err }
+
+func fieldErr(field string, sentinel error, format string, args ...interface{}) *FieldError {
+	return &FieldError{Field: field, Err: sentinel, Detail: fmt.Sprintf(format, args...)}
+}
+
+// ParseQuery decodes a JSON query, rejecting unknown fields so typos fail
+// loudly, and validates it against the schema.
+func ParseQuery(data []byte) (*Query, error) {
+	var q Query
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&q); err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+	// A second document after the query is a malformed file, not data to
+	// ignore.
+	if dec.More() {
+		return nil, fmt.Errorf("query: trailing data after the query object")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return &q, nil
+}
+
+// colIndex maps the scanned schema for O(1) column resolution.
+func colIndex(cols []Col) map[string]int {
+	m := make(map[string]int, len(cols))
+	for i, c := range cols {
+		m[c.Name] = i
+	}
+	return m
+}
+
+// Validate checks the query against the schema and returns a typed
+// *FieldError for the first invalid clause, or nil. It mirrors exactly what
+// Run accepts: a validated query cannot fail to plan.
+func (q *Query) Validate() error {
+	from := q.From
+	if from == "" {
+		from = "cases"
+	}
+	if from != "cases" && from != "epochs" {
+		return fieldErr("from", ErrUnknownTable, "got %q, want \"cases\" or \"epochs\"", q.From)
+	}
+	if q.Join && from != "epochs" {
+		return fieldErr("join", ErrBadJoin, "got table %q", from)
+	}
+	cols := tableCols(from, q.Join)
+	idx := colIndex(cols)
+
+	for i, c := range q.Where {
+		field := fmt.Sprintf("where[%d]", i)
+		ci, ok := idx[c.Col]
+		if !ok {
+			return fieldErr(field+".col", ErrUnknownColumn, "%q is not a column of %s", c.Col, scanName(from, q.Join))
+		}
+		typ := cols[ci].Type
+		switch c.Op {
+		case "eq", "ne":
+		case "lt", "le", "gt", "ge":
+			if typ == TypeString {
+				return fieldErr(field+".op", ErrBadOp, "%q does not order string column %q (use eq/ne)", c.Op, c.Col)
+			}
+		default:
+			return fieldErr(field+".op", ErrBadOp, "got %q, want eq/ne/lt/le/gt/ge", c.Op)
+		}
+		switch v := c.Value.(type) {
+		case float64:
+			if typ == TypeString {
+				return fieldErr(field+".value", ErrBadValue, "number %g against string column %q", v, c.Col)
+			}
+		case string:
+			if typ != TypeString {
+				return fieldErr(field+".value", ErrBadValue, "string %q against %s column %q", v, typ, c.Col)
+			}
+		default:
+			return fieldErr(field+".value", ErrBadValue, "got %T, want a JSON number or string", c.Value)
+		}
+	}
+
+	if len(q.GroupBy) > 0 && len(q.Aggs) == 0 {
+		return fieldErr("group_by", ErrBadShape, "group_by without aggs; add at least one aggregate")
+	}
+	if len(q.Select) > 0 && len(q.Aggs) > 0 {
+		return fieldErr("select", ErrBadShape, "select and aggs are mutually exclusive (group_by columns are emitted automatically)")
+	}
+	for i, g := range q.GroupBy {
+		if _, ok := idx[g]; !ok {
+			return fieldErr(fmt.Sprintf("group_by[%d]", i), ErrUnknownColumn, "%q is not a column of %s", g, scanName(from, q.Join))
+		}
+	}
+	outNames := map[string]bool{}
+	for i, a := range q.Aggs {
+		field := fmt.Sprintf("aggs[%d]", i)
+		switch a.Op {
+		case "min", "max", "sum", "avg":
+			ci, ok := idx[a.Col]
+			if !ok {
+				return fieldErr(field+".col", ErrUnknownColumn, "%q is not a column of %s", a.Col, scanName(from, q.Join))
+			}
+			if cols[ci].Type == TypeString {
+				return fieldErr(field+".op", ErrBadAgg, "%q cannot aggregate string column %q (only count)", a.Op, a.Col)
+			}
+		case "count":
+			if a.Col != "" {
+				if _, ok := idx[a.Col]; !ok {
+					return fieldErr(field+".col", ErrUnknownColumn, "%q is not a column of %s", a.Col, scanName(from, q.Join))
+				}
+			}
+		default:
+			return fieldErr(field+".op", ErrBadAgg, "got %q, want min/max/sum/avg/count", a.Op)
+		}
+		if outNames[a.name()] {
+			return fieldErr(field+".as", ErrBadShape, "duplicate output column %q", a.name())
+		}
+		outNames[a.name()] = true
+	}
+	for i, s := range q.Select {
+		if _, ok := idx[s]; !ok {
+			return fieldErr(fmt.Sprintf("select[%d]", i), ErrUnknownColumn, "%q is not a column of %s", s, scanName(from, q.Join))
+		}
+	}
+
+	// order_by and limit apply to the pipeline's output schema.
+	out := q.outputCols(cols, idx)
+	outIdx := colIndex(out)
+	for i, o := range q.OrderBy {
+		if _, ok := outIdx[o.Col]; !ok {
+			return fieldErr(fmt.Sprintf("order_by[%d].col", i), ErrUnknownColumn, "%q is not an output column", o.Col)
+		}
+	}
+	if q.Limit < 0 {
+		return fieldErr("limit", ErrBadLimit, "got %d", q.Limit)
+	}
+	return nil
+}
+
+// Order is one order-by key.
+type Order struct {
+	Col  string `json:"col"`
+	Desc bool   `json:"desc,omitempty"`
+}
+
+// scanName names the scanned relation for error messages.
+func scanName(from string, join bool) string {
+	if join {
+		return from + " (joined)"
+	}
+	return from
+}
+
+// outputCols computes the pipeline's output schema after aggregation or
+// projection. cols/idx describe the scanned schema.
+func (q *Query) outputCols(cols []Col, idx map[string]int) []Col {
+	switch {
+	case len(q.Aggs) > 0:
+		out := make([]Col, 0, len(q.GroupBy)+len(q.Aggs))
+		for _, g := range q.GroupBy {
+			out = append(out, cols[idx[g]])
+		}
+		for _, a := range q.Aggs {
+			out = append(out, Col{Name: a.name(), Type: aggType(a, cols, idx)})
+		}
+		return out
+	case len(q.Select) > 0:
+		out := make([]Col, 0, len(q.Select))
+		for _, s := range q.Select {
+			out = append(out, cols[idx[s]])
+		}
+		return out
+	}
+	return cols
+}
+
+// aggType is the aggregate output's column type: count is int, avg is
+// float, min/max/sum follow the input column.
+func aggType(a Agg, cols []Col, idx map[string]int) ColType {
+	switch a.Op {
+	case "count":
+		return TypeInt
+	case "avg":
+		return TypeFloat
+	}
+	return cols[idx[a.Col]].Type
+}

@@ -1,0 +1,76 @@
+package query
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// flusher lets WriteNDJSON push each row to the client as it is produced
+// (http.ResponseWriter implements it via http.NewResponseController in the
+// server; files and buffers simply don't).
+type flusher interface{ Flush() error }
+
+// WriteNDJSON streams the result as one JSON object per line, keys in
+// column order (stable bytes: no map iteration, floats rendered by
+// encoding/json's shortest-roundtrip rules). When w implements
+// Flush() error, every row is flushed as written so clients see rows as
+// they stream. Returns the row count and the first write or query error.
+func WriteNDJSON(w io.Writer, rows *Rows) (int, error) {
+	f, _ := w.(flusher)
+	cols := rows.Columns()
+	// Column keys are constant across rows; pre-encode them once.
+	keys := make([][]byte, len(cols))
+	for i, c := range cols {
+		k, err := json.Marshal(c.Name)
+		if err != nil {
+			return 0, err
+		}
+		keys[i] = k
+	}
+	n := 0
+	buf := make([]byte, 0, 256)
+	for rows.Next() {
+		buf = buf[:0]
+		buf = append(buf, '{')
+		for i, v := range rows.Row() {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, keys[i]...)
+			buf = append(buf, ':')
+			buf = appendValue(buf, v)
+		}
+		buf = append(buf, '}', '\n')
+		if _, err := w.Write(buf); err != nil {
+			return n, err
+		}
+		if f != nil {
+			if err := f.Flush(); err != nil {
+				return n, err
+			}
+		}
+		n++
+	}
+	return n, rows.Err()
+}
+
+// appendValue renders one cell as JSON. Floats go through encoding/json
+// (shortest roundtrip, matching every other JSON the repo emits) so golden
+// files never churn on formatting.
+func appendValue(buf []byte, v Value) []byte {
+	switch v.Type {
+	case TypeInt:
+		return strconv.AppendInt(buf, v.I, 10)
+	case TypeFloat:
+		b, err := json.Marshal(v.F)
+		if err != nil {
+			// NaN/Inf cannot reach here: every stored metric is finite
+			// (durations, byte counts, ratios of positive quantities).
+			return append(buf, "null"...)
+		}
+		return append(buf, b...)
+	}
+	b, _ := json.Marshal(v.S)
+	return append(buf, b...)
+}

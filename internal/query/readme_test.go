@@ -1,0 +1,25 @@
+package query
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestREADMEListsEveryColumn pins the README's "Querying results" section
+// to Schema(): adding, renaming or dropping a column without updating the
+// documented table layout fails here, not in a user's query.
+func TestREADMEListsEveryColumn(t *testing.T) {
+	data, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatalf("reading README: %v", err)
+	}
+	md := string(data)
+	for _, tbl := range Schema() {
+		for _, col := range tbl.Cols {
+			if !strings.Contains(md, "`"+col.Name+"`") {
+				t.Errorf("README does not document %s column %q", tbl.Name, col.Name)
+			}
+		}
+	}
+}

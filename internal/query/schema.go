@@ -1,0 +1,222 @@
+// Package query is a read-only analytical surface over finished simulation
+// results: a columnar store of training cases and their per-epoch stats,
+// plus streaming Volcano-style relational operators (scan, filter, project,
+// aggregate, order-by, limit, and a case-epoch join) composed from a small
+// JSON query AST.
+//
+// The store ingests experiments.CaseResult rows — captured by spec sweeps,
+// suite runs, the HTTP job service, or rehydrated from a saved suite report
+// — into two typed column tables:
+//
+//   - "cases": one row per training run, with the resolved axis values
+//     (model, loader, servers, cache size, ...) and steady-state metrics
+//     (epoch_s, stall_pct, ...), exactly the metric names spec columns use;
+//   - "epochs": one row per epoch per run, keyed back to its case by
+//     case_id, including cache occupancy at epoch end.
+//
+// Queries are JSON (see ParseQuery) and execute lazily: Run returns a Rows
+// iterator that pulls one row at a time through the operator pipeline,
+// honoring ctx cancellation mid-stream, so arbitrarily large results stream
+// in constant memory (pipeline-blocking operators — aggregate and order-by
+// — buffer only their own state). Example, the paper's fig18 question
+// "best (smallest sufficient) cache per cluster size where stalls are
+// under 5%":
+//
+//	{
+//	  "where":    [{"col": "stall_pct", "op": "lt", "value": 5}],
+//	  "group_by": ["servers", "gpus"],
+//	  "aggs":     [{"op": "min", "col": "cache_gib", "as": "best_cache_gib"}],
+//	  "order_by": [{"col": "servers"}, {"col": "gpus"}]
+//	}
+//
+//	st := query.NewStore()
+//	st.AddCases(report.Cases)
+//	rows, err := query.New(st).Run(ctx, q)
+//
+// Output is deterministic for a given store: scans stream in insertion
+// order, grouped output is sorted by group key, and order-by sorts stably.
+package query
+
+import "datastall/internal/stats"
+
+// ColType is a column's value type.
+type ColType int
+
+// Column types.
+const (
+	TypeInt ColType = iota
+	TypeFloat
+	TypeString
+)
+
+// String names the type as the schema docs spell it.
+func (t ColType) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	}
+	return "string"
+}
+
+// Col describes one column: its name as queries reference it, and its type.
+type Col struct {
+	Name string
+	Type ColType
+}
+
+// Table describes one queryable table.
+type Table struct {
+	Name string
+	Cols []Col
+}
+
+// Schema returns the store's row schema — the single source of truth shared
+// by the columnar store, the AST validator, and the docs. Joined queries
+// ("join": true on "epochs") see the epoch columns followed by the case
+// identity columns (everything in "cases" up to and including "seed",
+// case_id deduplicated).
+func Schema() []Table {
+	return []Table{
+		{Name: "cases", Cols: caseCols()},
+		{Name: "epochs", Cols: epochCols()},
+	}
+}
+
+// caseIdentityEnd is the number of leading "cases" columns that form the
+// run's identity (case_id .. seed); the rest are steady-state metrics. The
+// join appends the identity columns (minus case_id) to each epoch row.
+const caseIdentityEnd = 15
+
+// caseDef couples one "cases" column with its extractor; the slice below is
+// the one place the cases schema is defined.
+type caseDef struct {
+	col Col
+	// get reads the column from an ingested case; id is the assigned
+	// case_id.
+	get func(id int64, c *ingested) Value
+}
+
+// ingested is the store's view of one case: the identity fields plus the
+// precomputed steady-state metrics.
+type ingested struct {
+	spec, row, kase                string
+	model, dataset, server, loader string
+	servers, gpus, batch, epochs   int64
+	cacheBytes                     float64
+	seed                           int64
+
+	epochS, samplesPerS, stallPct, hitPct, missPct  float64
+	diskGiBPerEpoch, diskGiBPerNode, netGiBPerEpoch float64
+	totalDiskGiB, totalTimeS                        float64
+}
+
+func caseDefs() []caseDef {
+	return []caseDef{
+		{Col{"case_id", TypeInt}, func(id int64, c *ingested) Value { return intVal(id) }},
+		{Col{"spec", TypeString}, func(_ int64, c *ingested) Value { return strVal(c.spec) }},
+		{Col{"row", TypeString}, func(_ int64, c *ingested) Value { return strVal(c.row) }},
+		{Col{"case", TypeString}, func(_ int64, c *ingested) Value { return strVal(c.kase) }},
+		{Col{"model", TypeString}, func(_ int64, c *ingested) Value { return strVal(c.model) }},
+		{Col{"dataset", TypeString}, func(_ int64, c *ingested) Value { return strVal(c.dataset) }},
+		{Col{"server", TypeString}, func(_ int64, c *ingested) Value { return strVal(c.server) }},
+		{Col{"loader", TypeString}, func(_ int64, c *ingested) Value { return strVal(c.loader) }},
+		{Col{"servers", TypeInt}, func(_ int64, c *ingested) Value { return intVal(c.servers) }},
+		{Col{"gpus", TypeInt}, func(_ int64, c *ingested) Value { return intVal(c.gpus) }},
+		{Col{"batch", TypeInt}, func(_ int64, c *ingested) Value { return intVal(c.batch) }},
+		{Col{"epochs", TypeInt}, func(_ int64, c *ingested) Value { return intVal(c.epochs) }},
+		{Col{"cache_bytes", TypeFloat}, func(_ int64, c *ingested) Value { return floatVal(c.cacheBytes) }},
+		{Col{"cache_gib", TypeFloat}, func(_ int64, c *ingested) Value { return floatVal(c.cacheBytes / stats.GiB) }},
+		{Col{"seed", TypeInt}, func(_ int64, c *ingested) Value { return intVal(c.seed) }},
+		// Steady-state metrics, named exactly like spec column metrics.
+		{Col{"epoch_s", TypeFloat}, func(_ int64, c *ingested) Value { return floatVal(c.epochS) }},
+		{Col{"samples_per_s", TypeFloat}, func(_ int64, c *ingested) Value { return floatVal(c.samplesPerS) }},
+		{Col{"stall_pct", TypeFloat}, func(_ int64, c *ingested) Value { return floatVal(c.stallPct) }},
+		{Col{"hit_pct", TypeFloat}, func(_ int64, c *ingested) Value { return floatVal(c.hitPct) }},
+		{Col{"miss_pct", TypeFloat}, func(_ int64, c *ingested) Value { return floatVal(c.missPct) }},
+		{Col{"disk_gib_per_epoch", TypeFloat}, func(_ int64, c *ingested) Value { return floatVal(c.diskGiBPerEpoch) }},
+		{Col{"disk_gib_per_node", TypeFloat}, func(_ int64, c *ingested) Value { return floatVal(c.diskGiBPerNode) }},
+		{Col{"net_gib_per_epoch", TypeFloat}, func(_ int64, c *ingested) Value { return floatVal(c.netGiBPerEpoch) }},
+		{Col{"total_disk_gib", TypeFloat}, func(_ int64, c *ingested) Value { return floatVal(c.totalDiskGiB) }},
+		{Col{"total_time_s", TypeFloat}, func(_ int64, c *ingested) Value { return floatVal(c.totalTimeS) }},
+	}
+}
+
+func caseCols() []Col {
+	defs := caseDefs()
+	out := make([]Col, len(defs))
+	for i, d := range defs {
+		out[i] = d.col
+	}
+	return out
+}
+
+// epochRow is the store's view of one epoch of one case.
+type epochRow struct {
+	caseID int64
+	epoch  int64
+
+	durationS, computeS, stallS, stallPct        float64
+	diskGiB, netGiB, memGiB                      float64
+	diskReads, hits, misses, remoteHits, samples int64
+	cacheUsedGiB                                 float64
+}
+
+type epochDef struct {
+	col Col
+	get func(e *epochRow) Value
+}
+
+func epochDefs() []epochDef {
+	return []epochDef{
+		{Col{"case_id", TypeInt}, func(e *epochRow) Value { return intVal(e.caseID) }},
+		{Col{"epoch", TypeInt}, func(e *epochRow) Value { return intVal(e.epoch) }},
+		{Col{"duration_s", TypeFloat}, func(e *epochRow) Value { return floatVal(e.durationS) }},
+		{Col{"compute_s", TypeFloat}, func(e *epochRow) Value { return floatVal(e.computeS) }},
+		{Col{"stall_s", TypeFloat}, func(e *epochRow) Value { return floatVal(e.stallS) }},
+		{Col{"epoch_stall_pct", TypeFloat}, func(e *epochRow) Value { return floatVal(e.stallPct) }},
+		{Col{"disk_gib", TypeFloat}, func(e *epochRow) Value { return floatVal(e.diskGiB) }},
+		{Col{"net_gib", TypeFloat}, func(e *epochRow) Value { return floatVal(e.netGiB) }},
+		{Col{"mem_gib", TypeFloat}, func(e *epochRow) Value { return floatVal(e.memGiB) }},
+		{Col{"disk_reads", TypeInt}, func(e *epochRow) Value { return intVal(e.diskReads) }},
+		{Col{"hits", TypeInt}, func(e *epochRow) Value { return intVal(e.hits) }},
+		{Col{"misses", TypeInt}, func(e *epochRow) Value { return intVal(e.misses) }},
+		{Col{"remote_hits", TypeInt}, func(e *epochRow) Value { return intVal(e.remoteHits) }},
+		{Col{"samples", TypeInt}, func(e *epochRow) Value { return intVal(e.samples) }},
+		{Col{"cache_used_gib", TypeFloat}, func(e *epochRow) Value { return floatVal(e.cacheUsedGiB) }},
+	}
+}
+
+func epochCols() []Col {
+	defs := epochDefs()
+	out := make([]Col, len(defs))
+	for i, d := range defs {
+		out[i] = d.col
+	}
+	return out
+}
+
+// joinCols is the output schema of "epochs" with "join": true — the epoch
+// columns followed by the case identity columns (case_id deduplicated).
+func joinCols() []Col {
+	out := append([]Col{}, epochCols()...)
+	for _, c := range caseCols()[1:caseIdentityEnd] {
+		out = append(out, c)
+	}
+	return out
+}
+
+// tableCols resolves the output schema a query's scan produces, or nil for
+// an unknown combination.
+func tableCols(from string, join bool) []Col {
+	switch {
+	case from == "cases" && !join:
+		return caseCols()
+	case from == "epochs" && join:
+		return joinCols()
+	case from == "epochs":
+		return epochCols()
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package query
+
+import (
+	"strconv"
+
+	"datastall/internal/experiments"
+	"datastall/internal/stats"
+)
+
+// Value is one cell of a result row: a tagged union over the three column
+// types, comparable without allocation.
+type Value struct {
+	Type ColType
+	I    int64
+	F    float64
+	S    string
+}
+
+func intVal(i int64) Value     { return Value{Type: TypeInt, I: i} }
+func floatVal(f float64) Value { return Value{Type: TypeFloat, F: f} }
+func strVal(s string) Value    { return Value{Type: TypeString, S: s} }
+
+// num returns the cell as a float64 for comparisons and arithmetic; only
+// valid for numeric types.
+func (v Value) num() float64 {
+	if v.Type == TypeInt {
+		return float64(v.I)
+	}
+	return v.F
+}
+
+// String renders the cell for group keys and debugging.
+func (v Value) String() string {
+	switch v.Type {
+	case TypeInt:
+		return strconv.FormatInt(v.I, 10)
+	case TypeFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	}
+	return v.S
+}
+
+// compare orders two same-type cells: numerics numerically, strings
+// lexicographically.
+func compare(a, b Value) int {
+	if a.Type == TypeString {
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		}
+		return 0
+	}
+	an, bn := a.num(), b.num()
+	switch {
+	case an < bn:
+		return -1
+	case an > bn:
+		return 1
+	}
+	return 0
+}
+
+// Store is an append-only columnar result store. Ingestion is not
+// goroutine-safe; a built store may be queried concurrently. The zero value
+// is not usable — call NewStore.
+type Store struct {
+	cases  []ingested
+	epochs []epochRow
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Len reports the number of ingested cases.
+func (s *Store) Len() int { return len(s.cases) }
+
+// AddCases ingests a batch of finished cases (e.g. report.Cases after a
+// spec run, SuiteResult.SuiteCases() after a suite, or
+// experiments.LoadSuiteCases of a saved report). Case IDs are assigned in
+// ingestion order, starting at 0.
+func (s *Store) AddCases(cases []*experiments.CaseResult) {
+	for _, c := range cases {
+		s.Add(c)
+	}
+}
+
+// Add ingests one finished case and returns its assigned case_id.
+func (s *Store) Add(c *experiments.CaseResult) int64 {
+	id := int64(len(s.cases))
+	r := c.Result
+	servers := c.Servers
+	if servers < 1 {
+		servers = 1
+	}
+	row := ingested{
+		spec: c.Spec, row: c.Row, kase: c.Case,
+		model: c.Model, dataset: c.Dataset, server: c.Server, loader: c.Loader,
+		servers: int64(c.Servers), gpus: int64(c.GPUs),
+		batch: int64(c.Batch), epochs: int64(c.Epochs),
+		cacheBytes: c.CacheBytes, seed: c.Seed,
+
+		epochS:          r.EpochTime,
+		samplesPerS:     r.Throughput,
+		stallPct:        100 * r.StallFraction,
+		hitPct:          100 * r.HitRate,
+		missPct:         100 * (1 - r.HitRate),
+		diskGiBPerEpoch: r.DiskPerEpoch / stats.GiB,
+		diskGiBPerNode:  r.DiskPerEpoch / float64(servers) / stats.GiB,
+		netGiBPerEpoch:  r.NetPerEpoch / stats.GiB,
+		totalDiskGiB:    r.TotalDiskBytes / stats.GiB,
+		totalTimeS:      r.TotalTime,
+	}
+	s.cases = append(s.cases, row)
+	for i, e := range r.Epochs {
+		stallPct := 0.0
+		if e.Duration > 0 {
+			stallPct = 100 * e.StallTime / e.Duration
+		}
+		s.epochs = append(s.epochs, epochRow{
+			caseID: id, epoch: int64(i),
+			durationS: e.Duration, computeS: e.ComputeTime,
+			stallS: e.StallTime, stallPct: stallPct,
+			diskGiB:   e.DiskBytes / stats.GiB,
+			netGiB:    e.NetBytes / stats.GiB,
+			memGiB:    e.MemBytes / stats.GiB,
+			diskReads: int64(e.DiskReads), hits: int64(e.Hits),
+			misses: int64(e.Misses), remoteHits: int64(e.RemoteHits),
+			samples:      int64(e.Samples),
+			cacheUsedGiB: e.CacheUsedBytes / stats.GiB,
+		})
+	}
+	return id
+}
+
+// The def slices are immutable after init; materialization shares them.
+var (
+	allCaseDefs  = caseDefs()
+	allEpochDefs = epochDefs()
+)
+
+// caseRow materializes case i as a row in caseCols order.
+func (s *Store) caseRow(i int) []Value {
+	out := make([]Value, len(allCaseDefs))
+	for j, d := range allCaseDefs {
+		out[j] = d.get(int64(i), &s.cases[i])
+	}
+	return out
+}
+
+// epochRowValues materializes epoch row i in epochCols order.
+func (s *Store) epochRowValues(i int) []Value {
+	out := make([]Value, len(allEpochDefs))
+	for j, d := range allEpochDefs {
+		out[j] = d.get(&s.epochs[i])
+	}
+	return out
+}
+
+// identityValues materializes case id's identity columns (spec .. seed) for
+// the join.
+func (s *Store) identityValues(id int64) []Value {
+	defs := allCaseDefs[1:caseIdentityEnd]
+	out := make([]Value, len(defs))
+	for j, d := range defs {
+		out[j] = d.get(id, &s.cases[id])
+	}
+	return out
+}

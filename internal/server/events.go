@@ -117,12 +117,12 @@ func (sw *streamWriter) write(ev wireEvent) error {
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.store.get(r.PathValue("id"))
 	if j == nil {
-		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeErr(w, http.StatusNotFound, codeNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeErr(w, http.StatusInternalServerError, "response writer cannot stream")
+		writeErr(w, http.StatusInternalServerError, codeInternal, "response writer cannot stream")
 		return
 	}
 	sw := &streamWriter{w: w, flush: flusher, sse: wantsSSE(r)}

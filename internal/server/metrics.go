@@ -24,6 +24,8 @@ type metrics struct {
 	cancelled     atomic.Int64
 	events        atomic.Int64 // observer events published to job streams
 	eventsDropped atomic.Int64 // events lost to slow-subscriber overflow
+	queries       atomic.Int64 // queries served by /v1/query
+	queryRows     atomic.Int64 // rows streamed by /v1/query
 
 	// Gauges.
 	queued      atomic.Int64
@@ -46,6 +48,8 @@ func (m *metrics) writeProm(w io.Writer, queueDepth int) {
 	c("stallserved_jobs_cancelled_total", "Jobs cancelled by DELETE or server drain.", m.cancelled.Load())
 	c("stallserved_events_published_total", "Observer events published to job event streams.", m.events.Load())
 	c("stallserved_events_dropped_total", "Events dropped on slow /events subscribers.", m.eventsDropped.Load())
+	c("stallserved_queries_total", "Queries executed by /v1/query.", m.queries.Load())
+	c("stallserved_query_rows_total", "Result rows streamed by /v1/query.", m.queryRows.Load())
 	g("stallserved_jobs_queued", "Jobs waiting for a worker.", m.queued.Load())
 	g("stallserved_jobs_running", "Jobs currently executing.", m.running.Load())
 	g("stallserved_queue_depth", "Jobs buffered in the scheduler queue.", int64(queueDepth))

@@ -1,0 +1,106 @@
+// GET/POST /v1/query: the relational query surface over finished jobs. The
+// handler snapshots every completed job's captured cases — a spec job's
+// whole sweep grid, a single job's one run — into a fresh query.Store,
+// executes the JSON query AST against it, and streams the result as NDJSON,
+// flushing per row so clients see rows as they are produced. The request
+// context drives the operator pipeline, so a client that disconnects
+// mid-stream cancels the scan instead of computing rows nobody reads.
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http"
+
+	"datastall/internal/experiments"
+	"datastall/internal/query"
+)
+
+// handleQuery serves one query. GET passes the query document URL-encoded
+// in ?q= (absent: the default scan of every case); POST passes it as the
+// request body.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	src := []byte("{}")
+	if r.Method == http.MethodPost {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeErr(w, http.StatusRequestEntityTooLarge, codeTooLarge,
+					"query body over the %d-byte limit", tooBig.Limit)
+				return
+			}
+			writeErr(w, http.StatusBadRequest, codeBadRequest, "reading body: %v", err)
+			return
+		}
+		src = body
+	} else if qs := r.URL.Query().Get("q"); qs != "" {
+		src = []byte(qs)
+	}
+	q, err := query.ParseQuery(src)
+	if err != nil {
+		writeErrFrom(w, http.StatusBadRequest, codeBadRequest, err)
+		return
+	}
+	rows, err := query.New(s.queryStore()).Run(r.Context(), q)
+	if err != nil {
+		// Validation re-runs inside Run; unreachable after ParseQuery, but
+		// classify it correctly rather than 500 if the two ever diverge.
+		writeErrFrom(w, http.StatusBadRequest, codeBadRequest, err)
+		return
+	}
+	s.metrics.queries.Add(1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	n, err := query.WriteNDJSON(&flushWriter{w: w, rc: http.NewResponseController(w)}, rows)
+	s.metrics.queryRows.Add(int64(n))
+	if err != nil {
+		// Headers are gone; all we can do is stop the stream (the client
+		// sees the truncation) and log why.
+		s.logf("query: stream aborted after %d rows: %v", n, err)
+	}
+}
+
+// queryStore snapshots every completed job's cases into a store. Jobs are
+// visited in submission order, so case_ids are stable across queries for a
+// given job history. Jobs rehydrated from persist snapshots carry no case
+// capture and contribute no rows.
+func (s *Server) queryStore() *query.Store {
+	st := query.NewStore()
+	for _, j := range s.store.list() {
+		st.AddCases(j.caseResults())
+	}
+	return st
+}
+
+// flushWriter adapts an http.ResponseWriter to query.WriteNDJSON's
+// per-row flush, tolerating transports that cannot flush.
+type flushWriter struct {
+	w  io.Writer
+	rc *http.ResponseController
+}
+
+func (f *flushWriter) Write(p []byte) (int, error) { return f.w.Write(p) }
+
+func (f *flushWriter) Flush() error {
+	if err := f.rc.Flush(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+		return err
+	}
+	return nil
+}
+
+// caseResults exposes a completed job's runs for the query surface: the
+// captured grid cells of a spec job, or the single run of a job submission.
+func (j *Job) caseResults() []*experiments.CaseResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusCompleted || j.bc == nil {
+		return nil
+	}
+	switch {
+	case j.report != nil:
+		return j.report.Cases
+	case j.result != nil:
+		return []*experiments.CaseResult{experiments.CaseFromConfig(j.ID, j.cfg, j.result)}
+	}
+	return nil
+}

@@ -16,8 +16,14 @@
 //	GET    /v1/jobs/{id}/events live event stream, NDJSON or SSE
 //	GET    /v1/specs            built-in runnable specs (fig5, fig9a, fig18)
 //	GET    /v1/specs/{name}     one built-in spec document
+//	GET    /v1/query            run a query (?q=<JSON query>) over finished jobs -> NDJSON
+//	POST   /v1/query            same, query document as the body
 //	GET    /healthz             liveness + uptime
 //	GET    /metrics             Prometheus text format counters/gauges
+//
+// Every error response is the typed envelope {"error": {"code", "message",
+// "field"}} (see errors.go); field is set when the failure is a typed
+// validation error naming a request field or query clause.
 package server
 
 import (
@@ -131,6 +137,8 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux = mux
 }
 
@@ -146,10 +154,6 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, code int, format string, args ...interface{}) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 // SubmitRequest is the POST /v1/jobs body. Exactly one of Spec, SpecName
@@ -195,16 +199,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeErr(w, http.StatusRequestEntityTooLarge,
+			writeErr(w, http.StatusRequestEntityTooLarge, codeTooLarge,
 				"request body over the %d-byte limit", tooBig.Limit)
 			return
 		}
-		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		writeErr(w, http.StatusBadRequest, codeBadRequest, "reading body: %v", err)
 		return
 	}
 	req, err := decodeSubmit(body)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
 	selected := 0
@@ -214,7 +218,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if selected != 1 {
-		writeErr(w, http.StatusBadRequest,
+		writeErr(w, http.StatusBadRequest, codeBadRequest,
 			"exactly one of \"spec\", \"spec_name\" or \"job\" must be set (got %d)", selected)
 		return
 	}
@@ -225,7 +229,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case req.SpecName != "":
 		sp := experiments.SpecFor(req.SpecName)
 		if sp == nil {
-			writeErr(w, http.StatusNotFound, "unknown spec %q (see GET /v1/specs)", req.SpecName)
+			writeErr(w, http.StatusNotFound, codeNotFound, "unknown spec %q (see GET /v1/specs)", req.SpecName)
 			return
 		}
 		// Built-in specs carry no scale in their base — the CLI path fills
@@ -239,21 +243,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		build = specJob(sp, opts)
 	case req.Spec != nil:
 		if err := req.Spec.Validate(); err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
+			writeErrFrom(w, http.StatusBadRequest, codeBadRequest, err)
 			return
 		}
 		build = specJob(req.Spec, opts)
 	default: // req.Job != nil
 		cfg, err := req.Job.Build(opts)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
+			writeErrFrom(w, http.StatusBadRequest, codeBadRequest, err)
 			return
 		}
 		// Surface the trainer's typed validation (*FieldError) now, with
 		// a 400 naming the offending field, instead of queueing a job
 		// that can only fail.
 		if err := trainer.FromConfig(cfg).Validate(); err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
+			writeErrFrom(w, http.StatusBadRequest, codeBadRequest, err)
 			return
 		}
 		build = func(id string) *Job {
@@ -269,11 +273,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	j, err := s.submit(build)
 	if err != nil {
-		code := http.StatusServiceUnavailable
-		if !errors.Is(err, errQueueFull) && !errors.Is(err, errDraining) {
-			code = http.StatusInternalServerError
+		switch {
+		case errors.Is(err, errQueueFull):
+			writeErr(w, http.StatusServiceUnavailable, codeQueueFull, "%v", err)
+		case errors.Is(err, errDraining):
+			writeErr(w, http.StatusServiceUnavailable, codeDraining, "%v", err)
+		default:
+			writeErr(w, http.StatusInternalServerError, codeInternal, "%v", err)
 		}
-		writeErr(w, code, "%v", err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+j.ID)
@@ -307,7 +314,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j := s.store.get(r.PathValue("id"))
 	if j == nil {
-		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeErr(w, http.StatusNotFound, codeNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, j.view(true))
@@ -316,15 +323,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j := s.store.get(r.PathValue("id"))
 	if j == nil {
-		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeErr(w, http.StatusNotFound, codeNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	st, ok := s.cancelJob(j)
 	if !ok {
-		writeJSON(w, http.StatusConflict, map[string]string{
-			"id": j.ID, "status": string(st),
-			"error": fmt.Sprintf("job already %s", st),
-		})
+		writeErr(w, http.StatusConflict, codeConflict, "job %s already %s", j.ID, st)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"id": j.ID, "status": string(st)})
@@ -347,7 +351,7 @@ func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 	sp := experiments.SpecFor(r.PathValue("name"))
 	if sp == nil {
-		writeErr(w, http.StatusNotFound, "unknown spec %q", r.PathValue("name"))
+		writeErr(w, http.StatusNotFound, codeNotFound, "unknown spec %q", r.PathValue("name"))
 		return
 	}
 	writeJSON(w, http.StatusOK, sp)

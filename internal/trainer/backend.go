@@ -119,16 +119,18 @@ func runConcurrent(ctx context.Context, cfg Config, obs observers) (*Result, err
 			total.Add(rep)
 		}
 		f := total.Fetch
+		occ := occupancy()
 		es := EpochStats{
-			Duration:   wall,
-			DiskBytes:  f.DiskBytes,
-			NetBytes:   f.NetBytes,
-			MemBytes:   f.MemBytes,
-			DiskReads:  f.DiskItems,
-			Hits:       f.Hits,
-			Misses:     f.Misses,
-			RemoteHits: f.RemoteHit,
-			Samples:    iters * cfg.Batch * cfg.GPUsPerServer * cfg.NumServers,
+			Duration:       wall,
+			DiskBytes:      f.DiskBytes,
+			NetBytes:       f.NetBytes,
+			MemBytes:       f.MemBytes,
+			DiskReads:      f.DiskItems,
+			Hits:           f.Hits,
+			Misses:         f.Misses,
+			RemoteHits:     f.RemoteHit,
+			Samples:        iters * cfg.Batch * cfg.GPUsPerServer * cfg.NumServers,
+			CacheUsedBytes: occ,
 		}
 		r.Epochs = append(r.Epochs, es)
 		r.TotalDiskBytes += f.DiskBytes
@@ -136,7 +138,7 @@ func runConcurrent(ctx context.Context, cfg Config, obs observers) (*Result, err
 		r.TotalTime += wall
 		obs.emit(EpochEnded{
 			Time: r.TotalTime, Epoch: e, Stats: es,
-			CacheUsedBytes: occupancy(),
+			CacheUsedBytes: occ,
 		})
 	}
 	for _, pool := range pools {

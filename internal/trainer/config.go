@@ -21,8 +21,9 @@
 // while running: Observers receive typed events (JobStarted, EpochStarted,
 // EpochEnded with per-epoch stats and cache occupancy, JobEnded) streamed
 // as the simulation advances. The built-in DiskTraceObserver and
-// CPUTraceObserver enable the Result's time-series traces, subsuming the
-// legacy Config.TraceDiskIO/TraceCPU flags.
+// CPUTraceObserver enable the Result's time-series traces; they are the
+// only way to request traces (the old Config.TraceDiskIO/TraceCPU flags
+// are gone).
 //
 // Run(cfg Config) and RunConcurrent(cc) remain as thin blocking shims over
 // the same execution path for existing callers — byte-identical output,
@@ -146,14 +147,6 @@ type Config struct {
 	// DisableRemoteFetch turns off partitioned caching's remote path in
 	// distributed CoorDL jobs (ablation: local MinIO caches only).
 	DisableRemoteFetch bool
-
-	// TraceDiskIO / TraceCPU enable time-series collection (Figs 11, 19).
-	//
-	// Deprecated: pass DiskTraceObserver() / CPUTraceObserver() to
-	// Job.Run (or RunContext) instead; the flags remain for the legacy
-	// Run(cfg) shim.
-	TraceDiskIO bool
-	TraceCPU    bool
 }
 
 func (c Config) withDefaults() Config {
@@ -250,6 +243,10 @@ type EpochStats struct {
 	// Cache behaviour.
 	Hits, Misses, RemoteHits int
 	Samples                  int
+	// CacheUsedBytes is the cache occupancy (bytes resident across the
+	// job's caches) when the epoch ended; 0 for fetch paths with no cache
+	// (Synthetic, FullyCached) and for the coordinated HP-search runtime.
+	CacheUsedBytes float64
 }
 
 // StallFraction returns StallTime/Duration.

@@ -93,13 +93,13 @@ func NewConsoleObserver(w io.Writer) Observer {
 }
 
 // DiskTraceObserver returns the built-in observer that enables disk-I/O
-// time-series collection (Result.DiskTrace) — the replacement for the
-// deprecated Config.TraceDiskIO flag.
+// time-series collection (Result.DiskTrace); it replaced the removed
+// Config.TraceDiskIO flag.
 func DiskTraceObserver() Observer { return diskTraceObserver{} }
 
 // CPUTraceObserver returns the built-in observer that enables prep-CPU
-// time-series collection (Result.CPUTrace) — the replacement for the
-// deprecated Config.TraceCPU flag.
+// time-series collection (Result.CPUTrace); it replaced the removed
+// Config.TraceCPU flag.
 func CPUTraceObserver() Observer { return cpuTraceObserver{} }
 
 type diskTraceObserver struct{}

@@ -51,16 +51,6 @@ func runJob(ctx context.Context, cfg Config, obs observers) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	// The legacy trace flags and the built-in trace observers are one
-	// mechanism: either spelling enables collection.
-	for _, ob := range obs {
-		switch ob.(type) {
-		case diskTraceObserver:
-			cfg.TraceDiskIO = true
-		case cpuTraceObserver:
-			cfg.TraceCPU = true
-		}
-	}
 	if cfg.Backend == BackendConcurrent {
 		return runConcurrent(ctx, cfg, obs)
 	}
@@ -70,6 +60,19 @@ func runJob(ctx context.Context, cfg Config, obs observers) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Time-series collection is requested through the marker observers
+	// (DiskTraceObserver / CPUTraceObserver), the sole spelling since the
+	// Config trace flags were removed.
+	var traceDisk, traceCPU bool
+	for _, ob := range obs {
+		switch ob.(type) {
+		case diskTraceObserver:
+			traceDisk = true
+		case cpuTraceObserver:
+			traceCPU = true
+		}
+	}
+	rt.enableTraces(traceDisk, traceCPU)
 	rt.obs = obs
 	rt.launch()
 	rt.obs.emit(JobStarted{
@@ -126,7 +129,8 @@ type jobRuntime struct {
 	// Per-epoch snapshots taken by the coordinator GPU.
 	snaps []snapshot
 
-	cpuTrace *stats.TimeSeries
+	traceDisk bool
+	cpuTrace  *stats.TimeSeries
 
 	// obs receives typed progress events; nil-safe (emit on an empty list
 	// is a no-op), so the legacy Run path pays nothing.
@@ -139,6 +143,9 @@ type snapshot struct {
 	diskReads int64
 	fetch     loader.FetchResult
 	samples   int
+	// occ is the cache occupancy at snapshot time (point-in-time, not a
+	// delta like the other fields).
+	occ float64
 }
 
 // epochPlan is one epoch's per-server item orders plus the iteration count.
@@ -307,15 +314,21 @@ func newJobRuntimeWith(cfg Config, eng *sim.Engine, cl *cluster.Cluster, f loade
 			rt.prepSrv[s][g] = sim.NewBandwidthServer(eng)
 		}
 	}
-	if cfg.TraceDiskIO {
-		for i, srv := range cl.Servers {
+	return rt, nil
+}
+
+// enableTraces turns on time-series collection; runJob calls it between
+// runtime construction and launch once the observer list is known.
+func (rt *jobRuntime) enableTraces(disk, cpu bool) {
+	if disk {
+		rt.traceDisk = true
+		for i, srv := range rt.cl.Servers {
 			srv.Disk.EnableTrace(fmt.Sprintf("disk-%d", i))
 		}
 	}
-	if cfg.TraceCPU {
+	if cpu {
 		rt.cpuTrace = &stats.TimeSeries{Name: "prep-busy"}
 	}
-	return rt, nil
 }
 
 // plan returns (and memoizes) the epoch's per-server item orders and the
@@ -530,6 +543,10 @@ func (rt *jobRuntime) endEpoch(samples int) {
 	for _, n := range rt.cl.Fabric.NICs {
 		net += n.TotalBytes()
 	}
+	occ := 0.0
+	if cs, ok := rt.fetcher.(cacheSizer); ok {
+		occ = cs.CacheUsedBytes()
+	}
 	rt.snaps = append(rt.snaps, snapshot{
 		t:         rt.eng.Now(),
 		disk:      rt.cl.TotalDiskBytes(),
@@ -537,6 +554,7 @@ func (rt *jobRuntime) endEpoch(samples int) {
 		diskReads: reads,
 		fetch:     rt.fetch,
 		samples:   samples,
+		occ:       occ,
 	})
 	if len(rt.obs) == 0 {
 		return
@@ -545,10 +563,6 @@ func (rt *jobRuntime) endEpoch(samples int) {
 	prev := snapshot{}
 	if epoch > 0 {
 		prev = rt.snaps[epoch-1]
-	}
-	occ := 0.0
-	if cs, ok := rt.fetcher.(cacheSizer); ok {
-		occ = cs.CacheUsedBytes()
 	}
 	rt.obs.emit(EpochEnded{
 		Time: rt.eng.Now(), Epoch: epoch,
@@ -578,6 +592,8 @@ func (rt *jobRuntime) epochStats(prev, s snapshot) EpochStats {
 		Misses:      s.fetch.Misses - prev.fetch.Misses,
 		RemoteHits:  s.fetch.RemoteHit - prev.fetch.RemoteHit,
 		Samples:     epSamples,
+		// Occupancy is point-in-time, so it is not differenced.
+		CacheUsedBytes: s.occ,
 	}
 	if es.StallTime < 0 {
 		es.StallTime = 0
@@ -598,7 +614,7 @@ func (rt *jobRuntime) result() *Result {
 		r.TotalNetBytes += n.TotalBytes()
 	}
 	r.TotalTime = rt.eng.Now()
-	if rt.cfg.TraceDiskIO {
+	if rt.traceDisk {
 		r.DiskTrace = rt.cl.Servers[0].Disk.Trace
 	}
 	r.CPUTrace = rt.cpuTrace

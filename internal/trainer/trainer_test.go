@@ -1,6 +1,7 @@
 package trainer
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -329,11 +330,11 @@ func TestAccuracyTimeline(t *testing.T) {
 
 func TestDiskAndCPUTraces(t *testing.T) {
 	d := small(dataset.OpenImages, 0.002)
-	r, err := Run(Config{
+	r, err := RunContext(context.Background(), Config{
 		Model: gpu.MustByName("resnet18"), Dataset: d,
 		Spec: cluster.ConfigSSDV100(), Loader: loader.CoorDL, Epochs: 2,
-		CacheBytes: 0.5 * d.TotalBytes, TraceDiskIO: true, TraceCPU: true,
-	})
+		CacheBytes: 0.5 * d.TotalBytes,
+	}, DiskTraceObserver(), CPUTraceObserver())
 	if err != nil {
 		t.Fatal(err)
 	}
