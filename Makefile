@@ -11,7 +11,7 @@ COVER_PKGS  ?= internal/cache internal/loader internal/server internal/query
 # binaries); git-ignored, removed by clean.
 BUILD_DIR ?= build
 
-.PHONY: all build test cover lint bench benchjson bench2 bench3 allocguard profile suite speccheck querycheck servesmoke experiments-md clean
+.PHONY: all build test cover lint bench benchjson bench2 bench3 bench4 allocguard profile suite speccheck querycheck servesmoke distsmoke experiments-md clean
 
 all: lint build test
 
@@ -115,6 +115,19 @@ bench3:
 # second job mid-run, reconcile /metrics, and SIGTERM-drain cleanly.
 servesmoke:
 	BUILD_DIR=$(BUILD_DIR) ./scripts/servesmoke.sh
+
+# Coordinator-mode bench: one spec grid on a single node vs scattered
+# across 1/2/4 in-process workers, every fleet report byte-checked against
+# the single-node one, written to BENCH_4.json.
+bench4:
+	$(GO) run ./cmd/stallbench -bench4 -bench4-out BENCH_4.json
+
+# Distributed-mode smoke: a coordinator plus two real stallserved worker
+# processes run the same sweep as a single node; the scattered report —
+# including one gathered while a worker is kill -9'd mid-sweep — must
+# byte-match the single-node golden.
+distsmoke:
+	BUILD_DIR=$(BUILD_DIR) ./scripts/distsmoke.sh
 
 experiments-md:
 	$(GO) run ./cmd/runsuite -md EXPERIMENTS.md

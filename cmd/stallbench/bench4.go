@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"datastall/internal/server"
+)
+
+// bench4Report is the BENCH_4.json schema: coordinator-mode case
+// throughput. One spec grid is run on a plain single-node server, then
+// scattered by a coordinator across fleets of 1/2/4 in-process stallserved
+// workers (httptest listeners, real HTTP). Every fleet's gathered report is
+// byte-compared to the single-node one before its row counts — a fleet
+// that broke fidelity would be measuring the wrong thing. On a multi-core
+// host cases/sec scales with the fleet; on a 1-CPU container all workers
+// share the core and the signal is that coordination overhead stays small
+// (ratio ~1x, not <<1x).
+type bench4Report struct {
+	Bench      string `json:"bench"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_max_procs"`
+	GoVersion  string `json:"go_version"`
+
+	GridCells  int         `json:"grid_cells"`
+	SingleNode bench4Row   `json:"single_node"`
+	Fleet      []bench4Row `json:"fleet"`
+	Note       string      `json:"note"`
+}
+
+type bench4Row struct {
+	Workers       int     `json:"workers,omitempty"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	CasesPerSec   float64 `json:"cases_per_sec"`
+	VsSingleNode  float64 `json:"throughput_vs_single_node"`
+	ByteIdentical bool    `json:"report_byte_identical"`
+}
+
+// bench4Spec is an 8-cell grid (4 cache points x 2 loaders) sized so each
+// cell simulates for a few hundred ms — long enough that scatter/gather
+// overhead is honest, short enough for CI.
+const bench4Spec = `{"spec": {
+	"name": "bench4",
+	"title": "coordinator throughput grid",
+	"row_header": ["cache"],
+	"base": {"model": "resnet18", "dataset": "imagenet-1k", "scale": 0.05, "epochs": 2, "seed": 1, "batch": 16, "loader": "coordl"},
+	"rows": {"param": "cache_fraction", "values": [0.2, 0.35, 0.5, 0.65]},
+	"sweep": {"param": "loader", "values": ["dali-shuffle", "coordl"]},
+	"columns": [{"label": "dali s", "metric": "epoch_s", "of": "dali-shuffle"}, {"label": "coordl s", "metric": "epoch_s", "of": "coordl"}]
+}}`
+
+const bench4Cells = 8
+
+func runBench4(out string) int {
+	rep := &bench4Report{
+		Bench:      "stallserved coordinator: case throughput at 1/2/4 fleet workers vs single-node",
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		GridCells:  bench4Cells,
+		Note: "fleet workers are in-process httptest servers sharing this host's cores; " +
+			"cases_per_sec scales with physical cores, so on a 1-CPU host the expected ratio is ~1x " +
+			"(the signal there is scatter/gather overhead, not parallel speedup)",
+	}
+
+	single, singleReport, err := bench4SingleNode()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stallbench: bench4: %v\n", err)
+		return 1
+	}
+	single.VsSingleNode = 1
+	single.ByteIdentical = true
+	rep.SingleNode = single
+	fmt.Fprintf(os.Stderr, "stallbench: bench4: single-node    %6.2f cases/s (%.2fs)\n",
+		single.CasesPerSec, single.WallSeconds)
+
+	for _, n := range []int{1, 2, 4} {
+		row, err := bench4Fleet(n, singleReport)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stallbench: bench4: fleet %d: %v\n", n, err)
+			return 1
+		}
+		row.VsSingleNode = row.CasesPerSec / single.CasesPerSec
+		rep.Fleet = append(rep.Fleet, row)
+		fmt.Fprintf(os.Stderr, "stallbench: bench4: fleet x%d       %6.2f cases/s (%.2fs, %.2fx single-node)\n",
+			n, row.CasesPerSec, row.WallSeconds, row.VsSingleNode)
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stallbench: bench4: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "stallbench: bench4: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "stallbench: wrote %s\n", out)
+	return 0
+}
+
+// bench4Run submits the grid to base, waits, and returns the wall time and
+// the completed job's report JSON.
+func bench4Run(base string) (float64, string, error) {
+	start := time.Now()
+	id, err := bench3Submit(base, bench4Spec)
+	if err != nil {
+		return 0, "", err
+	}
+	status, err := bench3Wait(base, id)
+	if err != nil {
+		return 0, "", err
+	}
+	if status != "completed" {
+		return 0, "", fmt.Errorf("grid job %s ended %s", id, status)
+	}
+	wall := time.Since(start).Seconds()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", err
+	}
+	var v struct {
+		Report json.RawMessage `json:"report"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		return 0, "", err
+	}
+	return wall, string(v.Report), nil
+}
+
+func bench4SingleNode() (bench4Row, string, error) {
+	srv, ts, err := bench3Server(2)
+	if err != nil {
+		return bench4Row{}, "", err
+	}
+	defer srv.Close()
+	defer ts.Close()
+	wall, report, err := bench4Run(ts.URL)
+	if err != nil {
+		return bench4Row{}, "", err
+	}
+	return bench4Row{WallSeconds: wall, CasesPerSec: bench4Cells / wall}, report, nil
+}
+
+func bench4Fleet(n int, want string) (bench4Row, error) {
+	var urls []string
+	for i := 0; i < n; i++ {
+		srv, ts, err := bench3Server(2)
+		if err != nil {
+			return bench4Row{}, err
+		}
+		defer srv.Close()
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+	}
+	coord, err := server.New(server.Config{Workers: 2, QueueDepth: 64, WorkerURLs: urls})
+	if err != nil {
+		return bench4Row{}, err
+	}
+	defer coord.Close()
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	wall, report, err := bench4Run(cts.URL)
+	if err != nil {
+		return bench4Row{}, err
+	}
+	if report != want {
+		return bench4Row{}, fmt.Errorf("fleet x%d report differs from single-node", n)
+	}
+	return bench4Row{
+		Workers: n, WallSeconds: wall,
+		CasesPerSec: bench4Cells / wall, ByteIdentical: true,
+	}, nil
+}

@@ -7,6 +7,7 @@
 //	stallbench -bench -bench-out BENCH_1.json
 //	stallbench -bench2 -bench2-out BENCH_2.json
 //	stallbench -bench3 -bench3-out BENCH_3.json
+//	stallbench -bench4 -bench4-out BENCH_4.json
 //	stallbench -run all -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Each experiment prints a paper-style table plus the published result it
@@ -32,6 +33,12 @@
 // and aggregate /events fan-out delivery throughput at 1/4/16 concurrent
 // NDJSON subscribers (plus the raw Broadcaster data structure without
 // HTTP), written as JSON to -bench3-out (BENCH_3.json).
+//
+// -bench4 measures distributed mode: one 8-cell spec grid run on a plain
+// single-node server, then scattered by a coordinator across 1/2/4
+// in-process stallserved workers (real HTTP via httptest listeners), each
+// fleet's gathered report byte-checked against the single-node one before
+// its cases/sec counts, written as JSON to -bench4-out (BENCH_4.json).
 //
 // -cpuprofile/-memprofile write pprof profiles of whatever work the other
 // flags select — the profiling workflow behind every hot-path PR
@@ -67,6 +74,8 @@ func run() int {
 	bench2Out := flag.String("bench2-out", "BENCH_2.json", "output file for -bench2 results")
 	bench3 := flag.Bool("bench3", false, "benchmark the HTTP job service (submit latency, event fan-out)")
 	bench3Out := flag.String("bench3-out", "BENCH_3.json", "output file for -bench3 results")
+	bench4 := flag.Bool("bench4", false, "benchmark coordinator-mode case throughput at 1/2/4 fleet workers")
+	bench4Out := flag.String("bench4-out", "BENCH_4.json", "output file for -bench4 results")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -118,6 +127,8 @@ func run() int {
 		return runBench2(*bench2Out)
 	case *bench3:
 		return runBench3(*bench3Out)
+	case *bench4:
+		return runBench4(*bench4Out)
 	case *runID == "all":
 		return runAll(ctx, *scale, *epochs, *seed, *parallel)
 	case *runID != "":

@@ -12,6 +12,15 @@
 //	curl -X DELETE localhost:8080/v1/jobs/job-000001
 //	curl localhost:8080/metrics
 //
+// With -coordinator, the instance executes nothing locally: it shards each
+// spec's case grid across a fleet of ordinary stallserved workers (and
+// forwards single jobs whole), gathering a result byte-identical to a
+// single-node run. -workers then takes the fleet's URLs:
+//
+//	stallserved -addr :8081 &
+//	stallserved -addr :8082 &
+//	stallserved -addr :8080 -coordinator -workers http://localhost:8081,http://localhost:8082
+//
 // SIGTERM/SIGINT begin a graceful drain: the listener stops accepting, new
 // submissions get 503, and queued/running jobs are given -drain to finish
 // before being cancelled through their contexts. Completed jobs snapshot to
@@ -26,6 +35,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,7 +47,12 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "job worker pool size (0 = one per CPU)")
+	workers := flag.String("workers", "", "worker pool size (default one per CPU); with -coordinator, comma-separated worker base URLs instead")
+	coordinator := flag.Bool("coordinator", false, "run as a fleet coordinator: shard specs across the stallserved workers named by -workers")
+	inflight := flag.Int("inflight", 4, "coordinator: concurrently dispatched cases per worker")
+	retries := flag.Int("retries", 3, "coordinator: re-route attempts per case beyond the first")
+	backoff := flag.Duration("backoff", 100*time.Millisecond, "coordinator: first re-route delay, doubling per attempt")
+	tenantQuota := flag.Int("tenant-quota", 0, "max queued+running jobs per X-Tenant header (0 = unlimited)")
 	queue := flag.Int("queue", 64, "bounded submission queue depth (full queue rejects with 503)")
 	subBuf := flag.Int("subbuf", 256, "per-subscriber event ring size on /events streams")
 	persist := flag.String("persist", "", "directory for completed-job JSON snapshots (empty = in-memory only)")
@@ -51,10 +67,31 @@ func run() int {
 		logf = func(string, ...interface{}) {}
 	}
 
-	srv, err := server.New(server.Config{
-		Workers: *workers, QueueDepth: *queue, SubscriberBuffer: *subBuf,
+	cfg := server.Config{
+		QueueDepth: *queue, SubscriberBuffer: *subBuf,
 		MaxRecords: *maxRecords, PersistDir: *persist, Logf: logf,
-	})
+		TenantQuota: *tenantQuota,
+	}
+	if *coordinator {
+		if *workers == "" {
+			logger.Printf("-coordinator needs -workers http://w1,http://w2,...")
+			return 2
+		}
+		cfg.WorkerURLs = strings.Split(*workers, ",")
+		cfg.WorkerInflight = *inflight
+		cfg.CaseRetries = *retries
+		cfg.RetryBackoff = *backoff
+		probeFleet(logger, cfg.WorkerURLs)
+	} else if *workers != "" {
+		n, err := strconv.Atoi(*workers)
+		if err != nil {
+			logger.Printf("-workers %q: want a pool size (or add -coordinator for worker URLs)", *workers)
+			return 2
+		}
+		cfg.Workers = n
+	}
+
+	srv, err := server.New(cfg)
 	if err != nil {
 		logger.Printf("%v", err)
 		return 1
@@ -69,7 +106,11 @@ func run() int {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	logger.Printf("listening on %s (%d workers, queue %d)", *addr, srv.Workers(), *queue)
+	if *coordinator {
+		logger.Printf("listening on %s (coordinator, %d fleet workers, queue %d)", *addr, len(cfg.WorkerURLs), *queue)
+	} else {
+		logger.Printf("listening on %s (%d workers, queue %d)", *addr, srv.Workers(), *queue)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -96,4 +137,25 @@ func run() int {
 	}
 	fmt.Fprintln(os.Stderr, "stallserved: bye")
 	return 0
+}
+
+// probeFleet checks each worker's /healthz once at boot — purely advisory:
+// an unreachable worker is reported and left to the coordinator's
+// background probe, which keeps retrying and routes around it meanwhile.
+func probeFleet(logger *log.Logger, urls []string) {
+	client := &http.Client{Timeout: 2 * time.Second}
+	for _, u := range urls {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		resp, err := client.Get(u + "/healthz")
+		if err != nil {
+			logger.Printf("fleet: worker %s unreachable (%v); will keep probing", u, err)
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			logger.Printf("fleet: worker %s /healthz: HTTP %d; will keep probing", u, resp.StatusCode)
+			continue
+		}
+		logger.Printf("fleet: worker %s healthy", u)
+	}
 }

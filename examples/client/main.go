@@ -8,6 +8,12 @@
 //	go run ./examples/client -addr localhost:8080 -spec testdata/specs/cache-sweep.json
 //	go run ./examples/client -addr localhost:8080 -name fig5
 //
+// -table-only suppresses the live narration and prints just the final
+// result table (stable output for scripted byte-comparisons — the same
+// table whether the server ran the spec locally or scattered it across a
+// worker fleet); -tenant labels the submission for servers enforcing
+// per-tenant quotas.
+//
 // Ctrl-C cancels the submitted job through DELETE before exiting, so an
 // interrupted client does not leave its simulation running server-side.
 package main
@@ -37,6 +43,8 @@ func run() error {
 	addr := flag.String("addr", "localhost:8080", "stallserved address")
 	specFile := flag.String("spec", "", "scenario spec JSON file to submit")
 	specName := flag.String("name", "", "built-in spec to run by name (see GET /v1/specs)")
+	tableOnly := flag.Bool("table-only", false, "print only the final result table (no live event narration)")
+	tenant := flag.String("tenant", "", "X-Tenant header value for quota-enforcing servers")
 	flag.Parse()
 	base := "http://" + *addr
 
@@ -56,7 +64,15 @@ func run() error {
 	}
 
 	// Submit.
-	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	sreq, err := http.NewRequest("POST", base+"/v1/jobs", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	sreq.Header.Set("Content-Type", "application/json")
+	if *tenant != "" {
+		sreq.Header.Set("X-Tenant", *tenant)
+	}
+	resp, err := http.DefaultClient.Do(sreq)
 	if err != nil {
 		return err
 	}
@@ -71,7 +87,9 @@ func run() error {
 	if err := json.Unmarshal(rb, &sub); err != nil {
 		return err
 	}
-	fmt.Printf("submitted %s\n", sub.ID)
+	if !*tableOnly {
+		fmt.Printf("submitted %s\n", sub.ID)
+	}
 
 	// On Ctrl-C the context cancels, the stream read below fails, and the
 	// cleanup after the loop DELETEs the job synchronously — so the
@@ -107,6 +125,9 @@ func run() error {
 		}
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			return fmt.Errorf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if *tableOnly {
+			continue
 		}
 		switch ev.Type {
 		case "status":
@@ -167,7 +188,10 @@ func run() error {
 	if rec.Status != "completed" || rec.Report == nil || rec.Report.Table == nil {
 		return fmt.Errorf("job ended %s", rec.Status)
 	}
-	fmt.Printf("\n%s\n", rec.Report.Title)
+	if !*tableOnly {
+		fmt.Println()
+	}
+	fmt.Printf("%s\n", rec.Report.Title)
 	fmt.Println(strings.Join(rec.Report.Table.Columns, " | "))
 	for _, row := range rec.Report.Table.Rows {
 		fmt.Println(strings.Join(row, " | "))

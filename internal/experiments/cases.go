@@ -67,6 +67,23 @@ func CaseFromConfig(name string, cfg trainer.Config, res *trainer.Result) *CaseR
 	return newCaseResult(name, "", "", cfg, res)
 }
 
+// MarshalJSON renders the case in its wire form — the same shape the suite
+// report's "cases" arrays carry — so embedders (the job service's persist
+// snapshots) round-trip captures without reaching into this package.
+func (c *CaseResult) MarshalJSON() ([]byte, error) {
+	return json.Marshal(toCaseJSON(c))
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (c *CaseResult) UnmarshalJSON(data []byte) error {
+	var cj caseResultJSON
+	if err := json.Unmarshal(data, &cj); err != nil {
+		return err
+	}
+	*c = *fromCaseJSON(&cj)
+	return nil
+}
+
 // caseResultJSON is the wire form of a CaseResult: identity, the
 // steady-state aggregates, and per-epoch stats. It round-trips losslessly
 // enough for querying (traces are dropped).

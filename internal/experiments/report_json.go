@@ -107,6 +107,12 @@ func (r *SuiteResult) Markdown() string {
 		orDefault("epochs", r.Options.Epochs != 0, fmt.Sprintf("%d", r.Options.Epochs)),
 		orDefault("seed", r.Options.Seed != 0, fmt.Sprintf("%d", r.Options.Seed)))
 	fmt.Fprintf(&b, "%d ok, %d failed, %d skipped.\n\n", r.OK, r.Failed, r.Skipped)
+	b.WriteString("These tables are byte-identical however a sweep is executed — serially,\n")
+	b.WriteString("fanned across `-parallel` workers, served over HTTP by `stallserved`, or\n")
+	b.WriteString("scattered across a worker fleet by a coordinator: every path runs the\n")
+	b.WriteString("same per-case simulations and assembles the same report (`make distsmoke`\n")
+	b.WriteString("enforces the distributed case against a single-node golden, including\n")
+	b.WriteString("with a worker killed mid-sweep).\n\n")
 
 	idx := &stats.Table{Columns: []string{"ID", "Status", "Title"}}
 	for _, er := range r.Results {

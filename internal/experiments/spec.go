@@ -12,7 +12,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
-	"strings"
 
 	"datastall/internal/cluster"
 	"datastall/internal/dataset"
@@ -564,86 +563,32 @@ func RunSpec(ctx context.Context, sp *Spec, o Options, obs ...trainer.Observer) 
 // RunSpecProgress is RunSpec with a per-case hook: progress (when non-nil)
 // is called synchronously just before each cell's simulation starts. The
 // report is identical to RunSpec's — the hook only observes.
+//
+// The implementation is literally the grid split: enumerate the cells, run
+// each in order, assemble — the same two halves a distributed executor
+// (EnumerateCases/AssembleReport) uses, which is what makes a scattered
+// sweep's gathered report byte-identical to this single-node loop.
 func RunSpecProgress(ctx context.Context, sp *Spec, o Options, progress func(CaseProgress), obs ...trainer.Observer) (*Report, error) {
-	if err := sp.check(); err != nil {
-		return nil, err
-	}
-	o = o.withDefaults(o.Scale)
-	rows, err := sp.Rows.resolve()
+	g, err := newSpecGrid(sp, o)
 	if err != nil {
 		return nil, err
 	}
-	sweep := []axisCase{{}}
-	if sp.Sweep != nil {
-		if sweep, err = sp.Sweep.resolve(); err != nil {
+	results := make([]*trainer.Result, 0, g.total())
+	for _, c := range g.cases() {
+		if progress != nil {
+			progress(CaseProgress{Row: c.Row, Case: c.Case, Index: c.Index, Total: c.Total})
+		}
+		cfg, err := c.Job.build(g.o)
+		if err != nil {
 			return nil, err
 		}
+		res, err := trainer.RunContext(ctx, cfg, obs...)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
 	}
-
-	r := &Report{
-		ID: sp.Name,
-		Table: &stats.Table{
-			Title:   sp.Title,
-			Columns: append(append([]string{}, sp.RowHeader...), columnLabels(sp.Columns)...),
-		},
-		Notes: sp.Notes,
-	}
-	seenRows := map[string]bool{}
-	caseIndex, caseTotal := 0, len(rows)*len(sweep)
-	for _, row := range rows {
-		js := sp.Base.overlay(row.set)
-
-		// Resolve the row's label before its simulations run so both the
-		// duplicate check and the progress hook can use it up front; the
-		// derivation only reads the overlaid spec, so the report bytes are
-		// unchanged.
-		cells := row.cells
-		if cells == nil {
-			cells = deriveCells(js, sp.RowHeader)
-		}
-		rowLabel := row.label
-		if rowLabel == "" && len(cells) > 0 {
-			rowLabel = cellString(cells[0])
-		}
-		if seenRows[rowLabel] {
-			return nil, fmt.Errorf("spec %s: duplicate row label %q (labels key the {row} substitution and must be unique)",
-				sp.Name, rowLabel)
-		}
-		seenRows[rowLabel] = true
-
-		results := make(map[string]*trainer.Result, len(sweep))
-		servers := make(map[string]int, len(sweep))
-		for _, sc := range sweep {
-			if progress != nil {
-				progress(CaseProgress{Row: rowLabel, Case: sc.label, Index: caseIndex, Total: caseTotal})
-			}
-			caseIndex++
-			cfg, err := js.overlay(sc.set).build(o)
-			if err != nil {
-				return nil, err
-			}
-			res, err := trainer.RunContext(ctx, cfg, obs...)
-			if err != nil {
-				return nil, err
-			}
-			results[sc.label] = res
-			servers[sc.label] = cfg.NumServers
-			r.Cases = append(r.Cases, newCaseResult(sp.Name, rowLabel, sc.label, cfg, res))
-		}
-
-		for _, col := range sp.Columns {
-			v := metricValue(col.Metric, results[col.Of], servers[col.Of])
-			if col.Over != "" {
-				v /= metricValue(col.Metric, results[col.Over], servers[col.Over])
-			}
-			cells = append(cells, v)
-			if col.Key != "" {
-				r.set(strings.ReplaceAll(col.Key, "{row}", rowLabel), v)
-			}
-		}
-		r.Table.AddRow(cells...)
-	}
-	return r, nil
+	return g.assemble(results)
 }
 
 func columnLabels(cols []Column) []string {

@@ -32,6 +32,8 @@ const (
 	// codeConflict: the job's state forbids the operation (e.g. cancelling
 	// a terminal job).
 	codeConflict = "conflict"
+	// codeQuotaExceeded: the tenant is at its active-job quota.
+	codeQuotaExceeded = "quota_exceeded"
 	// codeInternal: anything the server cannot attribute to the request.
 	codeInternal = "internal"
 )

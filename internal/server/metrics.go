@@ -27,6 +27,11 @@ type metrics struct {
 	queries       atomic.Int64 // queries served by /v1/query
 	queryRows     atomic.Int64 // rows streamed by /v1/query
 
+	// Coordinator-mode counters (zero on a plain worker).
+	casesDispatched atomic.Int64 // case attempts shipped to fleet workers
+	caseRetries     atomic.Int64 // case attempts beyond each case's first
+	quotaRejected   atomic.Int64 // submissions refused by the tenant quota
+
 	// Gauges.
 	queued      atomic.Int64
 	running     atomic.Int64
@@ -34,8 +39,10 @@ type metrics struct {
 }
 
 // writeProm renders the metrics in Prometheus text format. queueDepth is
-// sampled from the scheduler's channel at render time.
-func (m *metrics) writeProm(w io.Writer, queueDepth int) {
+// sampled from the scheduler's channel at render time; workersHealthy and
+// workersTotal from the coordinator's fleet (total 0: not a coordinator,
+// fleet gauges omitted).
+func (m *metrics) writeProm(w io.Writer, queueDepth, workersHealthy, workersTotal int) {
 	c := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -50,8 +57,15 @@ func (m *metrics) writeProm(w io.Writer, queueDepth int) {
 	c("stallserved_events_dropped_total", "Events dropped on slow /events subscribers.", m.eventsDropped.Load())
 	c("stallserved_queries_total", "Queries executed by /v1/query.", m.queries.Load())
 	c("stallserved_query_rows_total", "Result rows streamed by /v1/query.", m.queryRows.Load())
+	c("stallserved_cases_dispatched_total", "Case attempts dispatched to fleet workers (coordinator mode).", m.casesDispatched.Load())
+	c("stallserved_case_retries_total", "Case attempts beyond each case's first (coordinator mode).", m.caseRetries.Load())
+	c("stallserved_jobs_quota_rejected_total", "Submissions refused by the per-tenant quota.", m.quotaRejected.Load())
 	g("stallserved_jobs_queued", "Jobs waiting for a worker.", m.queued.Load())
 	g("stallserved_jobs_running", "Jobs currently executing.", m.running.Load())
 	g("stallserved_queue_depth", "Jobs buffered in the scheduler queue.", int64(queueDepth))
 	g("stallserved_event_subscribers", "Live /events streams.", m.subscribers.Load())
+	if workersTotal > 0 {
+		g("stallserved_fleet_workers", "Configured fleet workers (coordinator mode).", int64(workersTotal))
+		g("stallserved_fleet_workers_healthy", "Fleet workers currently healthy (coordinator mode).", int64(workersHealthy))
+	}
 }

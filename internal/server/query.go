@@ -8,7 +8,9 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 
@@ -51,19 +53,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.queries.Add(1)
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	n, err := query.WriteNDJSON(&flushWriter{w: w, rc: http.NewResponseController(w)}, rows)
+	fw := &flushWriter{w: w, rc: http.NewResponseController(w)}
+	n, err := query.WriteNDJSON(fw, rows)
 	s.metrics.queryRows.Add(int64(n))
 	if err != nil {
-		// Headers are gone; all we can do is stop the stream (the client
-		// sees the truncation) and log why.
+		// Headers are gone, so the status can't change — but silent NDJSON
+		// truncation is indistinguishable from a complete result. Append a
+		// final error-envelope line (the same typed shape every non-2xx
+		// response carries) so clients can detect the aborted stream; if
+		// the failure was the client's own disconnect, the write just fails
+		// too and nobody is misled.
 		s.logf("query: stream aborted after %d rows: %v", n, err)
+		line, merr := json.Marshal(map[string]errorBody{
+			"error": {Code: codeInternal, Message: fmt.Sprintf("stream aborted after %d rows: %v", n, err)},
+		})
+		if merr == nil {
+			fw.Write(append(line, '\n'))
+			fw.Flush()
+		}
 	}
 }
 
 // queryStore snapshots every completed job's cases into a store. Jobs are
 // visited in submission order, so case_ids are stable across queries for a
-// given job history. Jobs rehydrated from persist snapshots carry no case
-// capture and contribute no rows.
+// given job history. Jobs rehydrated from persist snapshots serve the case
+// capture stored in their snapshot, so a restart keeps history queryable.
 func (s *Server) queryStore() *query.Store {
 	st := query.NewStore()
 	for _, j := range s.store.list() {
@@ -89,17 +103,24 @@ func (f *flushWriter) Flush() error {
 }
 
 // caseResults exposes a completed job's runs for the query surface: the
-// captured grid cells of a spec job, or the single run of a job submission.
+// captured grid cells of a spec job, the single run of a job submission, or
+// — for jobs rehydrated from persist snapshots — the capture stored in the
+// snapshot.
 func (j *Job) caseResults() []*experiments.CaseResult {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.status != StatusCompleted || j.bc == nil {
+	if j.status != StatusCompleted {
 		return nil
 	}
 	switch {
-	case j.report != nil:
+	case j.report != nil && len(j.report.Cases) > 0:
 		return j.report.Cases
-	case j.result != nil:
+	case j.cases != nil:
+		return j.cases
+	case j.result != nil && j.bc != nil:
+		// Deriving the capture needs the resolved config, which only live
+		// jobs carry (bc is nil exactly for loaded ones); old snapshots
+		// written before case persistence stay invisible rather than wrong.
 		return []*experiments.CaseResult{experiments.CaseFromConfig(j.ID, j.cfg, j.result)}
 	}
 	return nil

@@ -23,6 +23,38 @@ var errQueueFull = errors.New("job queue full")
 // errDraining rejects submissions once a graceful drain has begun.
 var errDraining = errors.New("server draining, not accepting jobs")
 
+// errQuotaExceeded rejects submissions over the per-tenant active-job bound.
+var errQuotaExceeded = errors.New("tenant quota exceeded")
+
+// acquireTenant counts a new job against its tenant's quota; the count is
+// released exactly once, by finalize (or rolled back on a failed enqueue).
+func (s *Server) acquireTenant(tenant string) error {
+	if s.cfg.TenantQuota <= 0 {
+		return nil
+	}
+	s.quotaMu.Lock()
+	defer s.quotaMu.Unlock()
+	if s.tenantActive[tenant] >= s.cfg.TenantQuota {
+		return fmt.Errorf("%w: tenant %q has %d jobs active (quota %d); retry when one finishes",
+			errQuotaExceeded, tenant, s.tenantActive[tenant], s.cfg.TenantQuota)
+	}
+	s.tenantActive[tenant]++
+	return nil
+}
+
+func (s *Server) releaseTenant(tenant string) {
+	if s.cfg.TenantQuota <= 0 {
+		return
+	}
+	s.quotaMu.Lock()
+	defer s.quotaMu.Unlock()
+	if s.tenantActive[tenant] <= 1 {
+		delete(s.tenantActive, tenant)
+		return
+	}
+	s.tenantActive[tenant]--
+}
+
 func (s *Server) startWorkers() {
 	workers := s.cfg.Workers
 	if workers <= 0 {
@@ -48,18 +80,23 @@ func (s *Server) startWorkers() {
 // counters must be monotone, and no one else touches it), and the job
 // enters the store only after the enqueue succeeds (a rejected submission
 // is never visible, so nothing can race a DELETE against the rollback).
-func (s *Server) submit(build func(id string) *Job) (*Job, error) {
+func (s *Server) submit(tenant string, build func(id string) *Job) (*Job, error) {
 	s.submitMu.RLock()
 	defer s.submitMu.RUnlock()
 	if s.draining {
 		return nil, errDraining
 	}
+	if err := s.acquireTenant(tenant); err != nil {
+		return nil, err
+	}
 	j := build(s.store.nextID())
+	j.tenant = tenant
 	s.metrics.queued.Add(1)
 	select {
 	case s.queue <- j:
 	default:
 		s.metrics.queued.Add(-1)
+		s.releaseTenant(tenant)
 		return nil, fmt.Errorf("%w (depth %d); retry later", errQueueFull, cap(s.queue))
 	}
 	s.metrics.submitted.Add(1)
@@ -94,6 +131,20 @@ func (s *Server) execute(ctx context.Context, j *Job) (rep *experiments.Report, 
 	}()
 	if s.cfg.runJob != nil {
 		return s.cfg.runJob(ctx, j)
+	}
+	if s.coord != nil {
+		// Coordinator mode: the workload runs on the fleet; this worker
+		// goroutine only scatters, polls, and gathers. The panic isolation
+		// above still applies.
+		switch j.Kind {
+		case KindSpec:
+			rep, err = s.coordRunSpec(ctx, j)
+		case KindJob:
+			res, err = s.coordRunJob(ctx, j)
+		default:
+			err = fmt.Errorf("job %s: unknown kind %q", j.ID, j.Kind)
+		}
+		return rep, res, err
 	}
 	counting := trainer.ObserverFunc(func(trainer.Event) { s.metrics.events.Add(1) })
 	switch j.Kind {
@@ -167,6 +218,7 @@ func (s *Server) finalize(j *Job) {
 		s.metrics.eventsDropped.Add(int64(j.bc.Dropped()))
 	}
 	close(j.done)
+	s.releaseTenant(j.tenant)
 	if s.cfg.PersistDir != "" {
 		if err := persistJob(s.cfg.PersistDir, j); err != nil {
 			s.logf("job %s: persist: %v", j.ID, err)
@@ -230,6 +282,9 @@ func (s *Server) Drain(ctx context.Context) bool {
 	}()
 	select {
 	case <-workersDone:
+		// All jobs finished on their own; cancel runCtx anyway to stop
+		// background helpers (the coordinator's health loop).
+		s.runCancel()
 		return true
 	case <-ctx.Done():
 		s.runCancel()

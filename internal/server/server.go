@@ -24,6 +24,14 @@
 // Every error response is the typed envelope {"error": {"code", "message",
 // "field"}} (see errors.go); field is set when the failure is a typed
 // validation error naming a request field or query clause.
+//
+// With Config.WorkerURLs set, the server runs as a fleet coordinator
+// (coordinator.go): it executes nothing locally, sharding each spec's case
+// grid across the named stallserved workers over this same API and
+// gathering a report byte-identical to a single-node run — /healthz then
+// reports fleet health and /metrics adds dispatch/retry counters and
+// worker gauges. Config.TenantQuota caps queued+running jobs per
+// X-Tenant header on any instance (429 with code "quota_exceeded").
 package server
 
 import (
@@ -66,6 +74,25 @@ type Config struct {
 	// Logf receives one line per job transition (nil: silent).
 	Logf func(format string, args ...interface{})
 
+	// WorkerURLs, when non-empty, runs the server in coordinator mode:
+	// spec jobs are sharded cell-by-cell across these stallserved workers
+	// (and single jobs forwarded whole) instead of simulating locally.
+	WorkerURLs []string
+	// WorkerInflight bounds concurrently dispatched cases per worker
+	// (<= 0: 4).
+	WorkerInflight int
+	// CaseRetries bounds re-route attempts per case beyond the first
+	// (<= 0: 3).
+	CaseRetries int
+	// RetryBackoff is the first re-route delay, doubling per attempt,
+	// capped at 5s (<= 0: 100ms).
+	RetryBackoff time.Duration
+	// TenantQuota, when > 0, bounds the jobs a single tenant (the
+	// X-Tenant request header; empty means the anonymous tenant) may have
+	// queued or running at once; excess submissions get 429
+	// quota_exceeded. Layered on top of the global bounded queue.
+	TenantQuota int
+
 	// runJob, when non-nil, replaces the real workload execution — a test
 	// seam for exercising scheduler races without real simulations.
 	runJob func(ctx context.Context, j *Job) (*experiments.Report, *trainer.Result, error)
@@ -87,6 +114,14 @@ type Server struct {
 	draining  bool
 	runCtx    context.Context
 	runCancel context.CancelFunc
+
+	// coord is non-nil in coordinator mode (Config.WorkerURLs set).
+	coord *coordinator
+
+	// tenantActive counts each tenant's queued+running jobs while
+	// Config.TenantQuota is enforced.
+	quotaMu      sync.Mutex
+	tenantActive map[string]int
 }
 
 // New builds a Server and starts its worker pool. PersistDir (when set) is
@@ -105,13 +140,22 @@ func New(cfg Config) (*Server, error) {
 		cfg.Logf = func(string, ...interface{}) {}
 	}
 	s := &Server{
-		cfg:     cfg,
-		store:   newStore(),
-		metrics: &metrics{},
-		queue:   make(chan *Job, cfg.QueueDepth),
-		start:   time.Now(),
+		cfg:          cfg,
+		store:        newStore(),
+		metrics:      &metrics{},
+		queue:        make(chan *Job, cfg.QueueDepth),
+		start:        time.Now(),
+		tenantActive: map[string]int{},
 	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+	if len(cfg.WorkerURLs) > 0 {
+		coord, err := newCoordinator(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.coord = coord
+		go coord.healthLoop(s.runCtx, s.logf)
+	}
 	if cfg.PersistDir != "" {
 		if err := os.MkdirAll(cfg.PersistDir, 0o755); err != nil {
 			return nil, fmt.Errorf("server: persist dir: %w", err)
@@ -263,7 +307,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		build = func(id string) *Job {
 			return &Job{
 				ID: id, Kind: KindJob, Name: req.Job.Model,
-				cfg: cfg, opts: opts,
+				cfg: cfg, opts: opts, jobSpec: req.Job,
 				status: StatusQueued, submitted: time.Now(),
 				bc:   trainer.NewBroadcaster(),
 				done: make(chan struct{}),
@@ -271,13 +315,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	j, err := s.submit(build)
+	j, err := s.submit(r.Header.Get("X-Tenant"), build)
 	if err != nil {
 		switch {
 		case errors.Is(err, errQueueFull):
 			writeErr(w, http.StatusServiceUnavailable, codeQueueFull, "%v", err)
 		case errors.Is(err, errDraining):
 			writeErr(w, http.StatusServiceUnavailable, codeDraining, "%v", err)
+		case errors.Is(err, errQuotaExceeded):
+			s.metrics.quotaRejected.Add(1)
+			writeErr(w, http.StatusTooManyRequests, codeQuotaExceeded, "%v", err)
 		default:
 			writeErr(w, http.StatusInternalServerError, codeInternal, "%v", err)
 		}
@@ -358,15 +405,26 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	v := map[string]interface{}{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"workers":        s.workers,
 		"jobs":           s.store.count(),
-	})
+	}
+	if s.coord != nil {
+		v["fleet"] = map[string]int{
+			"workers": len(s.coord.workers),
+			"healthy": s.coord.healthyCount(),
+		}
+	}
+	writeJSON(w, http.StatusOK, v)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.writeProm(w, len(s.queue))
+	healthy, total := 0, 0
+	if s.coord != nil {
+		healthy, total = s.coord.healthyCount(), len(s.coord.workers)
+	}
+	s.metrics.writeProm(w, len(s.queue), healthy, total)
 }

@@ -60,14 +60,24 @@ type Job struct {
 	// Name is the spec name (KindSpec) or the model name (KindJob).
 	Name string
 
-	// Workload, resolved at submission time (immutable).
-	spec *experiments.Spec
-	cfg  trainer.Config
-	opts experiments.Options
+	// Workload, resolved at submission time (immutable). jobSpec is the
+	// original KindJob submission, retained so coordinator mode can
+	// forward it to a worker verbatim; tenant is the submitting X-Tenant
+	// (empty: anonymous), counted against Config.TenantQuota.
+	spec    *experiments.Spec
+	cfg     trainer.Config
+	opts    experiments.Options
+	jobSpec *experiments.JobSpec
+	tenant  string
 
 	// bc fans the run's Observer events out to /events subscribers; nil
 	// only for terminal jobs reloaded from a persist snapshot.
 	bc *Broadcaster
+
+	// cases is the rehydrated case capture of a job reloaded from a
+	// persist snapshot (live jobs serve cases straight from their
+	// report/result); nil for snapshots that predate case persistence.
+	cases []*experiments.CaseResult
 
 	mu        sync.Mutex
 	status    Status
@@ -114,11 +124,12 @@ func (j *Job) markRunning(cancel func()) bool {
 	return true
 }
 
-// jobJSON is the wire (and persist-snapshot) form of a Job.
+// jobJSON is the wire form of a Job.
 type jobJSON struct {
 	ID          string     `json:"id"`
 	Kind        string     `json:"kind"`
 	Name        string     `json:"name,omitempty"`
+	Tenant      string     `json:"tenant,omitempty"`
 	Status      Status     `json:"status"`
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -128,6 +139,15 @@ type jobJSON struct {
 	// Report is the KindSpec result; Result the KindJob one.
 	Report *reportJSON     `json:"report,omitempty"`
 	Result *trainer.Result `json:"result,omitempty"`
+}
+
+// persistJSON is the snapshot form: the wire form plus the per-case
+// capture, so a restart keeps the job queryable through /v1/query. A
+// strict superset of jobJSON — HTTP responses are unchanged, and
+// pre-existing snapshots (no "cases") still load.
+type persistJSON struct {
+	jobJSON
+	Cases []*experiments.CaseResult `json:"cases,omitempty"`
 }
 
 // reportJSON is the wire form of an experiments.Report (the Table rendered
@@ -159,7 +179,7 @@ func (j *Job) view(withOutput bool) *jobJSON {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := &jobJSON{
-		ID: j.ID, Kind: j.Kind, Name: j.Name,
+		ID: j.ID, Kind: j.Kind, Name: j.Name, Tenant: j.tenant,
 		Status: j.status, SubmittedAt: j.submitted,
 		WallSeconds: j.wall, Error: j.errMsg,
 	}
@@ -293,9 +313,10 @@ func (st *store) insertLoaded(j *Job) {
 	sort.Strings(st.order)
 }
 
-// persistJob snapshots a terminal job's wire form to dir/<id>.json.
+// persistJob snapshots a terminal job's wire form — plus its case capture,
+// so restarts don't erase query history — to dir/<id>.json.
 func persistJob(dir string, j *Job) error {
-	b, err := json.MarshalIndent(j.view(true), "", "  ")
+	b, err := json.MarshalIndent(persistJSON{jobJSON: *j.view(true), Cases: j.caseResults()}, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -325,7 +346,7 @@ func loadPersisted(dir string, st *store, logf func(string, ...interface{})) {
 			logf("persist: %s: %v", path, err)
 			continue
 		}
-		var v jobJSON
+		var v persistJSON
 		if err := json.Unmarshal(b, &v); err != nil {
 			logf("persist: %s: %v", path, err)
 			continue
@@ -335,10 +356,11 @@ func loadPersisted(dir string, st *store, logf func(string, ...interface{})) {
 			continue
 		}
 		j := &Job{
-			ID: v.ID, Kind: v.Kind, Name: v.Name,
+			ID: v.ID, Kind: v.Kind, Name: v.Name, tenant: v.Tenant,
 			status: v.Status, submitted: v.SubmittedAt,
 			wall: v.WallSeconds, errMsg: v.Error,
 			result: v.Result,
+			cases:  v.Cases,
 			done:   make(chan struct{}),
 		}
 		if v.StartedAt != nil {
