@@ -5,13 +5,13 @@ GO ?= go
 
 # Coverage floor (%) enforced on the concurrency-critical packages.
 COVER_FLOOR ?= 70
-COVER_PKGS  ?= internal/cache internal/loader internal/server internal/query
+COVER_PKGS  ?= internal/cache internal/loader internal/server internal/query internal/wal
 
 # Scratch directory for generated build artifacts (coverage profiles, smoke
 # binaries); git-ignored, removed by clean.
 BUILD_DIR ?= build
 
-.PHONY: all build test cover lint bench benchjson bench2 bench3 bench4 allocguard profile suite speccheck querycheck servesmoke distsmoke experiments-md clean
+.PHONY: all build test cover lint bench benchjson bench2 bench3 bench4 allocguard profile suite speccheck querycheck servesmoke distsmoke crashsmoke experiments-md clean
 
 all: lint build test
 
@@ -128,6 +128,13 @@ bench4:
 # byte-match the single-node golden.
 distsmoke:
 	BUILD_DIR=$(BUILD_DIR) ./scripts/distsmoke.sh
+
+# Crash-safety smoke: the same sweep uninterrupted, killed at a
+# deterministic WAL append (STALLWAL_CRASH self-SIGKILL), and killed -9
+# untimed mid-sweep; both restarts must resume from the WAL and serve
+# /v1/query bytes identical to the uninterrupted golden.
+crashsmoke:
+	BUILD_DIR=$(BUILD_DIR) ./scripts/crashsmoke.sh
 
 experiments-md:
 	$(GO) run ./cmd/runsuite -md EXPERIMENTS.md

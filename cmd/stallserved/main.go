@@ -25,6 +25,15 @@
 // submissions get 503, and queued/running jobs are given -drain to finish
 // before being cancelled through their contexts. Completed jobs snapshot to
 // -persist (when set) and are served again after a restart.
+//
+// With -wal, the whole job lifecycle is logged to a crash-safe write-ahead
+// log: after a kill -9, a restart replays the clean prefix, serves finished
+// jobs, and resumes interrupted sweeps from their last logged case — the
+// assembled report is byte-identical to an uninterrupted run. -fsync picks
+// the durability point (always/interval/never); the log compacts into a
+// checkpoint every -wal-compact terminal jobs.
+//
+//	stallserved -addr :8080 -wal ./wal -fsync always
 package main
 
 import (
@@ -41,6 +50,7 @@ import (
 	"time"
 
 	"datastall/internal/server"
+	"datastall/internal/wal"
 )
 
 func main() { os.Exit(run()) }
@@ -56,6 +66,11 @@ func run() int {
 	queue := flag.Int("queue", 64, "bounded submission queue depth (full queue rejects with 503)")
 	subBuf := flag.Int("subbuf", 256, "per-subscriber event ring size on /events streams")
 	persist := flag.String("persist", "", "directory for completed-job JSON snapshots (empty = in-memory only)")
+	walDir := flag.String("wal", "", "write-ahead-log directory: crash-safe job lifecycle log with restart resume (empty = off)")
+	fsyncMode := flag.String("fsync", "always", "WAL durability: always (fsync per append), interval, or never")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "fsync period under -fsync interval")
+	walSegment := flag.Int64("wal-segment", 4<<20, "WAL segment size in bytes before rotation")
+	walCompact := flag.Int("wal-compact", 64, "compact the WAL into a checkpoint every N terminal jobs")
 	maxRecords := flag.Int("maxrecords", 4096, "finished job records retained in memory (oldest evicted beyond this)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM before in-flight jobs are cancelled")
 	quiet := flag.Bool("q", false, "suppress per-job transition logging")
@@ -67,10 +82,21 @@ func run() int {
 		logf = func(string, ...interface{}) {}
 	}
 
+	fsyncPolicy, err := wal.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		logger.Printf("%v", err)
+		return 2
+	}
+	if point := wal.ArmCrashFromEnv(); point != "" {
+		logger.Printf("wal: crash injection armed at %q (STALLWAL_CRASH)", point)
+	}
+
 	cfg := server.Config{
 		QueueDepth: *queue, SubscriberBuffer: *subBuf,
 		MaxRecords: *maxRecords, PersistDir: *persist, Logf: logf,
 		TenantQuota: *tenantQuota,
+		WALDir:      *walDir, WALFsync: fsyncPolicy, WALFsyncInterval: *fsyncInterval,
+		WALSegmentBytes: *walSegment, WALCompactEvery: *walCompact,
 	}
 	if *coordinator {
 		if *workers == "" {

@@ -221,13 +221,24 @@ func (s *Server) coordRunSpec(ctx context.Context, j *Job) (*experiments.Report,
 	)
 	for i := range cells {
 		cell := cells[i]
+		text := "row=" + cell.Row
+		if cell.Case != "" {
+			text += " case=" + cell.Case
+		}
+		// A WAL-recovered cell never goes back on the wire: serve it from
+		// the log, exactly as the local executor does.
+		if res := j.resumed(cell.Index); res != nil {
+			results[cell.Index] = res
+			s.metrics.walResumedCases.Add(1)
+			s.metrics.events.Add(1)
+			j.bc.Observe(trainer.Annotation{
+				Kind: "case_resumed", Text: text, Index: cell.Index, Total: cell.Total,
+			})
+			continue
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			text := "row=" + cell.Row
-			if cell.Case != "" {
-				text += " case=" + cell.Case
-			}
 			s.metrics.events.Add(1)
 			j.bc.Observe(trainer.Annotation{
 				Kind: "case_started", Text: text, Index: cell.Index, Total: cell.Total,
@@ -244,6 +255,7 @@ func (s *Server) coordRunSpec(ctx context.Context, j *Job) (*experiments.Report,
 				return
 			}
 			results[cell.Index] = res
+			s.walCaseDone(j, cell.Index, res)
 		}()
 	}
 	wg.Wait()
@@ -256,10 +268,19 @@ func (s *Server) coordRunSpec(ctx context.Context, j *Job) (*experiments.Report,
 // coordRunJob is the coordinator's KindJob executor: a single-job
 // submission is a one-cell scatter, routed by the submitted job's identity.
 func (s *Server) coordRunJob(ctx context.Context, j *Job) (*trainer.Result, error) {
+	if res := j.resumed(0); res != nil {
+		s.metrics.walResumedCases.Add(1)
+		return res, nil
+	}
 	if j.jobSpec == nil {
 		return nil, fmt.Errorf("job %s: no job spec retained for remote dispatch", j.ID)
 	}
-	return s.coordRunCase(ctx, j, "job/"+j.Name+"/"+j.ID, *j.jobSpec)
+	res, err := s.coordRunCase(ctx, j, "job/"+j.Name+"/"+j.ID, *j.jobSpec)
+	if err != nil {
+		return nil, err
+	}
+	s.walCaseDone(j, 0, res)
+	return res, nil
 }
 
 // coordRunCase runs one cell remotely with re-routing: each attempt picks

@@ -91,6 +91,7 @@ func (s *Server) submit(tenant string, build func(id string) *Job) (*Job, error)
 	}
 	j := build(s.store.nextID())
 	j.tenant = tenant
+	j.quotaHeld = s.cfg.TenantQuota > 0
 	s.metrics.queued.Add(1)
 	select {
 	case s.queue <- j:
@@ -101,6 +102,9 @@ func (s *Server) submit(tenant string, build func(id string) *Job) (*Job, error)
 	}
 	s.metrics.submitted.Add(1)
 	s.store.insert(j)
+	// Logged after the job is visible and before the 202: under -fsync
+	// always, an acknowledged submission survives any crash.
+	s.walSubmitted(j)
 	s.logf("job %s: queued (%s %s)", j.ID, j.Kind, j.Name)
 	return j, nil
 }
@@ -116,6 +120,7 @@ func (s *Server) runOne(j *Job) {
 	}
 	s.metrics.queued.Add(-1)
 	s.metrics.running.Add(1)
+	s.walStarted(j)
 	s.logf("job %s: running", j.ID)
 	rep, res, err := s.execute(ctx, j)
 	s.finishRun(j, rep, res, err)
@@ -135,7 +140,8 @@ func (s *Server) execute(ctx context.Context, j *Job) (rep *experiments.Report, 
 	if s.coord != nil {
 		// Coordinator mode: the workload runs on the fleet; this worker
 		// goroutine only scatters, polls, and gathers. The panic isolation
-		// above still applies.
+		// above still applies. Recovered cells short-circuit inside the
+		// coordinator's scatter loop exactly as they do locally.
 		switch j.Kind {
 		case KindSpec:
 			rep, err = s.coordRunSpec(ctx, j)
@@ -146,21 +152,11 @@ func (s *Server) execute(ctx context.Context, j *Job) (rep *experiments.Report, 
 		}
 		return rep, res, err
 	}
-	counting := trainer.ObserverFunc(func(trainer.Event) { s.metrics.events.Add(1) })
 	switch j.Kind {
 	case KindSpec:
-		rep, err = experiments.RunSpecProgress(ctx, j.spec, j.opts, func(cp experiments.CaseProgress) {
-			text := "row=" + cp.Row
-			if cp.Case != "" {
-				text += " case=" + cp.Case
-			}
-			s.metrics.events.Add(1)
-			j.bc.Observe(trainer.Annotation{
-				Kind: "case_started", Text: text, Index: cp.Index, Total: cp.Total,
-			})
-		}, counting, j.bc)
+		rep, err = s.runSpecLocal(ctx, j)
 	case KindJob:
-		res, err = trainer.RunContext(ctx, j.cfg, counting, j.bc)
+		res, err = s.runJobLocal(ctx, j)
 	default:
 		err = fmt.Errorf("job %s: unknown kind %q", j.ID, j.Kind)
 	}
@@ -209,20 +205,30 @@ func (s *Server) finishRun(j *Job, rep *experiments.Report, res *trainer.Result,
 	s.logf("job %s: %s (%.2fs)", j.ID, st, j.wall)
 }
 
-// finalize closes the job's event stream, accounts its drops, snapshots it,
-// and signals Done. Exactly one caller reaches it per job: the worker via
-// finishRun, or the DELETE handler for a job cancelled out of the queue.
+// finalize closes the job's event stream, accounts its drops, logs and
+// snapshots its terminal state, and signals Done. Exactly one caller
+// reaches it per job: the worker via finishRun, or the DELETE handler for
+// a job cancelled out of the queue. The terminal WAL record lands before
+// done closes, so anything that waits on Done() observes a state that is
+// already durable (under -fsync always).
 func (s *Server) finalize(j *Job) {
 	if j.bc != nil {
 		j.bc.Close()
 		s.metrics.eventsDropped.Add(int64(j.bc.Dropped()))
 	}
-	close(j.done)
-	s.releaseTenant(j.tenant)
+	j.mu.Lock()
+	j.walFinal = true
+	j.mu.Unlock()
+	s.walTerminal(j)
 	if s.cfg.PersistDir != "" {
 		if err := persistJob(s.cfg.PersistDir, j); err != nil {
 			s.logf("job %s: persist: %v", j.ID, err)
 		}
+	}
+	close(j.done)
+	if j.quotaHeld {
+		j.quotaHeld = false
+		s.releaseTenant(j.tenant)
 	}
 	s.store.evictTerminal(s.cfg.MaxRecords)
 }
@@ -252,8 +258,12 @@ func (s *Server) cancelJob(j *Job) (Status, bool) {
 	default: // running
 		j.status = StatusCancelled
 		j.errMsg = "cancelled"
+		j.cancelRequested = true
 		cancel := j.cancel
 		j.mu.Unlock()
+		// The client is about to be told "cancelled"; log the verdict so a
+		// crash that beats the worker's terminal record still honours it.
+		s.walCancelRequested(j)
 		cancel()
 		s.metrics.cancelled.Add(1)
 		s.logf("job %s: cancelling (was running)", j.ID)
@@ -280,17 +290,26 @@ func (s *Server) Drain(ctx context.Context) bool {
 		s.wg.Wait()
 		close(workersDone)
 	}()
+	drained := false
 	select {
 	case <-workersDone:
 		// All jobs finished on their own; cancel runCtx anyway to stop
 		// background helpers (the coordinator's health loop).
 		s.runCancel()
-		return true
+		drained = true
 	case <-ctx.Done():
 		s.runCancel()
 		<-workersDone
-		return false
 	}
+	// Workers are gone, so no more appends: sync and close the log.
+	if s.wal != nil {
+		s.walClose.Do(func() {
+			if err := s.wal.Close(); err != nil {
+				s.logf("wal: close: %v", err)
+			}
+		})
+	}
+	return drained
 }
 
 // Close shuts down immediately: in-flight jobs are cancelled and Close

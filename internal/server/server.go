@@ -44,10 +44,12 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"datastall/internal/experiments"
 	"datastall/internal/trainer"
+	"datastall/internal/wal"
 )
 
 // Config tunes a Server.
@@ -71,6 +73,23 @@ type Config struct {
 	// PersistDir, when set, snapshots every terminal job to
 	// <dir>/<id>.json and reloads snapshots on startup.
 	PersistDir string
+	// WALDir, when set, write-ahead-logs the full job lifecycle
+	// (submitted, started, case_done, cancel_requested, terminal) to
+	// rotating segments under this directory. On startup the clean prefix
+	// is replayed: terminal jobs rehydrate with their history, interrupted
+	// jobs re-enqueue and resume their sweeps from the last logged case.
+	// Snapshots (PersistDir) still load, so both may be set during a
+	// migration; the first compaction folds snapshot history into the WAL.
+	WALDir string
+	// WALFsync is the log's durability policy (default: fsync per append).
+	WALFsync wal.FsyncPolicy
+	// WALFsyncInterval is the interval-policy fsync period (<= 0: 100ms).
+	WALFsyncInterval time.Duration
+	// WALSegmentBytes bounds one log segment (<= 0: 4 MiB).
+	WALSegmentBytes int64
+	// WALCompactEvery compacts the log into a checkpoint after this many
+	// terminal records (<= 0: 64), bounding replay cost.
+	WALCompactEvery int
 	// Logf receives one line per job transition (nil: silent).
 	Logf func(format string, args ...interface{})
 
@@ -118,6 +137,20 @@ type Server struct {
 	// coord is non-nil in coordinator mode (Config.WorkerURLs set).
 	coord *coordinator
 
+	// wal is the open write-ahead log (nil when Config.WALDir unset);
+	// walTerminals counts terminal records toward the compaction cadence,
+	// walClose makes the drain-time close idempotent, and walInfo is the
+	// startup recovery summary /healthz reports.
+	wal          *wal.Log
+	walTerminals atomic.Int64
+	walClose     sync.Once
+	walInfo      struct {
+		records     int
+		segments    int
+		truncated   string
+		resumedJobs int
+	}
+
 	// tenantActive counts each tenant's queued+running jobs while
 	// Config.TenantQuota is enforced.
 	quotaMu      sync.Mutex
@@ -156,15 +189,53 @@ func New(cfg Config) (*Server, error) {
 		s.coord = coord
 		go coord.healthLoop(s.runCtx, s.logf)
 	}
+	loadErrs := 0
+	var pending []*Job
+	if cfg.WALDir != "" {
+		l, rec, err := wal.Open(wal.Options{
+			Dir: cfg.WALDir, Fsync: cfg.WALFsync,
+			FsyncInterval: cfg.WALFsyncInterval, SegmentBytes: cfg.WALSegmentBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: wal: %w", err)
+		}
+		s.wal = l
+		var replayErrs int
+		pending, replayErrs = s.replayWAL(rec.Records)
+		loadErrs += rec.LoadErrors + replayErrs
+		s.walInfo.records = len(rec.Records)
+		s.walInfo.segments = rec.Segments
+		s.walInfo.truncated = rec.Truncated
+		s.walInfo.resumedJobs = len(pending)
+	}
 	if cfg.PersistDir != "" {
 		if err := os.MkdirAll(cfg.PersistDir, 0o755); err != nil {
 			return nil, fmt.Errorf("server: persist dir: %w", err)
 		}
-		loadPersisted(cfg.PersistDir, s.store, cfg.Logf)
+		// Loaded after WAL replay: on an ID collision the WAL's richer
+		// record wins (insertLoaded keeps the first insertion).
+		loadErrs += loadPersisted(cfg.PersistDir, s.store, cfg.Logf)
+	}
+	if cfg.WALDir != "" || cfg.PersistDir != "" {
+		s.metrics.persistLoadErrors.Add(int64(loadErrs))
 		s.store.evictTerminal(cfg.MaxRecords)
+		summary := fmt.Sprintf("persist: recovered %d job(s) (%d load error(s))", s.store.count(), loadErrs)
+		if s.wal != nil {
+			summary += fmt.Sprintf("; wal: %d record(s) in %d segment(s), %d interrupted job(s) to resume",
+				s.walInfo.records, s.walInfo.segments, len(pending))
+			if s.walInfo.truncated != "" {
+				summary += fmt.Sprintf(", truncated torn tail in %s", s.walInfo.truncated)
+			}
+		}
+		s.logf("%s", summary)
 	}
 	s.buildMux()
 	s.startWorkers()
+	// Interrupted jobs go back on the queue only after the workers exist
+	// to drain it; their logged case results ride along in j.resume.
+	for _, j := range pending {
+		s.reenqueue(j)
+	}
 	return s, nil
 }
 
@@ -416,6 +487,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"workers": len(s.coord.workers),
 			"healthy": s.coord.healthyCount(),
 		}
+	}
+	if s.cfg.WALDir != "" || s.cfg.PersistDir != "" {
+		persist := map[string]interface{}{
+			"load_errors": s.metrics.persistLoadErrors.Load(),
+		}
+		if s.wal != nil {
+			walBlock := map[string]interface{}{
+				"records":      s.walInfo.records,
+				"segments":     s.walInfo.segments,
+				"resumed_jobs": s.walInfo.resumedJobs,
+				"appends":      s.metrics.walAppends.Load(),
+			}
+			if s.walInfo.truncated != "" {
+				walBlock["truncated"] = s.walInfo.truncated
+			}
+			persist["wal"] = walBlock
+		}
+		v["persist"] = persist
 	}
 	writeJSON(w, http.StatusOK, v)
 }

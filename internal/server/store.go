@@ -19,6 +19,7 @@ import (
 	"datastall/internal/experiments"
 	"datastall/internal/stats"
 	"datastall/internal/trainer"
+	"datastall/internal/wal"
 )
 
 // Status is a job's lifecycle state.
@@ -89,6 +90,24 @@ type Job struct {
 	report    *experiments.Report
 	result    *trainer.Result
 	cancel    func()
+
+	// resume holds per-cell results recovered from the WAL: the executor
+	// serves these cells from the log instead of re-simulating them.
+	// walCases mirrors every cell result logged (or recovered) so far —
+	// it is the source a compaction gather snapshots, and it is always
+	// updated before the corresponding record is appended. cancelRequested
+	// marks that a DELETE verdict was returned to a client (and logged);
+	// quotaHeld marks that submit counted this job against its tenant's
+	// quota (recovered jobs never re-acquire it).
+	resume          map[int]*trainer.Result
+	walCases        map[int]*trainer.Result
+	cancelRequested bool
+	quotaHeld       bool
+	// walFinal is set (under mu, before the terminal record is appended —
+	// the mutate-before-append rule) once the job's history is fully
+	// captured by a terminal record; compaction gathers it as terminal from
+	// that point even though done has not closed yet.
+	walFinal bool
 
 	// done closes exactly once, when the job reaches a terminal state and
 	// its event stream has been closed.
@@ -314,27 +333,65 @@ func (st *store) insertLoaded(j *Job) {
 }
 
 // persistJob snapshots a terminal job's wire form — plus its case capture,
-// so restarts don't erase query history — to dir/<id>.json.
+// so restarts don't erase query history — to dir/<id>.json. The write is
+// crash-atomic (temp file, fsync, rename, fsync the directory): a kill -9
+// at any point leaves the previous snapshot or the new one, never a torn
+// mix.
 func persistJob(dir string, j *Job) error {
 	b, err := json.MarshalIndent(persistJSON{jobJSON: *j.view(true), Cases: j.caseResults()}, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(dir, j.ID+".json.tmp")
-	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
-		return err
+	return wal.AtomicWriteFile(filepath.Join(dir, j.ID+".json"), append(b, '\n'), 0o644)
+}
+
+// jobFromPersist rehydrates a terminal job record from its snapshot form —
+// the shape both legacy snapshot files and WAL terminal records carry. The
+// returned job is fully finished: done is closed and bc is nil.
+func jobFromPersist(v persistJSON) *Job {
+	j := &Job{
+		ID: v.ID, Kind: v.Kind, Name: v.Name, tenant: v.Tenant,
+		status: v.Status, submitted: v.SubmittedAt,
+		wall: v.WallSeconds, errMsg: v.Error,
+		result: v.Result,
+		cases:  v.Cases,
+		done:   make(chan struct{}),
 	}
-	return os.Rename(tmp, filepath.Join(dir, j.ID+".json"))
+	if v.StartedAt != nil {
+		j.started = *v.StartedAt
+	}
+	if v.FinishedAt != nil {
+		j.finished = *v.FinishedAt
+	}
+	if v.Report != nil {
+		// Rehydrate the report far enough for view() to re-render it:
+		// the table keeps its pre-formatted cells.
+		rep := &experiments.Report{
+			ID: v.Report.ID, Title: v.Report.Title, Paper: v.Report.Paper,
+			Notes: v.Report.Notes, Values: v.Report.Values,
+		}
+		if v.Report.Table != nil {
+			rep.Table = &stats.Table{
+				Title:   v.Report.Table.Title,
+				Columns: v.Report.Table.Columns,
+				Rows:    v.Report.Table.Rows,
+			}
+		}
+		j.report = rep
+	}
+	close(j.done)
+	return j
 }
 
 // loadPersisted reads every snapshot in dir into the store as terminal
 // jobs. Snapshots that fail to parse (or are non-terminal) are skipped —
-// a corrupt file must not keep the service from starting.
-func loadPersisted(dir string, st *store, logf func(string, ...interface{})) {
+// a corrupt file must not keep the service from starting — and counted in
+// the returned load-error total (surfaced on /metrics and /healthz).
+func loadPersisted(dir string, st *store, logf func(string, ...interface{})) (loadErrs int) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		logf("persist: %v", err)
-		return
+		return 1
 	}
 	for _, e := range entries {
 		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
@@ -343,49 +400,22 @@ func loadPersisted(dir string, st *store, logf func(string, ...interface{})) {
 		path := filepath.Join(dir, e.Name())
 		b, err := os.ReadFile(path)
 		if err != nil {
+			loadErrs++
 			logf("persist: %s: %v", path, err)
 			continue
 		}
 		var v persistJSON
 		if err := json.Unmarshal(b, &v); err != nil {
+			loadErrs++
 			logf("persist: %s: %v", path, err)
 			continue
 		}
 		if v.ID == "" || !v.Status.Terminal() {
+			loadErrs++
 			logf("persist: %s: not a terminal job snapshot, skipping", path)
 			continue
 		}
-		j := &Job{
-			ID: v.ID, Kind: v.Kind, Name: v.Name, tenant: v.Tenant,
-			status: v.Status, submitted: v.SubmittedAt,
-			wall: v.WallSeconds, errMsg: v.Error,
-			result: v.Result,
-			cases:  v.Cases,
-			done:   make(chan struct{}),
-		}
-		if v.StartedAt != nil {
-			j.started = *v.StartedAt
-		}
-		if v.FinishedAt != nil {
-			j.finished = *v.FinishedAt
-		}
-		if v.Report != nil {
-			// Rehydrate the report far enough for view() to re-render it:
-			// the table keeps its pre-formatted cells.
-			rep := &experiments.Report{
-				ID: v.Report.ID, Title: v.Report.Title, Paper: v.Report.Paper,
-				Notes: v.Report.Notes, Values: v.Report.Values,
-			}
-			if v.Report.Table != nil {
-				rep.Table = &stats.Table{
-					Title:   v.Report.Table.Title,
-					Columns: v.Report.Table.Columns,
-					Rows:    v.Report.Table.Rows,
-				}
-			}
-			j.report = rep
-		}
-		close(j.done)
-		st.insertLoaded(j)
+		st.insertLoaded(jobFromPersist(v))
 	}
+	return loadErrs
 }

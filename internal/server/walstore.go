@@ -1,0 +1,421 @@
+// WAL integration: the job lifecycle as an append-only record stream
+// (internal/wal), replacing terminal-only snapshots as the durability
+// story. Every client-visible transition appends a record — submitted
+// before the 202, case_done as each grid cell's result is captured,
+// cancel_requested when a DELETE verdict is returned, terminal with the
+// full wire form — so a kill -9 at any point recovers to a state the
+// client was already told about.
+//
+// Two ordering rules keep the log and memory consistent:
+//
+//   - Mutate in-memory state BEFORE appending its record. A crash between
+//     the two loses both together (the record was never durable, so the
+//     client never saw it), and compaction's gather — which snapshots
+//     memory under the log's lock — always sees a superset of what the
+//     segments it replaces contain.
+//   - The log's mutex is outermost: never append while holding store.mu or
+//     a job's mu, because Compact's gather takes both.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"datastall/internal/experiments"
+	"datastall/internal/trainer"
+	"datastall/internal/wal"
+)
+
+// walSubmitted is the TypeSubmitted payload: everything needed to rebuild
+// and re-enqueue the job after a crash.
+type walSubmitted struct {
+	Kind        string               `json:"kind"`
+	Name        string               `json:"name,omitempty"`
+	Tenant      string               `json:"tenant,omitempty"`
+	SubmittedAt time.Time            `json:"submitted_at"`
+	Spec        *experiments.Spec    `json:"spec,omitempty"`
+	Job         *experiments.JobSpec `json:"job,omitempty"`
+	Opts        experiments.Options  `json:"opts"`
+}
+
+// walStarted is the TypeStarted payload.
+type walStarted struct {
+	StartedAt time.Time `json:"started_at"`
+}
+
+// walCase is the TypeCaseDone payload: one grid cell's captured result
+// (cell 0 for a single-job submission). trainer.Result round-trips JSON
+// exactly (Go emits shortest-roundtrip floats — the same property
+// coordinator mode already leans on), so a resumed sweep assembles a
+// report byte-identical to an uninterrupted run.
+type walCase struct {
+	Index  int             `json:"index"`
+	Result *trainer.Result `json:"result"`
+}
+
+// The TypeTerminal payload is persistJSON — the exact snapshot form — so
+// replaying a terminal record and loading a legacy snapshot are the same
+// rehydration.
+
+// walAppend appends one record, counting it; a write failure is logged,
+// not fatal — the service keeps running on its in-memory state, exactly as
+// a failed snapshot write behaved.
+func (s *Server) walAppend(rec wal.Record) {
+	if s.wal == nil {
+		return
+	}
+	if err := s.wal.Append(rec); err != nil {
+		s.logf("wal: %s %s: %v", rec.Type, rec.JobID, err)
+		return
+	}
+	s.metrics.walAppends.Add(1)
+}
+
+func (s *Server) walRecord(typ wal.Type, id string, payload interface{}) {
+	if s.wal == nil {
+		return
+	}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		s.logf("wal: encode %s %s: %v", typ, id, err)
+		return
+	}
+	s.walAppend(wal.Record{Type: typ, JobID: id, Payload: b})
+}
+
+func (s *Server) walSubmitted(j *Job) {
+	s.walRecord(wal.TypeSubmitted, j.ID, walSubmitted{
+		Kind: j.Kind, Name: j.Name, Tenant: j.tenant, SubmittedAt: j.submitted,
+		Spec: j.spec, Job: j.jobSpec, Opts: j.opts,
+	})
+}
+
+func (s *Server) walStarted(j *Job) {
+	j.mu.Lock()
+	at := j.started
+	j.mu.Unlock()
+	s.walRecord(wal.TypeStarted, j.ID, walStarted{StartedAt: at})
+}
+
+// walCaseDone captures one finished cell: memory first (the resume map a
+// compaction gather reads), then the record.
+func (s *Server) walCaseDone(j *Job, index int, res *trainer.Result) {
+	if s.wal == nil {
+		return
+	}
+	j.mu.Lock()
+	if j.walCases == nil {
+		j.walCases = map[int]*trainer.Result{}
+	}
+	j.walCases[index] = res
+	j.mu.Unlock()
+	s.walRecord(wal.TypeCaseDone, j.ID, walCase{Index: index, Result: res})
+}
+
+func (s *Server) walCancelRequested(j *Job) {
+	s.walRecord(wal.TypeCancelRequested, j.ID, struct{}{})
+}
+
+// walTerminal logs the job's final record and, every WALCompactEvery
+// terminals, folds the log into a checkpoint.
+func (s *Server) walTerminal(j *Job) {
+	if s.wal == nil {
+		return
+	}
+	s.walRecord(wal.TypeTerminal, j.ID, persistJSON{jobJSON: *j.view(true), Cases: j.caseResults()})
+	every := s.cfg.WALCompactEvery
+	if every <= 0 {
+		every = 64
+	}
+	if s.walTerminals.Add(1)%int64(every) == 0 {
+		if err := s.wal.Compact(s.walGather); err != nil {
+			s.logf("wal: compact: %v", err)
+			return
+		}
+		s.metrics.walCompactions.Add(1)
+	}
+}
+
+// walGather renders the store's current state as canonical records — the
+// checkpoint body. Runs with the log lock held (appends stalled); takes
+// store.mu and each job's mu, which is why no append site may hold those.
+// Jobs loaded from legacy snapshots serialize like any other terminal job,
+// so the first compaction migrates snapshot history into the WAL.
+func (s *Server) walGather() []wal.Record {
+	var out []wal.Record
+	add := func(typ wal.Type, id string, payload interface{}) {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			s.logf("wal: gather %s %s: %v", typ, id, err)
+			return
+		}
+		out = append(out, wal.Record{Type: typ, JobID: id, Payload: b})
+	}
+	for _, j := range s.store.list() {
+		j.mu.Lock()
+		final := j.walFinal
+		j.mu.Unlock()
+		if !final {
+			select {
+			case <-j.done: // loaded-from-snapshot jobs never set walFinal
+				final = true
+			default:
+			}
+		}
+		if final {
+			// Fully captured: one terminal record subsumes its history.
+			add(wal.TypeTerminal, j.ID, persistJSON{jobJSON: *j.view(true), Cases: j.caseResults()})
+			continue
+		}
+		j.mu.Lock()
+		running := j.status == StatusRunning || j.status.Terminal()
+		startedAt := j.started
+		cancel := j.cancelRequested
+		cases := make([]walCase, 0, len(j.walCases))
+		for idx, res := range j.walCases {
+			cases = append(cases, walCase{Index: idx, Result: res})
+		}
+		j.mu.Unlock()
+		add(wal.TypeSubmitted, j.ID, walSubmitted{
+			Kind: j.Kind, Name: j.Name, Tenant: j.tenant, SubmittedAt: j.submitted,
+			Spec: j.spec, Job: j.jobSpec, Opts: j.opts,
+		})
+		if running {
+			add(wal.TypeStarted, j.ID, walStarted{StartedAt: startedAt})
+		}
+		for _, c := range cases {
+			add(wal.TypeCaseDone, j.ID, c)
+		}
+		if cancel {
+			add(wal.TypeCancelRequested, j.ID, struct{}{})
+		}
+	}
+	return out
+}
+
+// walReplayState accumulates one job's records during replay.
+type walReplayState struct {
+	submitted *walSubmitted
+	started   *walStarted
+	cases     map[int]*trainer.Result
+	cancelled bool
+	terminal  *persistJSON
+}
+
+// replayWAL folds the recovered record stream into jobs: terminal records
+// rehydrate exactly like snapshots; submitted-but-unfinished jobs come
+// back as pending, carrying their logged case results to resume from.
+// Malformed or orphaned records count as load errors and are skipped — a
+// corrupt record must not keep the service from starting. Returns the
+// pending jobs to re-enqueue (in submission order) and the error count.
+func (s *Server) replayWAL(records []wal.Record) (pending []*Job, loadErrs int) {
+	byJob := map[string]*walReplayState{}
+	var order []string
+	state := func(id string) *walReplayState {
+		st := byJob[id]
+		if st == nil {
+			st = &walReplayState{cases: map[int]*trainer.Result{}}
+			byJob[id] = st
+			order = append(order, id)
+		}
+		return st
+	}
+	for _, rec := range records {
+		if rec.JobID == "" {
+			loadErrs++
+			s.logf("wal: %s record with no job id, skipping", rec.Type)
+			continue
+		}
+		switch rec.Type {
+		case wal.TypeSubmitted:
+			var v walSubmitted
+			if err := json.Unmarshal(rec.Payload, &v); err != nil {
+				loadErrs++
+				s.logf("wal: %s %s: %v", rec.Type, rec.JobID, err)
+				continue
+			}
+			state(rec.JobID).submitted = &v
+		case wal.TypeStarted:
+			var v walStarted
+			if err := json.Unmarshal(rec.Payload, &v); err != nil {
+				loadErrs++
+				s.logf("wal: %s %s: %v", rec.Type, rec.JobID, err)
+				continue
+			}
+			state(rec.JobID).started = &v
+		case wal.TypeCaseDone:
+			var v walCase
+			if err := json.Unmarshal(rec.Payload, &v); err != nil || v.Result == nil {
+				loadErrs++
+				s.logf("wal: %s %s: bad case payload", rec.Type, rec.JobID)
+				continue
+			}
+			state(rec.JobID).cases[v.Index] = v.Result
+		case wal.TypeCancelRequested:
+			state(rec.JobID).cancelled = true
+		case wal.TypeTerminal:
+			var v persistJSON
+			if err := json.Unmarshal(rec.Payload, &v); err != nil || v.ID == "" || !v.Status.Terminal() {
+				loadErrs++
+				s.logf("wal: %s %s: bad terminal payload", rec.Type, rec.JobID)
+				continue
+			}
+			state(rec.JobID).terminal = &v
+		default:
+			loadErrs++
+			s.logf("wal: unknown record type %q for %s, skipping", rec.Type, rec.JobID)
+		}
+	}
+
+	for _, id := range order {
+		st := byJob[id]
+		switch {
+		case st.terminal != nil:
+			s.store.insertLoaded(jobFromPersist(*st.terminal))
+		case st.submitted == nil:
+			// started/case_done records whose submitted record was lost to
+			// corruption: nothing to rebuild.
+			loadErrs++
+			s.logf("wal: job %s has lifecycle records but no submitted record, skipping", id)
+		case st.cancelled:
+			// The client was told "cancelled"; honour the verdict even
+			// though the crash beat the worker to the terminal record.
+			j := pendingFromWAL(id, st)
+			j.status = StatusCancelled
+			j.errMsg = "cancelled"
+			j.finished = j.submitted
+			j.bc = nil
+			close(j.done)
+			s.store.insertLoaded(j)
+		default:
+			j := pendingFromWAL(id, st)
+			s.store.insertLoaded(j)
+			pending = append(pending, j)
+		}
+	}
+	return pending, loadErrs
+}
+
+// pendingFromWAL rebuilds an interrupted job as a fresh queued Job carrying
+// its recovered case results.
+func pendingFromWAL(id string, st *walReplayState) *Job {
+	v := st.submitted
+	j := &Job{
+		ID: id, Kind: v.Kind, Name: v.Name, tenant: v.Tenant,
+		spec: v.Spec, jobSpec: v.Job, opts: v.Opts,
+		status: StatusQueued, submitted: v.SubmittedAt,
+		bc:   trainer.NewBroadcaster(),
+		done: make(chan struct{}),
+	}
+	if len(st.cases) > 0 {
+		j.resume = st.cases
+		j.walCases = make(map[int]*trainer.Result, len(st.cases))
+		for idx, res := range st.cases {
+			j.walCases[idx] = res
+		}
+	}
+	if v.Job != nil {
+		// Resolution was validated at original submission; a failure here
+		// means the WAL predates a schema change — surface it at run time.
+		if cfg, err := v.Job.Build(v.Opts); err == nil {
+			j.cfg = cfg
+		}
+	}
+	return j
+}
+
+// reenqueue puts a recovered pending job back on the queue with the same
+// metric ordering as submit: the queued gauge before the enqueue, the
+// submitted counter after it succeeds — so the reconciliation identity
+// (submitted = queued + running + terminal totals) holds from the first
+// scrape. A full queue fails the job rather than blocking startup.
+func (s *Server) reenqueue(j *Job) {
+	s.metrics.queued.Add(1)
+	select {
+	case s.queue <- j:
+		s.metrics.submitted.Add(1)
+		s.metrics.walResumed.Add(1)
+		s.logf("job %s: recovered from wal, re-queued (%s %s, %d case(s) already done)",
+			j.ID, j.Kind, j.Name, len(j.resume))
+	default:
+		s.metrics.queued.Add(-1)
+		j.mu.Lock()
+		j.status = StatusFailed
+		j.errMsg = "recovered job could not be re-enqueued: queue full"
+		j.finished = time.Now()
+		j.mu.Unlock()
+		s.metrics.submitted.Add(1)
+		s.metrics.failed.Add(1)
+		s.finalize(j)
+		s.logf("job %s: recovered from wal but the queue is full; marked failed", j.ID)
+	}
+}
+
+// resumed returns the job's recovered result for one cell, if any.
+func (j *Job) resumed(index int) *trainer.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resume[index]
+}
+
+// runSpecLocal is the local KindSpec executor: the same enumerate -> run
+// -> assemble halves as RunSpecProgress (identical cell resolution, so an
+// uninterrupted run's report is byte-identical to the old path), plus two
+// WAL duties — recovered cells are served from the resume map instead of
+// re-simulated, and every freshly computed cell is logged before the next
+// one starts.
+func (s *Server) runSpecLocal(ctx context.Context, j *Job) (*experiments.Report, error) {
+	cells, err := experiments.EnumerateCases(j.spec, j.opts)
+	if err != nil {
+		return nil, err
+	}
+	counting := trainer.ObserverFunc(func(trainer.Event) { s.metrics.events.Add(1) })
+	results := make([]*trainer.Result, len(cells))
+	for _, cell := range cells {
+		text := "row=" + cell.Row
+		if cell.Case != "" {
+			text += " case=" + cell.Case
+		}
+		if res := j.resumed(cell.Index); res != nil {
+			results[cell.Index] = res
+			s.metrics.walResumedCases.Add(1)
+			s.metrics.events.Add(1)
+			j.bc.Observe(trainer.Annotation{
+				Kind: "case_resumed", Text: text, Index: cell.Index, Total: cell.Total,
+			})
+			continue
+		}
+		s.metrics.events.Add(1)
+		j.bc.Observe(trainer.Annotation{
+			Kind: "case_started", Text: text, Index: cell.Index, Total: cell.Total,
+		})
+		cfg, err := cell.Job.Build(j.opts)
+		if err != nil {
+			return nil, err
+		}
+		res, err := trainer.RunContext(ctx, cfg, counting, j.bc)
+		if err != nil {
+			return nil, err
+		}
+		results[cell.Index] = res
+		s.walCaseDone(j, cell.Index, res)
+	}
+	return experiments.AssembleReport(j.spec, j.opts, results)
+}
+
+// runJobLocal is the local KindJob executor: a single run is cell 0 of a
+// one-cell grid, recoverable the same way.
+func (s *Server) runJobLocal(ctx context.Context, j *Job) (*trainer.Result, error) {
+	if res := j.resumed(0); res != nil {
+		s.metrics.walResumedCases.Add(1)
+		return res, nil
+	}
+	counting := trainer.ObserverFunc(func(trainer.Event) { s.metrics.events.Add(1) })
+	res, err := trainer.RunContext(ctx, j.cfg, counting, j.bc)
+	if err != nil {
+		return nil, err
+	}
+	s.walCaseDone(j, 0, res)
+	return res, nil
+}

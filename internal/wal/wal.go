@@ -1,0 +1,401 @@
+// The log writer: rotating segment files plus a checkpoint, with a
+// configurable fsync policy. All appends and compactions serialize on one
+// mutex; the embedder must never call Append while holding a lock its
+// compaction gather callback also takes (the log's lock is the outermost).
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FsyncPolicy says when appended records become durable.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways fsyncs after every append: an acknowledged record
+	// survives any kill -9. The default, and what the crash battery runs.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval fsyncs on a background timer: a crash can lose up to
+	// one interval of acknowledged records, never corrupt older ones.
+	FsyncInterval
+	// FsyncNever leaves durability to the OS page cache.
+	FsyncNever
+)
+
+// ParseFsyncPolicy maps the -fsync flag values onto policies.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "", "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: fsync policy %q (want always, interval or never)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	default:
+		return "always"
+	}
+}
+
+// Options tunes a Log.
+type Options struct {
+	// Dir holds the checkpoint and segment files; created if missing.
+	Dir string
+	// Fsync is the durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncInterval is the FsyncInterval timer period (<= 0: 100ms).
+	FsyncInterval time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (<= 0: 4 MiB).
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// errClosed rejects operations on a closed log.
+var errClosed = errors.New("wal: log closed")
+
+// Log is an open write-ahead log. Safe for concurrent use.
+type Log struct {
+	opt Options
+
+	mu      sync.Mutex
+	f       *os.File
+	seg     int   // number of the active segment
+	size    int64 // bytes in the active segment
+	appends int64 // records appended since Open (crash-hook sequencing)
+	buf     []byte
+	closed  bool
+
+	stop     chan struct{}
+	syncLoop sync.WaitGroup
+}
+
+// Open recovers dir (truncating any torn tail and discarding everything
+// after the first corrupt record) and returns a Log positioned to append
+// after the clean prefix, plus the Recovery describing what was replayable.
+func Open(opt Options) (*Log, Recovery, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, Recovery{}, fmt.Errorf("wal: %w", err)
+	}
+	rec, lay, err := recoverDir(opt.Dir, true)
+	if err != nil {
+		return nil, rec, err
+	}
+	l := &Log{opt: opt, stop: make(chan struct{})}
+	if lay.lastSeg > 0 && lay.lastSize < opt.SegmentBytes {
+		f, err := os.OpenFile(segPath(opt.Dir, lay.lastSeg), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, rec, fmt.Errorf("wal: reopen segment: %w", err)
+		}
+		l.f, l.seg, l.size = f, lay.lastSeg, lay.lastSize
+	} else {
+		next := lay.lastSeg
+		if lay.through > next {
+			next = lay.through
+		}
+		if err := l.openSegment(next + 1); err != nil {
+			return nil, rec, err
+		}
+	}
+	if opt.Fsync == FsyncInterval {
+		l.syncLoop.Add(1)
+		go l.runSyncLoop()
+	}
+	return l, rec, nil
+}
+
+// segPath names segment n.
+func segPath(dir string, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%08d.wal", n))
+}
+
+// checkpointPath names the live checkpoint file.
+func checkpointPath(dir string) string { return filepath.Join(dir, "checkpoint.wal") }
+
+// openSegment creates segment n as the active file and makes its directory
+// entry durable, so an fsynced append can never land in a file a crash
+// erases.
+func (l *Log) openSegment(n int) error {
+	f, err := os.OpenFile(segPath(l.opt.Dir, n), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if err := syncDir(l.opt.Dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.seg, l.size = f, n, 0
+	return nil
+}
+
+// Append frames rec, writes it to the active segment (rotating first when
+// full), and applies the fsync policy. The record is durable on return
+// under FsyncAlways.
+func (l *Log) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errClosed
+	}
+	buf, err := appendFrame(l.buf[:0], rec)
+	if err != nil {
+		return err
+	}
+	l.buf = buf
+	if l.size > 0 && l.size+int64(len(buf)) > l.opt.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(buf))
+	l.appends++
+	if l.opt.Fsync == FsyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
+	crashAppend(l.appends)
+	return nil
+}
+
+// rotateLocked closes the full active segment and opens its successor.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: rotate fsync: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate close: %w", err)
+	}
+	crashPoint(CrashRotate)
+	return l.openSegment(l.seg + 1)
+}
+
+// Compact folds the log into a fresh checkpoint. gather runs with the log
+// lock held — appends are stalled — so the state it snapshots is exactly
+// the state the log's records describe; anything the embedder mutates
+// before an Append is therefore never lost to a checkpoint race. The new
+// checkpoint is written to a temp file, fsynced, renamed live, the
+// directory fsynced, and only then are the subsumed segments removed; a
+// crash anywhere in between recovers to either the old records or the new
+// checkpoint, never to a mix.
+func (l *Log) Compact(gather func() []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errClosed
+	}
+	recs := gather()
+	through := l.seg
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: compact fsync: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: compact close: %w", err)
+	}
+	l.f = nil
+
+	tmp := checkpointPath(l.opt.Dir) + ".tmp"
+	metaPayload, err := json.Marshal(checkpointMeta{Through: through})
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint meta: %w", err)
+	}
+	buf := l.buf[:0]
+	if buf, err = appendFrame(buf, Record{Type: TypeCheckpoint, Payload: metaPayload}); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if buf, err = appendFrame(buf, r); err != nil {
+			return err
+		}
+	}
+	l.buf = buf
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint close: %w", err)
+	}
+	crashPoint(CrashCompactPreRename)
+	if err := os.Rename(tmp, checkpointPath(l.opt.Dir)); err != nil {
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	if err := syncDir(l.opt.Dir); err != nil {
+		return err
+	}
+	crashPoint(CrashCompactPostRename)
+	for n := range listSegments(l.opt.Dir) {
+		if n <= through {
+			os.Remove(segPath(l.opt.Dir, n))
+		}
+	}
+	return l.openSegment(through + 1)
+}
+
+// Sync flushes the active segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.f == nil {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+// Appends returns the number of records appended since Open.
+func (l *Log) Appends() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends
+}
+
+// Close syncs and closes the log. Further operations return errClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stop)
+	l.syncLoop.Wait()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+func (l *Log) runSyncLoop() {
+	defer l.syncLoop.Done()
+	t := time.NewTicker(l.opt.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.f != nil {
+				l.f.Sync()
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// listSegments maps segment number -> path for every segment file in dir.
+func listSegments(dir string) map[int]string {
+	out := map[int]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return out
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(name, "seg-%08d.wal", &n); err == nil {
+			out[n] = filepath.Join(dir, name)
+		}
+	}
+	return out
+}
+
+// sortedSegments returns dir's segment numbers in ascending order.
+func sortedSegments(segs map[int]string) []int {
+	out := make([]int, 0, len(segs))
+	for n := range segs {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// syncDir fsyncs a directory so renames and file creations inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync dir: %w", err)
+	}
+	return nil
+}
+
+// AtomicWriteFile writes data to path crash-atomically: a temp file beside
+// it is written, fsynced, renamed over path, and the directory fsynced —
+// at every kill -9 point the old bytes or the new bytes are on disk, never
+// a torn mix. The job service's legacy snapshot export uses it too.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	crashPoint(CrashCompactPreRename)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
