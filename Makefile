@@ -5,13 +5,13 @@ GO ?= go
 
 # Coverage floor (%) enforced on the concurrency-critical packages.
 COVER_FLOOR ?= 70
-COVER_PKGS  ?= internal/cache internal/loader internal/server internal/query internal/wal
+COVER_PKGS  ?= internal/cache internal/loader internal/server internal/query internal/wal internal/memo
 
 # Scratch directory for generated build artifacts (coverage profiles, smoke
 # binaries); git-ignored, removed by clean.
 BUILD_DIR ?= build
 
-.PHONY: all build test cover lint bench benchjson bench2 bench3 bench4 allocguard profile suite speccheck querycheck servesmoke distsmoke crashsmoke experiments-md clean
+.PHONY: all build test cover lint bench benchjson bench2 bench3 bench4 bench5 allocguard profile suite speccheck querycheck servesmoke distsmoke crashsmoke memosmoke experiments-md clean
 
 all: lint build test
 
@@ -135,6 +135,19 @@ distsmoke:
 # /v1/query bytes identical to the uninterrupted golden.
 crashsmoke:
 	BUILD_DIR=$(BUILD_DIR) ./scripts/crashsmoke.sh
+
+# Memoization smoke: runsuite runs three experiments cold then warm against
+# one cache directory (warm must simulate nothing, report byte-identical),
+# a stallserved on the CLI-warmed directory must serve the same spec purely
+# from disk (shared on-disk format), and a corrupted entry must degrade to
+# a counted miss with unchanged output.
+memosmoke:
+	BUILD_DIR=$(BUILD_DIR) ./scripts/memosmoke.sh
+
+# Memoization bench: cold-vs-warm suite wall and a 100-case sweep against a
+# 90%-primed cache vs a single case, written to BENCH_5.json.
+bench5:
+	$(GO) run ./cmd/stallbench -bench5 -bench5-out BENCH_5.json
 
 experiments-md:
 	$(GO) run ./cmd/runsuite -md EXPERIMENTS.md

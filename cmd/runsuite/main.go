@@ -32,6 +32,15 @@
 //
 // With -query, stdout carries only the NDJSON rows (tables are skipped), so
 // the output pipes straight into jq or diff.
+//
+// -memo points both paths at a persisted content-addressed result cache
+// (the same on-disk layout `stallserved -memo` serves from): every
+// spec-driven case already simulated — in an earlier run, by the daemon,
+// or by an overlapping sweep — is replayed byte-identically instead of
+// re-simulated, making repeated and overlapping sweeps sublinear:
+//
+//	runsuite -ids fig5,fig9a,fig18 -memo ./memocache   # cold: simulates
+//	runsuite -ids fig5,fig9a,fig18 -memo ./memocache   # warm: replays
 package main
 
 import (
@@ -67,6 +76,8 @@ func main() {
 	queryFile := flag.String("query", "", "run a JSON query over the captured training runs; NDJSON on stdout")
 	reportFile := flag.String("report", "", "with -query: query a saved suite report (written with -json -cases) instead of running anything")
 	withCases := flag.Bool("cases", false, "with -json: embed the per-case capture, making the report queryable via -report")
+	memoDir := flag.String("memo", "", "content-addressed result cache directory (shared with stallserved -memo): cases already simulated are replayed byte-identically instead of re-run (empty = off)")
+	memoMax := flag.Int64("memo-max-bytes", 0, "memo cache budget in bytes, enforced on disk and in memory, at insert and at open (0 = 256 MiB)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -101,6 +112,25 @@ func main() {
 		}
 		os.Exit(queryReportFile(ctx, *reportFile, *queryFile))
 	}
+	// The memo cache serves both execution paths (-spec and the suite);
+	// the stats line tells the user how much the cache actually saved.
+	var cache *datastall.ResultCache
+	if *memoDir != "" {
+		c, err := datastall.OpenResultCache(*memoDir, *memoMax)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "runsuite: %v\n", err)
+			os.Exit(1)
+		}
+		cache = c
+	}
+	memoStats := func() {
+		if cache == nil {
+			return
+		}
+		st := cache.Stats()
+		fmt.Fprintf(os.Stderr, "runsuite: memo: %d hit(s), %d miss(es), %d eviction(s), %d load error(s)\n",
+			st.Hits, st.Misses, st.Evictions, st.LoadErrors)
+	}
 	if *specFile != "" {
 		// The suite-only flags do nothing on the -spec path; silently
 		// accepting them would hand back the wrong output format (-json,
@@ -110,7 +140,9 @@ func main() {
 				strings.Join(bad, ", -"))
 			os.Exit(2)
 		}
-		os.Exit(runSpecFile(ctx, *specFile, *scale, *epochs, *seed, *progress, *queryFile))
+		code := runSpecFile(ctx, *specFile, *scale, *epochs, *seed, cache, *progress, *queryFile)
+		memoStats()
+		os.Exit(code)
 	}
 	if *progress {
 		fmt.Fprintln(os.Stderr, "runsuite: -progress applies to -spec runs; ignored")
@@ -118,7 +150,7 @@ func main() {
 
 	opts := datastall.SuiteOptions{
 		Scale: *scale, Epochs: *epochs, Seed: *seed,
-		Parallel: *parallel, Timeout: *timeout,
+		Parallel: *parallel, Timeout: *timeout, Memo: cache,
 	}
 	if *ids != "" {
 		opts.IDs = strings.Split(*ids, ",")
@@ -188,6 +220,7 @@ func main() {
 		}
 	}
 
+	memoStats()
 	fmt.Fprintf(os.Stderr, "runsuite: %d ok, %d failed, %d skipped on %d worker(s) in %.2fs\n",
 		rep.OK, rep.Failed, rep.Skipped, rep.Parallel, time.Since(start).Seconds())
 	if rep.Failed > 0 || rep.Skipped > 0 {
@@ -215,7 +248,7 @@ func suiteOnlyFlagsSet() []string {
 // scenario runs through the same Spec machinery as the registry's
 // sweep-shaped figures; withProgress attaches a console observer so every
 // underlying training run streams per-epoch events to stderr.
-func runSpecFile(ctx context.Context, path string, scale float64, epochs int, seed int64, withProgress bool, queryFile string) int {
+func runSpecFile(ctx context.Context, path string, scale float64, epochs int, seed int64, cache *datastall.ResultCache, withProgress bool, queryFile string) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "runsuite: %v\n", err)
@@ -246,7 +279,7 @@ func runSpecFile(ctx context.Context, path string, scale float64, epochs int, se
 	}
 	start := time.Now()
 	rep, err := experiments.RunSpec(ctx, sp,
-		experiments.Options{Scale: scale, Epochs: epochs, Seed: seed}, obs...)
+		experiments.Options{Scale: scale, Epochs: epochs, Seed: seed, Memo: cache}, obs...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "runsuite: spec %s: %v\n", sp.Name, err)
 		return 1

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"datastall"
+	"datastall/internal/experiments"
+	"datastall/internal/memo"
+)
+
+// bench5Report is the BENCH_5.json schema: result-memoization speedups.
+// Two workloads, each cold-then-warm against a content-addressed cache:
+// the fig5+fig9a+fig18 suite (warm rerun must simulate nothing and render
+// identical output), and a 100-case sweep whose cache was primed by a
+// 90-case sweep sharing 90% of its grid — the memoized run should cost
+// roughly 10 single-case simulations, not 100 (sublinear in grid size).
+type bench5Report struct {
+	Bench      string `json:"bench"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_max_procs"`
+	GoVersion  string `json:"go_version"`
+
+	Suite bench5Suite `json:"suite"`
+	Sweep bench5Sweep `json:"overlap_sweep"`
+	Note  string      `json:"note"`
+}
+
+type bench5Suite struct {
+	Experiments     []string `json:"experiments"`
+	UniqueCases     int64    `json:"unique_cases"`
+	ColdWallSeconds float64  `json:"cold_wall_seconds"`
+	WarmWallSeconds float64  `json:"warm_wall_seconds"`
+	Speedup         float64  `json:"speedup"`
+	WarmHits        int64    `json:"warm_hits"`
+	WarmMisses      int64    `json:"warm_misses"`
+	ByteIdentical   bool     `json:"output_byte_identical"`
+}
+
+type bench5Sweep struct {
+	GridCases         int     `json:"grid_cases"`
+	PrimedCases       int     `json:"primed_cases"`
+	SingleCaseSeconds float64 `json:"single_case_seconds"`
+	ColdWallSeconds   float64 `json:"cold_wall_seconds"`
+	WarmWallSeconds   float64 `json:"warm_wall_seconds"`
+	Speedup           float64 `json:"speedup"`
+	WarmVsSingleCase  float64 `json:"warm_wall_vs_single_case"`
+	WarmHits          int64   `json:"warm_hits"`
+	WarmMisses        int64   `json:"warm_misses"`
+}
+
+var bench5IDs = []string{"fig5", "fig9a", "fig18"}
+
+// bench5SweepSpec builds an n-point cache_fraction sweep; grids built with
+// the same n share every cell, and n+k extends n by k fresh cells.
+func bench5SweepSpec(n int) ([]byte, error) {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 0.005 * float64(i+1)
+	}
+	return json.Marshal(map[string]interface{}{
+		"name":       "bench5-sweep",
+		"title":      "memoization overlap sweep",
+		"row_header": []string{"cache"},
+		"base": map[string]interface{}{
+			"model": "resnet18", "dataset": "imagenet-1k",
+			"scale": 0.02, "epochs": 2, "seed": 1, "batch": 16, "loader": "coordl",
+		},
+		"rows":    map[string]interface{}{"param": "cache_fraction", "values": vals},
+		"columns": []map[string]interface{}{{"label": "epoch s", "metric": "epoch_s"}},
+	})
+}
+
+// bench5SuiteText renders the suite output that must be byte-stable across
+// cold and warm runs.
+func bench5SuiteText(rep *datastall.SuiteReport) string {
+	s := ""
+	for _, e := range rep.Experiments {
+		s += e.String()
+	}
+	return s
+}
+
+func bench5RunSuite(ctx context.Context, dir string) (float64, string, *datastall.ResultCacheStats, error) {
+	cache, err := datastall.OpenResultCache(dir, 0)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	start := time.Now()
+	rep, err := datastall.RunSuite(ctx, datastall.SuiteOptions{IDs: bench5IDs, Memo: cache})
+	if err != nil {
+		return 0, "", nil, err
+	}
+	wall := time.Since(start).Seconds()
+	if rep.Failed+rep.Skipped > 0 {
+		return 0, "", nil, fmt.Errorf("suite ran %d failed / %d skipped", rep.Failed, rep.Skipped)
+	}
+	st := cache.Stats()
+	return wall, bench5SuiteText(rep), &st, nil
+}
+
+// bench5RunSweep runs the n-point sweep against a cache opened fresh on
+// dir (an empty dir is a cold run), returning the wall time and the run's
+// hit/miss accounting.
+func bench5RunSweep(ctx context.Context, dir string, n int) (float64, *memo.Stats, error) {
+	raw, err := bench5SweepSpec(n)
+	if err != nil {
+		return 0, nil, err
+	}
+	sp, err := experiments.LoadSpec(raw)
+	if err != nil {
+		return 0, nil, err
+	}
+	cache, err := memo.Open(memo.Options{Dir: dir})
+	if err != nil {
+		return 0, nil, err
+	}
+	start := time.Now()
+	if _, err := experiments.RunSpec(ctx, sp, experiments.Options{Memo: cache}); err != nil {
+		return 0, nil, err
+	}
+	wall := time.Since(start).Seconds()
+	st := cache.Stats()
+	return wall, &st, nil
+}
+
+func runBench5(out string) int {
+	ctx := context.Background()
+	rep := &bench5Report{
+		Bench:      "result memoization: warm suite reruns and 90%-overlap sweeps vs cold simulation",
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Note: "warm numbers serve every previously-seen case from the content-addressed cache; " +
+			"the overlap sweep's warm wall should track its 10 fresh cells (~10x single_case_seconds), " +
+			"not its 100-cell grid — that gap is the sublinear-sweep claim",
+	}
+	scratch, err := os.MkdirTemp("", "bench5-memo-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stallbench: bench5: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(scratch)
+
+	suiteDir := scratch + "/suite"
+	coldWall, coldText, coldStats, err := bench5RunSuite(ctx, suiteDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stallbench: bench5: cold suite: %v\n", err)
+		return 1
+	}
+	warmWall, warmText, warmStats, err := bench5RunSuite(ctx, suiteDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stallbench: bench5: warm suite: %v\n", err)
+		return 1
+	}
+	if warmStats.Misses != 0 {
+		fmt.Fprintf(os.Stderr, "stallbench: bench5: warm suite simulated %d case(s)\n", warmStats.Misses)
+		return 1
+	}
+	if warmText != coldText {
+		fmt.Fprintln(os.Stderr, "stallbench: bench5: warm suite output differs from cold")
+		return 1
+	}
+	rep.Suite = bench5Suite{
+		Experiments:     bench5IDs,
+		UniqueCases:     coldStats.Misses,
+		ColdWallSeconds: coldWall,
+		WarmWallSeconds: warmWall,
+		Speedup:         coldWall / warmWall,
+		WarmHits:        warmStats.Hits,
+		WarmMisses:      warmStats.Misses,
+		ByteIdentical:   true,
+	}
+	fmt.Fprintf(os.Stderr, "stallbench: bench5: suite cold %.2fs, warm %.3fs (%.0fx, %d cases from cache)\n",
+		coldWall, warmWall, rep.Suite.Speedup, warmStats.Hits)
+
+	// Single-case baseline: a 1-point sweep against an empty cache.
+	singleWall, _, err := bench5RunSweep(ctx, scratch+"/single", 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stallbench: bench5: single case: %v\n", err)
+		return 1
+	}
+	coldSweepWall, coldSweepStats, err := bench5RunSweep(ctx, scratch+"/sweep-cold", 100)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stallbench: bench5: cold sweep: %v\n", err)
+		return 1
+	}
+	if coldSweepStats.Misses != 100 {
+		fmt.Fprintf(os.Stderr, "stallbench: bench5: cold sweep missed %d, want 100\n", coldSweepStats.Misses)
+		return 1
+	}
+	// Prime a second directory with the 90-point prefix, then run the full
+	// 100-point grid against it: 90 hits, 10 fresh simulations.
+	overlapDir := scratch + "/sweep-overlap"
+	if _, _, err := bench5RunSweep(ctx, overlapDir, 90); err != nil {
+		fmt.Fprintf(os.Stderr, "stallbench: bench5: priming sweep: %v\n", err)
+		return 1
+	}
+	warmSweepWall, warmSweepStats, err := bench5RunSweep(ctx, overlapDir, 100)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stallbench: bench5: overlap sweep: %v\n", err)
+		return 1
+	}
+	if warmSweepStats.Hits != 90 || warmSweepStats.Misses != 10 {
+		fmt.Fprintf(os.Stderr, "stallbench: bench5: overlap sweep hits=%d misses=%d, want 90/10\n",
+			warmSweepStats.Hits, warmSweepStats.Misses)
+		return 1
+	}
+	rep.Sweep = bench5Sweep{
+		GridCases:         100,
+		PrimedCases:       90,
+		SingleCaseSeconds: singleWall,
+		ColdWallSeconds:   coldSweepWall,
+		WarmWallSeconds:   warmSweepWall,
+		Speedup:           coldSweepWall / warmSweepWall,
+		WarmVsSingleCase:  warmSweepWall / singleWall,
+		WarmHits:          warmSweepStats.Hits,
+		WarmMisses:        warmSweepStats.Misses,
+	}
+	fmt.Fprintf(os.Stderr, "stallbench: bench5: sweep cold %.2fs, 90%%-primed %.2fs (%.1fx; %.1fx a single case)\n",
+		coldSweepWall, warmSweepWall, rep.Sweep.Speedup, rep.Sweep.WarmVsSingleCase)
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stallbench: bench5: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "stallbench: bench5: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "stallbench: wrote %s\n", out)
+	return 0
+}

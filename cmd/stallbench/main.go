@@ -8,6 +8,7 @@
 //	stallbench -bench2 -bench2-out BENCH_2.json
 //	stallbench -bench3 -bench3-out BENCH_3.json
 //	stallbench -bench4 -bench4-out BENCH_4.json
+//	stallbench -bench5 -bench5-out BENCH_5.json
 //	stallbench -run all -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Each experiment prints a paper-style table plus the published result it
@@ -39,6 +40,13 @@
 // in-process stallserved workers (real HTTP via httptest listeners), each
 // fleet's gathered report byte-checked against the single-node one before
 // its cases/sec counts, written as JSON to -bench4-out (BENCH_4.json).
+//
+// -bench5 measures result memoization: the fig5+fig9a+fig18 suite cold
+// then warm against a content-addressed cache (the warm rerun must
+// simulate nothing and render identical output), and a 100-case sweep run
+// against a cache primed with 90% of its grid — whose wall should track
+// the 10 fresh cells, not the 100-cell grid — written as JSON to
+// -bench5-out (BENCH_5.json).
 //
 // -cpuprofile/-memprofile write pprof profiles of whatever work the other
 // flags select — the profiling workflow behind every hot-path PR
@@ -76,6 +84,8 @@ func run() int {
 	bench3Out := flag.String("bench3-out", "BENCH_3.json", "output file for -bench3 results")
 	bench4 := flag.Bool("bench4", false, "benchmark coordinator-mode case throughput at 1/2/4 fleet workers")
 	bench4Out := flag.String("bench4-out", "BENCH_4.json", "output file for -bench4 results")
+	bench5 := flag.Bool("bench5", false, "benchmark result memoization: warm suite reruns and 90%-overlap sweeps")
+	bench5Out := flag.String("bench5-out", "BENCH_5.json", "output file for -bench5 results")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -129,6 +139,8 @@ func run() int {
 		return runBench3(*bench3Out)
 	case *bench4:
 		return runBench4(*bench4Out)
+	case *bench5:
+		return runBench5(*bench5Out)
 	case *runID == "all":
 		return runAll(ctx, *scale, *epochs, *seed, *parallel)
 	case *runID != "":

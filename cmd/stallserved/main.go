@@ -34,6 +34,14 @@
 // checkpoint every -wal-compact terminal jobs.
 //
 //	stallserved -addr :8080 -wal ./wal -fsync always
+//
+// With -memo, every case result is memoized in a content-addressed,
+// crash-atomically written cache directory (the same layout `runsuite
+// -memo` uses, so the CLI and the daemon can share one directory):
+// resubmitting a spec whose cases were already simulated serves every cell
+// from the cache, byte-identical, re-simulating nothing.
+//
+//	stallserved -addr :8080 -memo ./memocache
 package main
 
 import (
@@ -72,6 +80,8 @@ func run() int {
 	walSegment := flag.Int64("wal-segment", 4<<20, "WAL segment size in bytes before rotation")
 	walCompact := flag.Int("wal-compact", 64, "compact the WAL into a checkpoint every N terminal jobs")
 	maxRecords := flag.Int("maxrecords", 4096, "finished job records retained in memory (oldest evicted beyond this)")
+	memoDir := flag.String("memo", "", "content-addressed result cache directory: cases already simulated (by any job, process, or runsuite -memo) are served byte-identically from the cache (empty = off)")
+	memoMax := flag.Int64("memo-max-bytes", 0, "memo cache budget in bytes, enforced on disk and in memory, at insert and at startup (0 = 256 MiB)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM before in-flight jobs are cancelled")
 	quiet := flag.Bool("q", false, "suppress per-job transition logging")
 	flag.Parse()
@@ -97,6 +107,7 @@ func run() int {
 		TenantQuota: *tenantQuota,
 		WALDir:      *walDir, WALFsync: fsyncPolicy, WALFsyncInterval: *fsyncInterval,
 		WALSegmentBytes: *walSegment, WALCompactEvery: *walCompact,
+		MemoDir: *memoDir, MemoMaxBytes: *memoMax,
 	}
 	if *coordinator {
 		if *workers == "" {

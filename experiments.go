@@ -62,6 +62,11 @@ type ExperimentOptions struct {
 	Epochs int
 	// Seed for all randomness.
 	Seed int64
+	// Memo, when non-nil, memoizes spec-driven cases through the
+	// content-addressed result cache (see OpenResultCache): cases already
+	// simulated — by any earlier run sharing the cache — are replayed
+	// byte-identically instead of re-simulated.
+	Memo *ResultCache
 }
 
 // RunExperiment reproduces one of the paper's tables or figures. ctx
@@ -70,7 +75,7 @@ type ExperimentOptions struct {
 // runs.
 func RunExperiment(ctx context.Context, id string, opts ExperimentOptions) (*ExperimentReport, error) {
 	r, err := experiments.Run(ctx, id, experiments.Options{
-		Scale: opts.Scale, Epochs: opts.Epochs, Seed: opts.Seed,
+		Scale: opts.Scale, Epochs: opts.Epochs, Seed: opts.Seed, Memo: opts.Memo,
 	})
 	if err != nil {
 		return nil, err
@@ -91,7 +96,7 @@ func RunScenario(ctx context.Context, specJSON []byte, opts ExperimentOptions) (
 		return nil, err
 	}
 	r, err := experiments.RunSpec(ctx, sp, experiments.Options{
-		Scale: opts.Scale, Epochs: opts.Epochs, Seed: opts.Seed,
+		Scale: opts.Scale, Epochs: opts.Epochs, Seed: opts.Seed, Memo: opts.Memo,
 	})
 	if err != nil {
 		return nil, err
@@ -121,6 +126,9 @@ type SuiteOptions struct {
 	// the rendered Text (only the final SuiteReport carries it) so
 	// progress ticks don't pay for table formatting.
 	Progress func(SuiteExperiment)
+	// Memo, when non-nil, memoizes every spec-driven case in the suite
+	// through the content-addressed result cache, as in ExperimentOptions.
+	Memo *ResultCache
 }
 
 // SuiteExperiment is one experiment's outcome within a suite run.
@@ -187,7 +195,7 @@ func (r *SuiteReport) Markdown() string { return r.inner.Markdown() }
 // complete report) means ctx expired before every experiment started.
 func RunSuite(ctx context.Context, opts SuiteOptions) (*SuiteReport, error) {
 	s := &experiments.Suite{
-		Options:  experiments.Options{Scale: opts.Scale, Epochs: opts.Epochs, Seed: opts.Seed},
+		Options:  experiments.Options{Scale: opts.Scale, Epochs: opts.Epochs, Seed: opts.Seed, Memo: opts.Memo},
 		Parallel: opts.Parallel,
 		Timeout:  opts.Timeout,
 	}

@@ -24,6 +24,7 @@ import (
 
 	"datastall/internal/dataset"
 	"datastall/internal/gpu"
+	"datastall/internal/memo"
 	"datastall/internal/stats"
 	"datastall/internal/trainer"
 )
@@ -37,6 +38,12 @@ type Options struct {
 	Epochs int
 	// Seed for all randomized components.
 	Seed int64
+	// Memo, when non-nil, memoizes every spec-driven case through the
+	// content-addressed result cache: cells whose fully-resolved config
+	// (CaseKey) is already cached replay their stored trainer.Result
+	// instead of simulating, byte-identically. Excluded from JSON — a
+	// cache handle is process state, not part of a job's wire identity.
+	Memo *memo.Cache `json:"-"`
 }
 
 func (o Options) withDefaults(defScale float64) Options {

@@ -112,7 +112,10 @@ func (r *SuiteResult) Markdown() string {
 	b.WriteString("scattered across a worker fleet by a coordinator: every path runs the\n")
 	b.WriteString("same per-case simulations and assembles the same report (`make distsmoke`\n")
 	b.WriteString("enforces the distributed case against a single-node golden, including\n")
-	b.WriteString("with a worker killed mid-sweep).\n\n")
+	b.WriteString("with a worker killed mid-sweep). That also holds for memoized runs: with\n")
+	b.WriteString("`-memo DIR`, a warm rerun replays every case from the content-addressed\n")
+	b.WriteString("result cache without simulating anything, byte-identical to a cold run\n")
+	b.WriteString("(`make memosmoke` enforces it on real binaries).\n\n")
 
 	idx := &stats.Table{Columns: []string{"ID", "Status", "Title"}}
 	for _, er := range r.Results {

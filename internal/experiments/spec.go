@@ -568,25 +568,56 @@ func RunSpec(ctx context.Context, sp *Spec, o Options, obs ...trainer.Observer) 
 // each in order, assemble — the same two halves a distributed executor
 // (EnumerateCases/AssembleReport) uses, which is what makes a scattered
 // sweep's gathered report byte-identical to this single-node loop.
+// Two memoization layers ride on top without changing the report: grids
+// with repeated axis values run each unique case once and copy the result
+// into every duplicate cell (keys from CaseKey, so "identical" means
+// identical *resolved* config), and with Options.Memo set, unique cases
+// are looked up in — and their fresh results stored into — the
+// content-addressed result cache before simulating.
 func RunSpecProgress(ctx context.Context, sp *Spec, o Options, progress func(CaseProgress), obs ...trainer.Observer) (*Report, error) {
 	g, err := newSpecGrid(sp, o)
 	if err != nil {
 		return nil, err
 	}
-	results := make([]*trainer.Result, 0, g.total())
+	salt := ""
+	if g.o.Memo != nil {
+		salt = g.o.Memo.Salt()
+	}
+	seen := map[string]int{}
+	results := make([]*trainer.Result, g.total())
 	for _, c := range g.cases() {
 		if progress != nil {
 			progress(CaseProgress{Row: c.Row, Case: c.Case, Index: c.Index, Total: c.Total})
 		}
-		cfg, err := c.Job.build(g.o)
+		key, kerr := CaseKey(c.Job, g.o, salt)
+		if kerr == nil {
+			if first, ok := seen[key.Hash]; ok {
+				results[c.Index] = results[first]
+				continue
+			}
+		}
+		run := func() (*trainer.Result, error) {
+			cfg, err := c.Job.build(g.o)
+			if err != nil {
+				return nil, err
+			}
+			return trainer.RunContext(ctx, cfg, obs...)
+		}
+		var res *trainer.Result
+		if g.o.Memo != nil && kerr == nil {
+			res, _, err = g.o.Memo.Do(ctx, key, run)
+		} else {
+			// A key derivation error is a resolution error; run() surfaces
+			// the same failure with the cell's own context attached.
+			res, err = run()
+		}
 		if err != nil {
 			return nil, err
 		}
-		res, err := trainer.RunContext(ctx, cfg, obs...)
-		if err != nil {
-			return nil, err
+		if kerr == nil {
+			seen[key.Hash] = c.Index
 		}
-		results = append(results, res)
+		results[c.Index] = res
 	}
 	return g.assemble(results)
 }

@@ -1,0 +1,55 @@
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"datastall/internal/trainer"
+)
+
+// FuzzMemoEntry drives DecodeEntry with arbitrary bytes: it must never
+// panic, and any entry it accepts must be internally consistent — the
+// returned key's hash is the sha256 of the returned preimage, the result
+// is non-nil, and the entry re-encodes into a decodable frame (so an
+// accepted entry can always be re-persisted).
+func FuzzMemoEntry(f *testing.F) {
+	key := KeyFromPreimage([]byte(`{"v":1,"salt":"fuzz","model":"resnet18"}`))
+	good, err := EncodeEntry(key, &trainer.Result{
+		EpochTime: 1.5, Throughput: 640, StallFraction: 0.25,
+		Epochs: []trainer.EpochStats{{Duration: 1.5, Samples: 64}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(good)
+	f.Add(good[:len(good)-3]) // torn tail
+	f.Add(good[:headerLen])   // header only
+	f.Add(append(append([]byte{}, good...), 0xde, 0xad, 0xbe, 0xef))
+	flipped := append([]byte{}, good...)
+	flipped[headerLen+1] ^= 0x01
+	f.Add(flipped)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1, 2, 3}) // huge length field
+	f.Add([]byte("DSMEMO1\n\x00\x00\x00\x00\x00\x00\x00\x00")) // empty payload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, res, err := DecodeEntry(data)
+		if err != nil {
+			return
+		}
+		if res == nil {
+			t.Fatal("nil result accepted")
+		}
+		sum := sha256.Sum256(k.Preimage)
+		if hex.EncodeToString(sum[:]) != k.Hash {
+			t.Fatalf("accepted key %s does not match its preimage hash", k.Hash)
+		}
+		re, err := EncodeEntry(k, res)
+		if err != nil {
+			t.Fatalf("accepted entry does not re-encode: %v", err)
+		}
+		if _, _, err := DecodeEntry(re); err != nil {
+			t.Fatalf("re-encoded entry does not decode: %v", err)
+		}
+	})
+}

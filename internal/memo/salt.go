@@ -1,0 +1,81 @@
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+	"sync"
+)
+
+// The engine-version salt makes cache keys self-invalidating: it is mixed
+// into every key preimage, so two builds of different code address
+// disjoint key spaces and an entry written by an older engine can never be
+// served by a newer one — the cache simply looks cold.
+//
+// The salt is derived from the build fingerprint (go version, module
+// versions/sums, VCS revision), NOT from hashing the executable: runsuite
+// and stallserved built from the same tree must agree on it, or the CLI
+// and the daemon could not share one cache directory. When the build
+// carries no clean VCS stamp (a modified working tree, a test binary),
+// revision identity is unreliable, so the executable's own bytes are
+// folded in instead — each binary then gets a private key space, trading
+// cross-binary sharing for correctness while the code is in flux.
+//
+// DATASTALL_MEMO_SALT overrides the derivation entirely; the smoke scripts
+// use it to share entries across freshly built binaries on dirty trees.
+
+var (
+	saltOnce sync.Once
+	saltVal  string
+)
+
+// EngineSalt returns the process-wide engine-version salt.
+func EngineSalt() string {
+	saltOnce.Do(func() { saltVal = computeSalt() })
+	return saltVal
+}
+
+func computeSalt() string {
+	if env := os.Getenv("DATASTALL_MEMO_SALT"); env != "" {
+		return env
+	}
+	h := sha256.New()
+	clean := false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		fmt.Fprintln(h, bi.GoVersion)
+		fmt.Fprintln(h, bi.Main.Path, bi.Main.Version, bi.Main.Sum)
+		for _, d := range bi.Deps {
+			fmt.Fprintln(h, d.Path, d.Version, d.Sum)
+			if d.Replace != nil {
+				fmt.Fprintln(h, d.Replace.Path, d.Replace.Version, d.Replace.Sum)
+			}
+		}
+		var rev, modified string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			case "GOOS", "GOARCH":
+				fmt.Fprintln(h, s.Key, s.Value)
+			}
+		}
+		if rev != "" && modified == "false" {
+			fmt.Fprintln(h, "rev", rev)
+			clean = true
+		}
+	}
+	if !clean {
+		if exe, err := os.Executable(); err == nil {
+			if f, err := os.Open(exe); err == nil {
+				io.Copy(h, f)
+				f.Close()
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"datastall/internal/experiments"
+	"datastall/internal/memo"
 	"datastall/internal/trainer"
 )
 
@@ -205,12 +206,20 @@ func (c *coordinator) probe(ctx context.Context, w *coordWorker) bool {
 // runSpec is the coordinator's KindSpec executor: enumerate the grid,
 // scatter every cell (bounded per worker by the in-flight semaphores),
 // gather results by cell index, assemble. The first permanent failure
-// cancels the remaining cells.
+// cancels the remaining cells. With -memo, cells hit the cache before they
+// hit the wire and every gathered worker result populates it; without,
+// a job-local singleflight still collapses cells with identical resolved
+// configs so each unique case is dispatched once.
 func (s *Server) coordRunSpec(ctx context.Context, j *Job) (*experiments.Report, error) {
 	cells, err := experiments.EnumerateCases(j.spec, j.opts)
 	if err != nil {
 		return nil, err
 	}
+	salt := ""
+	if s.memo != nil {
+		salt = s.memo.Salt()
+	}
+	var local memo.Group
 	results := make([]*trainer.Result, len(cells))
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -244,7 +253,20 @@ func (s *Server) coordRunSpec(ctx context.Context, j *Job) (*experiments.Report,
 				Kind: "case_started", Text: text, Index: cell.Index, Total: cell.Total,
 			})
 			key := j.spec.Name + "/" + cell.Row + "/" + cell.Case
-			res, err := s.coordRunCase(cctx, j, key, cell.Job)
+			run := func() (*trainer.Result, error) {
+				return s.coordRunCase(cctx, j, key, cell.Job)
+			}
+			var res *trainer.Result
+			var err error
+			ck, kerr := experiments.CaseKey(cell.Job, j.opts, salt)
+			switch {
+			case kerr != nil:
+				res, err = run()
+			case s.memo != nil:
+				res, _, err = s.memo.Do(cctx, ck, run)
+			default:
+				res, _, err = local.Do(cctx, ck.Hash, run)
+			}
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -275,7 +297,20 @@ func (s *Server) coordRunJob(ctx context.Context, j *Job) (*trainer.Result, erro
 	if j.jobSpec == nil {
 		return nil, fmt.Errorf("job %s: no job spec retained for remote dispatch", j.ID)
 	}
-	res, err := s.coordRunCase(ctx, j, "job/"+j.Name+"/"+j.ID, *j.jobSpec)
+	run := func() (*trainer.Result, error) {
+		return s.coordRunCase(ctx, j, "job/"+j.Name+"/"+j.ID, *j.jobSpec)
+	}
+	var res *trainer.Result
+	var err error
+	if s.memo != nil {
+		if key, kerr := experiments.CaseKey(*j.jobSpec, j.opts, s.memo.Salt()); kerr == nil {
+			res, _, err = s.memo.Do(ctx, key, run)
+		} else {
+			res, err = run()
+		}
+	} else {
+		res, err = run()
+	}
 	if err != nil {
 		return nil, err
 	}

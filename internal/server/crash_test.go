@@ -75,19 +75,23 @@ func queryBody(t *testing.T, tsURL string) string {
 
 // runGolden executes the workload — a two-cell spec sweep plus a single
 // job — uninterrupted on a WAL-enabled single worker and captures the
-// golden artifacts. One worker keeps the record order deterministic
-// per-job; the battery derives expectations from record content, not
-// global order.
+// golden artifacts. The job is submitted only after the spec completes:
+// that makes the global record order deterministic (all spec records
+// strictly precede all job records), so prefix-based expectations — like
+// "a prefix ending at the spec's first case_done holds exactly one
+// interrupted job" — hold on every machine, not just ones where the
+// second submission happens to lose the race against the first case.
 func runGolden(t *testing.T) goldenArtifacts {
 	t.Helper()
 	g := goldenArtifacts{walDir: filepath.Join(t.TempDir(), "wal")}
 	srv, ts := newTestServer(t, Config{Workers: 1, WALDir: g.walDir})
 	g.specID = submitID(t, ts, tinySpec)
+	if st := waitTerminal(t, srv, g.specID, 60*time.Second); st != StatusCompleted {
+		t.Fatalf("golden job %s ended %s", g.specID, st)
+	}
 	g.jobID = submitID(t, ts, tinyJob)
-	for _, id := range []string{g.specID, g.jobID} {
-		if st := waitTerminal(t, srv, id, 60*time.Second); st != StatusCompleted {
-			t.Fatalf("golden job %s ended %s", id, st)
-		}
+	if st := waitTerminal(t, srv, g.jobID, 60*time.Second); st != StatusCompleted {
+		t.Fatalf("golden job %s ended %s", g.jobID, st)
 	}
 	g.report = outputJSON(t, ts.URL, g.specID, "report")
 	g.result = outputJSON(t, ts.URL, g.jobID, "result")

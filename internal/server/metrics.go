@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"datastall/internal/memo"
 )
 
 type metrics struct {
@@ -48,8 +50,10 @@ type metrics struct {
 // writeProm renders the metrics in Prometheus text format. queueDepth is
 // sampled from the scheduler's channel at render time; workersHealthy and
 // workersTotal from the coordinator's fleet (total 0: not a coordinator,
-// fleet gauges omitted).
-func (m *metrics) writeProm(w io.Writer, queueDepth, workersHealthy, workersTotal int) {
+// fleet gauges omitted); ms from the result memo cache (nil: -memo unset,
+// memo series omitted — the memo counters live in the Cache itself, the
+// single source shared with runsuite, not in this struct).
+func (m *metrics) writeProm(w io.Writer, queueDepth, workersHealthy, workersTotal int, ms *memo.Stats) {
 	c := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -79,5 +83,15 @@ func (m *metrics) writeProm(w io.Writer, queueDepth, workersHealthy, workersTota
 	if workersTotal > 0 {
 		g("stallserved_fleet_workers", "Configured fleet workers (coordinator mode).", int64(workersTotal))
 		g("stallserved_fleet_workers_healthy", "Fleet workers currently healthy (coordinator mode).", int64(workersHealthy))
+	}
+	if ms != nil {
+		c("stallserved_memo_hits_total", "Cases served from the result memo cache instead of simulating.", ms.Hits)
+		c("stallserved_memo_misses_total", "Cases simulated because the memo cache had no entry.", ms.Misses)
+		c("stallserved_memo_bytes_total", "Bytes of memo entries written to disk.", ms.BytesWritten)
+		c("stallserved_memo_evictions_total", "Memo entries evicted to stay within -memo-max-bytes.", ms.Evictions)
+		c("stallserved_memo_load_errors_total", "Corrupt or mismatched memo entries skipped and treated as misses.", ms.LoadErrors)
+		g("stallserved_memo_entries", "Memo entries resident in memory.", int64(ms.Entries))
+		g("stallserved_memo_disk_entries", "Memo entries persisted on disk.", int64(ms.DiskEntries))
+		g("stallserved_memo_disk_bytes", "Bytes of memo entries persisted on disk.", ms.DiskBytes)
 	}
 }

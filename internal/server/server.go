@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"datastall/internal/experiments"
+	"datastall/internal/memo"
 	"datastall/internal/trainer"
 	"datastall/internal/wal"
 )
@@ -90,6 +91,17 @@ type Config struct {
 	// WALCompactEvery compacts the log into a checkpoint after this many
 	// terminal records (<= 0: 64), bounding replay cost.
 	WALCompactEvery int
+	// MemoDir, when set, memoizes every case through a content-addressed
+	// result cache persisted under this directory (the same on-disk layout
+	// `runsuite -memo` uses, so the CLI and the daemon can share one
+	// directory): cells whose fully-resolved config was already simulated —
+	// by any earlier job, process, or a fleet worker — are served from the
+	// cache byte-identically instead of re-running.
+	MemoDir string
+	// MemoMaxBytes bounds the memo cache's in-memory LRU and its entry
+	// directory, each (<= 0: 256 MiB). Enforced at insert and at startup,
+	// so shrinking the budget trims an existing directory immediately.
+	MemoMaxBytes int64
 	// Logf receives one line per job transition (nil: silent).
 	Logf func(format string, args ...interface{})
 
@@ -136,6 +148,11 @@ type Server struct {
 
 	// coord is non-nil in coordinator mode (Config.WorkerURLs set).
 	coord *coordinator
+
+	// memo is the content-addressed result cache (nil when Config.MemoDir
+	// unset). Its singleflight group spans jobs: identical cases submitted
+	// concurrently simulate once.
+	memo *memo.Cache
 
 	// wal is the open write-ahead log (nil when Config.WALDir unset);
 	// walTerminals counts terminal records toward the compaction cadence,
@@ -188,6 +205,16 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.coord = coord
 		go coord.healthLoop(s.runCtx, s.logf)
+	}
+	if cfg.MemoDir != "" {
+		mc, err := memo.Open(memo.Options{Dir: cfg.MemoDir, MaxBytes: cfg.MemoMaxBytes})
+		if err != nil {
+			return nil, fmt.Errorf("server: memo: %w", err)
+		}
+		s.memo = mc
+		st := mc.Stats()
+		s.logf("memo: %d entr(ies) (%d bytes) on disk in %s, salt %s",
+			st.DiskEntries, st.DiskBytes, cfg.MemoDir, mc.Salt())
 	}
 	loadErrs := 0
 	var pending []*Job
@@ -488,6 +515,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"healthy": s.coord.healthyCount(),
 		}
 	}
+	if s.memo != nil {
+		st := s.memo.Stats()
+		v["memo"] = map[string]interface{}{
+			"dir":          s.cfg.MemoDir,
+			"max_bytes":    s.memo.MaxBytes(),
+			"salt":         s.memo.Salt(),
+			"entries":      st.Entries,
+			"disk_entries": st.DiskEntries,
+			"disk_bytes":   st.DiskBytes,
+			"hits":         st.Hits,
+			"misses":       st.Misses,
+			"evictions":    st.Evictions,
+			"load_errors":  st.LoadErrors,
+		}
+	}
 	if s.cfg.WALDir != "" || s.cfg.PersistDir != "" {
 		persist := map[string]interface{}{
 			"load_errors": s.metrics.persistLoadErrors.Load(),
@@ -515,5 +557,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.coord != nil {
 		healthy, total = s.coord.healthyCount(), len(s.coord.workers)
 	}
-	s.metrics.writeProm(w, len(s.queue), healthy, total)
+	var ms *memo.Stats
+	if s.memo != nil {
+		st := s.memo.Stats()
+		ms = &st
+	}
+	s.metrics.writeProm(w, len(s.queue), healthy, total, ms)
 }

@@ -364,13 +364,20 @@ func (j *Job) resumed(index int) *trainer.Result {
 // uninterrupted run's report is byte-identical to the old path), plus two
 // WAL duties — recovered cells are served from the resume map instead of
 // re-simulated, and every freshly computed cell is logged before the next
-// one starts.
+// one starts. Cells with identical resolved configs run once per job
+// (seen map), and with -memo once ever: the cache serves repeats from any
+// earlier job or process and collapses identical in-flight cases.
 func (s *Server) runSpecLocal(ctx context.Context, j *Job) (*experiments.Report, error) {
 	cells, err := experiments.EnumerateCases(j.spec, j.opts)
 	if err != nil {
 		return nil, err
 	}
+	salt := ""
+	if s.memo != nil {
+		salt = s.memo.Salt()
+	}
 	counting := trainer.ObserverFunc(func(trainer.Event) { s.metrics.events.Add(1) })
+	seen := map[string]int{}
 	results := make([]*trainer.Result, len(cells))
 	for _, cell := range cells {
 		text := "row=" + cell.Row
@@ -390,13 +397,34 @@ func (s *Server) runSpecLocal(ctx context.Context, j *Job) (*experiments.Report,
 		j.bc.Observe(trainer.Annotation{
 			Kind: "case_started", Text: text, Index: cell.Index, Total: cell.Total,
 		})
-		cfg, err := cell.Job.Build(j.opts)
+		key, kerr := experiments.CaseKey(cell.Job, j.opts, salt)
+		if kerr == nil {
+			if first, ok := seen[key.Hash]; ok {
+				results[cell.Index] = results[first]
+				s.walCaseDone(j, cell.Index, results[first])
+				continue
+			}
+		}
+		run := func() (*trainer.Result, error) {
+			cfg, err := cell.Job.Build(j.opts)
+			if err != nil {
+				return nil, err
+			}
+			return trainer.RunContext(ctx, cfg, counting, j.bc)
+		}
+		var res *trainer.Result
+		if s.memo != nil && kerr == nil {
+			res, _, err = s.memo.Do(ctx, key, run)
+		} else {
+			// A key derivation error is a config resolution error; run()
+			// surfaces the same failure.
+			res, err = run()
+		}
 		if err != nil {
 			return nil, err
 		}
-		res, err := trainer.RunContext(ctx, cfg, counting, j.bc)
-		if err != nil {
-			return nil, err
+		if kerr == nil {
+			seen[key.Hash] = cell.Index
 		}
 		results[cell.Index] = res
 		s.walCaseDone(j, cell.Index, res)
@@ -405,14 +433,28 @@ func (s *Server) runSpecLocal(ctx context.Context, j *Job) (*experiments.Report,
 }
 
 // runJobLocal is the local KindJob executor: a single run is cell 0 of a
-// one-cell grid, recoverable the same way.
+// one-cell grid, recoverable the same way and memoizable when the submitted
+// JobSpec is retained (it always is for KindJob submissions).
 func (s *Server) runJobLocal(ctx context.Context, j *Job) (*trainer.Result, error) {
 	if res := j.resumed(0); res != nil {
 		s.metrics.walResumedCases.Add(1)
 		return res, nil
 	}
 	counting := trainer.ObserverFunc(func(trainer.Event) { s.metrics.events.Add(1) })
-	res, err := trainer.RunContext(ctx, j.cfg, counting, j.bc)
+	run := func() (*trainer.Result, error) {
+		return trainer.RunContext(ctx, j.cfg, counting, j.bc)
+	}
+	var res *trainer.Result
+	var err error
+	if s.memo != nil && j.jobSpec != nil {
+		if key, kerr := experiments.CaseKey(*j.jobSpec, j.opts, s.memo.Salt()); kerr == nil {
+			res, _, err = s.memo.Do(ctx, key, run)
+		} else {
+			res, err = run()
+		}
+	} else {
+		res, err = run()
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,25 @@
+package datastall
+
+import "datastall/internal/memo"
+
+// ResultCache is the content-addressed simulation-result cache
+// (internal/memo): every fully-resolved case is stored once under the
+// sha256 of its canonical config (salted with an engine-version
+// fingerprint, so caches self-invalidate across builds) and replayed
+// byte-identically on any later run that resolves to the same case.
+// Attach one to ExperimentOptions.Memo or SuiteOptions.Memo; `runsuite
+// -memo dir` and `stallserved -memo dir` share the same on-disk layout.
+type ResultCache = memo.Cache
+
+// ResultCacheStats is a point-in-time snapshot of a ResultCache's
+// counters and occupancy.
+type ResultCacheStats = memo.Stats
+
+// OpenResultCache opens (creating if needed) a persisted result cache in
+// dir, bounded by maxBytes on disk and in memory independently (0: 256
+// MiB; the bound is enforced at open too, so shrinking it trims an
+// existing directory immediately). An empty dir yields a memory-only
+// cache.
+func OpenResultCache(dir string, maxBytes int64) (*ResultCache, error) {
+	return memo.Open(memo.Options{Dir: dir, MaxBytes: maxBytes})
+}

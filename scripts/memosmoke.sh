@@ -1,0 +1,147 @@
+#!/bin/sh
+# End-to-end smoke of result memoization, run by `make memosmoke` locally
+# and in CI. Three legs on real binaries sharing one cache directory:
+#
+#   1. CLI: runsuite runs fig5+fig9a+fig18 cold into a fresh -memo dir,
+#      then warm — the warm run must simulate nothing (100% hits, >= the
+#      90% floor) and emit a byte-identical JSON report.
+#   2. Daemon: a cold stallserved runs fig5 into its own dir; a second
+#      server opened on the CLI-warmed directory must serve the same spec
+#      entirely from the CLI's entries (zero misses) with /v1/query bytes
+#      identical to the cold server's — the two binaries share one on-disk
+#      format.
+#   3. Corruption: one entry in the warm directory is bit-flipped; the
+#      rerun must count a load error, quietly re-simulate that case, and
+#      still produce the identical report.
+#
+# DATASTALL_MEMO_SALT pins the engine salt so both binaries address the
+# same entries even on dirty builds.
+set -eu
+
+BUILD_DIR=${BUILD_DIR:-build}
+PORT=${MEMOSMOKE_PORT:-18096}
+URL=http://127.0.0.1:$PORT
+MEMO=$BUILD_DIR/memosmoke-cache
+SRVLOGA=$BUILD_DIR/memosmoke-servera.log
+SRVLOGB=$BUILD_DIR/memosmoke-serverb.log
+QUERY='{"order_by":[{"col":"case_id"}]}'
+SRVPID=
+export DATASTALL_MEMO_SALT=memosmoke
+
+fail() {
+  echo "memosmoke: FAIL: $*" >&2
+  for f in "$SRVLOGA" "$SRVLOGB"; do
+    [ -f "$f" ] && sed "s|^|memosmoke: $(basename "$f"): |" "$f" >&2 || true
+  done
+  exit 1
+}
+
+wait_healthy() {
+  i=0
+  until curl -sf "$URL/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || fail "server never became healthy ($1)"
+    sleep 0.1
+  done
+}
+
+# Submit {"spec_name": "fig5"} and wait for completion; sets JOB_ID.
+run_fig5() {
+  JOB_ID=$(curl -sf -X POST "$URL/v1/jobs" -d '{"spec_name": "fig5"}' |
+    sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+  [ -n "$JOB_ID" ] || fail "submit returned no job id ($1)"
+  i=0
+  until curl -sf "$URL/v1/jobs/$JOB_ID" 2>/dev/null | grep -q '"status": "completed"'; do
+    i=$((i + 1))
+    [ "$i" -lt 600 ] || fail "job $JOB_ID never completed ($1)"
+    sleep 0.1
+  done
+}
+
+# metric NAME LOGLABEL -> value of the metric on the current server.
+metric() {
+  curl -sf "$URL/metrics" | sed -n "s/^$1 //p"
+}
+
+mkdir -p "$BUILD_DIR"
+go build -o "$BUILD_DIR/runsuite" ./cmd/runsuite
+go build -o "$BUILD_DIR/stallserved" ./cmd/stallserved
+rm -rf "$MEMO"
+
+# --- Leg 1: CLI cold then warm. ---
+"$BUILD_DIR/runsuite" -ids fig5,fig9a,fig18 -json -cases -memo "$MEMO" \
+  >"$BUILD_DIR/memosmoke-cold.json" 2>"$BUILD_DIR/memosmoke-cold.err" ||
+  fail "cold runsuite failed: $(cat "$BUILD_DIR/memosmoke-cold.err")"
+COLD_LINE=$(grep '^runsuite: memo:' "$BUILD_DIR/memosmoke-cold.err") ||
+  fail "cold run printed no memo summary"
+COLD_MISSES=$(echo "$COLD_LINE" | sed -n 's/.*: \([0-9]*\) hit(s), \([0-9]*\) miss(es).*/\2/p')
+[ "$COLD_MISSES" -gt 0 ] || fail "cold run missed nothing: $COLD_LINE"
+
+"$BUILD_DIR/runsuite" -ids fig5,fig9a,fig18 -json -cases -memo "$MEMO" \
+  >"$BUILD_DIR/memosmoke-warm.json" 2>"$BUILD_DIR/memosmoke-warm.err" ||
+  fail "warm runsuite failed: $(cat "$BUILD_DIR/memosmoke-warm.err")"
+WARM_LINE=$(grep '^runsuite: memo:' "$BUILD_DIR/memosmoke-warm.err") ||
+  fail "warm run printed no memo summary"
+WARM_HITS=$(echo "$WARM_LINE" | sed -n 's/.*: \([0-9]*\) hit(s).*/\1/p')
+WARM_MISSES=$(echo "$WARM_LINE" | sed -n 's/.*, \([0-9]*\) miss(es).*/\1/p')
+[ "$WARM_MISSES" -eq 0 ] || fail "warm run re-simulated $WARM_MISSES case(s): $WARM_LINE"
+[ "$WARM_HITS" -eq "$COLD_MISSES" ] ||
+  fail "warm hits $WARM_HITS != cold misses $COLD_MISSES"
+# The >= 90% hit-rate floor; with zero misses the warm rate is 100%.
+[ $((WARM_HITS * 10)) -ge $(((WARM_HITS + WARM_MISSES) * 9)) ] || fail "hit rate below 90%"
+cmp -s "$BUILD_DIR/memosmoke-cold.json" "$BUILD_DIR/memosmoke-warm.json" ||
+  fail "warm suite report differs from cold:
+$(diff "$BUILD_DIR/memosmoke-cold.json" "$BUILD_DIR/memosmoke-warm.json" | head -20)"
+echo "memosmoke: CLI warm rerun served $WARM_HITS/$COLD_MISSES cases from cache, report byte-identical"
+
+# --- Leg 2: cold daemon vs a daemon on the CLI-warmed directory. ---
+rm -rf "$BUILD_DIR/memosmoke-cache-daemon"
+"$BUILD_DIR/stallserved" -addr 127.0.0.1:"$PORT" -workers 2 \
+  -memo "$BUILD_DIR/memosmoke-cache-daemon" >"$SRVLOGA" 2>&1 &
+SRVPID=$!
+trap 'kill "$SRVPID" 2>/dev/null || true' EXIT
+wait_healthy daemon-cold
+run_fig5 daemon-cold
+DAEMON_MISSES=$(metric stallserved_memo_misses_total)
+[ -n "$DAEMON_MISSES" ] && [ "$DAEMON_MISSES" -gt 0 ] ||
+  fail "cold daemon reported no memo misses"
+curl -sf -X POST "$URL/v1/query" -d "$QUERY" >"$BUILD_DIR/memosmoke-daemon-cold.ndjson" ||
+  fail "cold daemon query"
+kill -TERM "$SRVPID"
+wait "$SRVPID" || fail "cold daemon exited non-zero on SIGTERM"
+
+"$BUILD_DIR/stallserved" -addr 127.0.0.1:"$PORT" -workers 2 \
+  -memo "$MEMO" >"$SRVLOGB" 2>&1 &
+SRVPID=$!
+wait_healthy daemon-warm
+run_fig5 daemon-warm
+[ "$(metric stallserved_memo_misses_total)" = "0" ] ||
+  fail "daemon on the CLI-warmed dir re-simulated $(metric stallserved_memo_misses_total) case(s): the binaries do not share a format"
+[ "$(metric stallserved_memo_hits_total)" = "$DAEMON_MISSES" ] ||
+  fail "daemon hits $(metric stallserved_memo_hits_total) != cold daemon misses $DAEMON_MISSES"
+curl -sf -X POST "$URL/v1/query" -d "$QUERY" >"$BUILD_DIR/memosmoke-daemon-warm.ndjson" ||
+  fail "warm daemon query"
+cmp -s "$BUILD_DIR/memosmoke-daemon-cold.ndjson" "$BUILD_DIR/memosmoke-daemon-warm.ndjson" ||
+  fail "/v1/query from CLI-warmed entries differs from the cold daemon:
+$(diff "$BUILD_DIR/memosmoke-daemon-cold.ndjson" "$BUILD_DIR/memosmoke-daemon-warm.ndjson" | head -20)"
+kill -TERM "$SRVPID"
+wait "$SRVPID" || fail "warm daemon exited non-zero on SIGTERM"
+echo "memosmoke: daemon served fig5 from CLI-written entries ($DAEMON_MISSES cases), /v1/query byte-identical"
+
+# --- Leg 3: a corrupted entry degrades to a counted miss, same bytes. ---
+VICTIM=$(find "$MEMO" -name '*.memo' | head -1)
+[ -n "$VICTIM" ] || fail "no .memo entries on disk to corrupt"
+printf '\377' | dd of="$VICTIM" bs=1 seek=$(($(wc -c <"$VICTIM") - 1)) conv=notrunc 2>/dev/null
+"$BUILD_DIR/runsuite" -ids fig5,fig9a,fig18 -json -cases -memo "$MEMO" \
+  >"$BUILD_DIR/memosmoke-corrupt.json" 2>"$BUILD_DIR/memosmoke-corrupt.err" ||
+  fail "runsuite failed on a corrupt entry: $(cat "$BUILD_DIR/memosmoke-corrupt.err")"
+CORRUPT_LINE=$(grep '^runsuite: memo:' "$BUILD_DIR/memosmoke-corrupt.err") ||
+  fail "corrupt run printed no memo summary"
+LOAD_ERRS=$(echo "$CORRUPT_LINE" | sed -n 's/.*, \([0-9]*\) load error(s).*/\1/p')
+CORRUPT_MISSES=$(echo "$CORRUPT_LINE" | sed -n 's/.*, \([0-9]*\) miss(es).*/\1/p')
+[ "$LOAD_ERRS" -ge 1 ] || fail "corrupt entry was not counted as a load error: $CORRUPT_LINE"
+[ "$CORRUPT_MISSES" -ge 1 ] || fail "corrupt entry was not treated as a miss: $CORRUPT_LINE"
+cmp -s "$BUILD_DIR/memosmoke-cold.json" "$BUILD_DIR/memosmoke-corrupt.json" ||
+  fail "report after corruption-induced re-simulation differs from cold"
+echo "memosmoke: corrupt entry degraded to $CORRUPT_MISSES counted miss(es), report byte-identical"
+echo "memosmoke: PASS"
