@@ -5,13 +5,13 @@ GO ?= go
 
 # Coverage floor (%) enforced on the concurrency-critical packages.
 COVER_FLOOR ?= 70
-COVER_PKGS  ?= internal/cache internal/loader internal/server internal/query internal/wal internal/memo
+COVER_PKGS  ?= internal/cache internal/loader internal/server internal/query internal/wal internal/memo internal/obs
 
 # Scratch directory for generated build artifacts (coverage profiles, smoke
 # binaries); git-ignored, removed by clean.
 BUILD_DIR ?= build
 
-.PHONY: all build test cover lint bench benchjson bench2 bench3 bench4 bench5 allocguard profile suite speccheck querycheck servesmoke distsmoke crashsmoke memosmoke experiments-md clean
+.PHONY: all build test cover lint bench benchjson bench2 bench3 bench4 bench5 allocguard profile suite speccheck querycheck servesmoke distsmoke crashsmoke memosmoke tracesmoke experiments-md clean
 
 all: lint build test
 
@@ -67,7 +67,7 @@ bench2:
 # allocates shadow state on paths that are allocation-free in normal
 # builds, so the guards skip themselves under instrumentation.
 allocguard:
-	$(GO) test -count=1 -run 'TestAllocs' ./internal/sim ./internal/cache ./internal/pagecache
+	$(GO) test -count=1 -run 'TestAllocs' ./internal/sim ./internal/cache ./internal/pagecache ./internal/obs
 
 # CPU + allocation profiles of one serial full-suite run -> cpu.pprof,
 # mem.pprof. Inspect with `go tool pprof -top cpu.pprof` (or mem.pprof
@@ -143,6 +143,13 @@ crashsmoke:
 # a counted miss with unchanged output.
 memosmoke:
 	BUILD_DIR=$(BUILD_DIR) ./scripts/memosmoke.sh
+
+# Tracing smoke: boot stallserved with -trace-dir, run fig5 twice, and
+# require the served Chrome trace to validate strictly, agree with the
+# on-disk dump, and — timestamps stripped — byte-match itself across reruns
+# and the committed golden (testdata/traces/fig5-topology.golden).
+tracesmoke:
+	BUILD_DIR=$(BUILD_DIR) ./scripts/tracesmoke.sh
 
 # Memoization bench: cold-vs-warm suite wall and a 100-case sweep against a
 # 90%-primed cache vs a single case, written to BENCH_5.json.

@@ -47,14 +47,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"datastall"
 	"datastall/internal/experiments"
+	"datastall/internal/obs"
 	"datastall/internal/query"
 	"datastall/internal/trainer"
 )
@@ -78,7 +81,10 @@ func main() {
 	withCases := flag.Bool("cases", false, "with -json: embed the per-case capture, making the report queryable via -report")
 	memoDir := flag.String("memo", "", "content-addressed result cache directory (shared with stallserved -memo): cases already simulated are replayed byte-identically instead of re-run (empty = off)")
 	memoMax := flag.Int64("memo-max-bytes", 0, "memo cache budget in bytes, enforced on disk and in memory, at insert and at open (0 = 256 MiB)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the run to this path (viewable in Perfetto / chrome://tracing)")
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -113,7 +119,7 @@ func main() {
 		os.Exit(queryReportFile(ctx, *reportFile, *queryFile))
 	}
 	// The memo cache serves both execution paths (-spec and the suite);
-	// the stats line tells the user how much the cache actually saved.
+	// the summary line tells the user how much the cache actually saved.
 	var cache *datastall.ResultCache
 	if *memoDir != "" {
 		c, err := datastall.OpenResultCache(*memoDir, *memoMax)
@@ -123,13 +129,44 @@ func main() {
 		}
 		cache = c
 	}
+	// With -trace, every case span of the run hangs off one root span and
+	// the whole tree is written as Chrome trace-event JSON on exit.
+	var tracer *obs.Tracer
+	var root obs.Span
+	if *traceOut != "" {
+		tracer = obs.NewTracer("runsuite", "")
+		root = tracer.Start("suite")
+	}
 	memoStats := func() {
 		if cache == nil {
 			return
 		}
 		st := cache.Stats()
-		fmt.Fprintf(os.Stderr, "runsuite: memo: %d hit(s), %d miss(es), %d eviction(s), %d load error(s)\n",
-			st.Hits, st.Misses, st.Evictions, st.LoadErrors)
+		logger.Info("memo summary",
+			"hits", st.Hits, "misses", st.Misses,
+			"evictions", st.Evictions, "load_errors", st.LoadErrors)
+		root.SetAttr("memo_hits", strconv.FormatInt(st.Hits, 10))
+		root.SetAttr("memo_misses", strconv.FormatInt(st.Misses, 10))
+	}
+	writeTrace := func() {
+		if tracer == nil {
+			return
+		}
+		tracer.Finish()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			logger.Warn("trace not written", "error", err)
+			return
+		}
+		werr := tracer.WriteChrome(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			logger.Warn("trace not written", "path", *traceOut, "error", werr)
+			return
+		}
+		logger.Info("trace written", "path", *traceOut)
 	}
 	if *specFile != "" {
 		// The suite-only flags do nothing on the -spec path; silently
@@ -140,8 +177,9 @@ func main() {
 				strings.Join(bad, ", -"))
 			os.Exit(2)
 		}
-		code := runSpecFile(ctx, *specFile, *scale, *epochs, *seed, cache, *progress, *queryFile)
+		code := runSpecFile(ctx, *specFile, *scale, *epochs, *seed, cache, *progress, *queryFile, root)
 		memoStats()
+		writeTrace()
 		os.Exit(code)
 	}
 	if *progress {
@@ -158,14 +196,18 @@ func main() {
 			opts.IDs[i] = strings.TrimSpace(opts.IDs[i])
 		}
 	}
-	if !*quiet {
-		opts.Progress = func(e datastall.SuiteExperiment) {
-			switch e.Status {
-			case "ok":
-				fmt.Fprintf(os.Stderr, "runsuite: %-18s ok     (%.2fs)\n", e.ID, e.WallSeconds)
-			case "error":
-				fmt.Fprintf(os.Stderr, "runsuite: %-18s FAILED (%.2fs): %v\n", e.ID, e.WallSeconds, e.Err)
-			}
+	opts.Progress = func(e datastall.SuiteExperiment) {
+		ev := root.Event("experiment")
+		ev.SetAttr("id", e.ID)
+		ev.SetAttr("status", e.Status)
+		if *quiet {
+			return
+		}
+		switch e.Status {
+		case "ok":
+			fmt.Fprintf(os.Stderr, "runsuite: %-18s ok     (%.2fs)\n", e.ID, e.WallSeconds)
+		case "error":
+			fmt.Fprintf(os.Stderr, "runsuite: %-18s FAILED (%.2fs): %v\n", e.ID, e.WallSeconds, e.Err)
 		}
 	}
 
@@ -221,6 +263,7 @@ func main() {
 	}
 
 	memoStats()
+	writeTrace()
 	fmt.Fprintf(os.Stderr, "runsuite: %d ok, %d failed, %d skipped on %d worker(s) in %.2fs\n",
 		rep.OK, rep.Failed, rep.Skipped, rep.Parallel, time.Since(start).Seconds())
 	if rep.Failed > 0 || rep.Skipped > 0 {
@@ -248,7 +291,7 @@ func suiteOnlyFlagsSet() []string {
 // scenario runs through the same Spec machinery as the registry's
 // sweep-shaped figures; withProgress attaches a console observer so every
 // underlying training run streams per-epoch events to stderr.
-func runSpecFile(ctx context.Context, path string, scale float64, epochs int, seed int64, cache *datastall.ResultCache, withProgress bool, queryFile string) int {
+func runSpecFile(ctx context.Context, path string, scale float64, epochs int, seed int64, cache *datastall.ResultCache, withProgress bool, queryFile string, trace obs.Span) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "runsuite: %v\n", err)
@@ -273,13 +316,13 @@ func runSpecFile(ctx context.Context, path string, scale float64, epochs int, se
 				f.Name, f.Value, f.Name)
 		}
 	})
-	var obs []trainer.Observer
+	var observers []trainer.Observer
 	if withProgress {
-		obs = append(obs, trainer.NewConsoleObserver(os.Stderr))
+		observers = append(observers, trainer.NewConsoleObserver(os.Stderr))
 	}
 	start := time.Now()
 	rep, err := experiments.RunSpec(ctx, sp,
-		experiments.Options{Scale: scale, Epochs: epochs, Seed: seed, Memo: cache}, obs...)
+		experiments.Options{Scale: scale, Epochs: epochs, Seed: seed, Memo: cache, Trace: trace}, observers...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "runsuite: spec %s: %v\n", sp.Name, err)
 		return 1

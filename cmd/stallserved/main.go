@@ -42,14 +42,24 @@
 // from the cache, byte-identical, re-simulating nothing.
 //
 //	stallserved -addr :8080 -memo ./memocache
+//
+// Every job carries an end-to-end trace, served as Chrome trace-event JSON
+// (Perfetto-viewable) at GET /v1/jobs/{id}/trace and — with -trace-dir —
+// dumped to disk when the job finishes. Logs are structured (log/slog) with
+// job_id/trace_id/case_key fields, /metrics adds latency histograms, and
+// -debug-addr serves net/http/pprof on a separate listener so profiling is
+// never exposed on the public API address:
+//
+//	stallserved -addr :8080 -trace-dir ./traces -debug-addr localhost:6060
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -83,35 +93,37 @@ func run() int {
 	memoDir := flag.String("memo", "", "content-addressed result cache directory: cases already simulated (by any job, process, or runsuite -memo) are served byte-identically from the cache (empty = off)")
 	memoMax := flag.Int64("memo-max-bytes", 0, "memo cache budget in bytes, enforced on disk and in memory, at insert and at startup (0 = 256 MiB)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM before in-flight jobs are cancelled")
-	quiet := flag.Bool("q", false, "suppress per-job transition logging")
+	traceDir := flag.String("trace-dir", "", "directory for per-job Chrome trace-event JSON dumps, written when each job finishes (empty = traces served over HTTP only)")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty = off)")
+	quiet := flag.Bool("q", false, "log warnings and errors only")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "stallserved: ", log.LstdFlags)
-	logf := logger.Printf
+	level := slog.LevelInfo
 	if *quiet {
-		logf = func(string, ...interface{}) {}
+		level = slog.LevelWarn
 	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	fsyncPolicy, err := wal.ParseFsyncPolicy(*fsyncMode)
 	if err != nil {
-		logger.Printf("%v", err)
+		logger.Error(err.Error())
 		return 2
 	}
 	if point := wal.ArmCrashFromEnv(); point != "" {
-		logger.Printf("wal: crash injection armed at %q (STALLWAL_CRASH)", point)
+		logger.Warn("wal: crash injection armed (STALLWAL_CRASH)", "point", point)
 	}
 
 	cfg := server.Config{
 		QueueDepth: *queue, SubscriberBuffer: *subBuf,
-		MaxRecords: *maxRecords, PersistDir: *persist, Logf: logf,
-		TenantQuota: *tenantQuota,
-		WALDir:      *walDir, WALFsync: fsyncPolicy, WALFsyncInterval: *fsyncInterval,
+		MaxRecords: *maxRecords, PersistDir: *persist, Log: logger,
+		TenantQuota: *tenantQuota, TraceDir: *traceDir,
+		WALDir: *walDir, WALFsync: fsyncPolicy, WALFsyncInterval: *fsyncInterval,
 		WALSegmentBytes: *walSegment, WALCompactEvery: *walCompact,
 		MemoDir: *memoDir, MemoMaxBytes: *memoMax,
 	}
 	if *coordinator {
 		if *workers == "" {
-			logger.Printf("-coordinator needs -workers http://w1,http://w2,...")
+			logger.Error("-coordinator needs -workers http://w1,http://w2,...")
 			return 2
 		}
 		cfg.WorkerURLs = strings.Split(*workers, ",")
@@ -122,7 +134,7 @@ func run() int {
 	} else if *workers != "" {
 		n, err := strconv.Atoi(*workers)
 		if err != nil {
-			logger.Printf("-workers %q: want a pool size (or add -coordinator for worker URLs)", *workers)
+			logger.Error("-workers wants a pool size (or add -coordinator for worker URLs)", "workers", *workers)
 			return 2
 		}
 		cfg.Workers = n
@@ -130,8 +142,25 @@ func run() int {
 
 	srv, err := server.New(cfg)
 	if err != nil {
-		logger.Printf("%v", err)
+		logger.Error(err.Error())
 		return 1
+	}
+
+	if *debugAddr != "" {
+		// pprof on its own listener so profiling endpoints are never exposed
+		// on the public API address.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				logger.Warn("pprof listener failed", "error", err)
+			}
+		}()
 	}
 
 	// No global Write/ReadTimeout — /events streams are long-lived — but
@@ -144,20 +173,20 @@ func run() int {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	if *coordinator {
-		logger.Printf("listening on %s (coordinator, %d fleet workers, queue %d)", *addr, len(cfg.WorkerURLs), *queue)
+		logger.Info("listening (coordinator)", "addr", *addr, "fleet_workers", len(cfg.WorkerURLs), "queue", *queue)
 	} else {
-		logger.Printf("listening on %s (%d workers, queue %d)", *addr, srv.Workers(), *queue)
+		logger.Info("listening", "addr", *addr, "workers", srv.Workers(), "queue", *queue)
 	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		logger.Printf("%v", err)
+		logger.Error(err.Error())
 		srv.Close()
 		return 1
 	case sig := <-sigc:
-		logger.Printf("%v: draining (budget %s)", sig, *drain)
+		logger.Info("draining", "signal", sig.String(), "budget", drain.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
@@ -165,12 +194,12 @@ func run() int {
 	// Stop the listener first so no new work arrives, then drain the
 	// scheduler; both share the drain budget.
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		logger.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	if srv.Drain(ctx) {
-		logger.Printf("drained cleanly")
+		logger.Info("drained cleanly")
 	} else {
-		logger.Printf("drain budget exhausted; in-flight jobs cancelled")
+		logger.Warn("drain budget exhausted; in-flight jobs cancelled")
 	}
 	fmt.Fprintln(os.Stderr, "stallserved: bye")
 	return 0
@@ -179,20 +208,20 @@ func run() int {
 // probeFleet checks each worker's /healthz once at boot — purely advisory:
 // an unreachable worker is reported and left to the coordinator's
 // background probe, which keeps retrying and routes around it meanwhile.
-func probeFleet(logger *log.Logger, urls []string) {
+func probeFleet(logger *slog.Logger, urls []string) {
 	client := &http.Client{Timeout: 2 * time.Second}
 	for _, u := range urls {
 		u = strings.TrimRight(strings.TrimSpace(u), "/")
 		resp, err := client.Get(u + "/healthz")
 		if err != nil {
-			logger.Printf("fleet: worker %s unreachable (%v); will keep probing", u, err)
+			logger.Warn("fleet: worker unreachable; will keep probing", "worker", u, "error", err)
 			continue
 		}
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			logger.Printf("fleet: worker %s /healthz: HTTP %d; will keep probing", u, resp.StatusCode)
+			logger.Warn("fleet: worker /healthz not OK; will keep probing", "worker", u, "status", resp.StatusCode)
 			continue
 		}
-		logger.Printf("fleet: worker %s healthy", u)
+		logger.Info("fleet: worker healthy", "worker", u)
 	}
 }

@@ -1,0 +1,50 @@
+// Command tracetool validates and canonicalizes the Chrome trace-event
+// JSON files written by `stallserved -trace-dir`, GET /v1/jobs/{id}/trace
+// and `runsuite -trace`:
+//
+//	tracetool -validate trace.json    # strict schema check; span count on stderr
+//	tracetool -topology trace.json    # canonical span tree on stdout
+//
+// -topology strips timestamps, span IDs and volatile attribute values
+// (worker URLs, job IDs) and sorts sibling subtrees, so two runs of the
+// same workload print byte-identical trees — the form the tracecheck test
+// and `make tracesmoke` compare against committed goldens.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"datastall/internal/obs"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	validate := flag.Bool("validate", false, "strictly schema-check the trace file")
+	topology := flag.Bool("topology", false, "print the canonical (timestamp-stripped) span tree on stdout")
+	flag.Parse()
+	if flag.NArg() != 1 || (!*validate && !*topology) {
+		fmt.Fprintln(os.Stderr, "usage: tracetool [-validate] [-topology] trace.json")
+		return 2
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracetool: %v\n", err)
+		return 1
+	}
+	recs, err := obs.ParseChrome(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracetool: %s: %v\n", path, err)
+		return 1
+	}
+	if *validate {
+		fmt.Fprintf(os.Stderr, "tracetool: %s: valid (%d spans)\n", path, len(recs))
+	}
+	if *topology {
+		os.Stdout.Write(obs.TopologyFromRecords(recs))
+	}
+	return 0
+}

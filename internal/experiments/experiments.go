@@ -25,6 +25,7 @@ import (
 	"datastall/internal/dataset"
 	"datastall/internal/gpu"
 	"datastall/internal/memo"
+	"datastall/internal/obs"
 	"datastall/internal/stats"
 	"datastall/internal/trainer"
 )
@@ -44,6 +45,10 @@ type Options struct {
 	// instead of simulating, byte-identically. Excluded from JSON — a
 	// cache handle is process state, not part of a job's wire identity.
 	Memo *memo.Cache `json:"-"`
+	// Trace, when enabled, parents a span per spec-driven case (with
+	// memo-lookup events and per-epoch stall-attribution sub-spans) under
+	// it. Like Memo, it is process state, not wire identity.
+	Trace obs.Span `json:"-"`
 }
 
 func (o Options) withDefaults(defScale float64) Options {

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"datastall/internal/cluster"
 	"datastall/internal/dataset"
@@ -589,10 +590,17 @@ func RunSpecProgress(ctx context.Context, sp *Spec, o Options, progress func(Cas
 		if progress != nil {
 			progress(CaseProgress{Row: c.Row, Case: c.Case, Index: c.Index, Total: c.Total})
 		}
+		caseSpan := g.o.Trace.StartThread("case")
+		caseSpan.SetAttr("row", c.Row)
+		if c.Case != "" {
+			caseSpan.SetAttr("case", c.Case)
+		}
 		key, kerr := CaseKey(c.Job, g.o, salt)
 		if kerr == nil {
 			if first, ok := seen[key.Hash]; ok {
 				results[c.Index] = results[first]
+				caseSpan.Event("case_dedup")
+				caseSpan.End()
 				continue
 			}
 		}
@@ -601,19 +609,30 @@ func RunSpecProgress(ctx context.Context, sp *Spec, o Options, progress func(Cas
 			if err != nil {
 				return nil, err
 			}
-			return trainer.RunContext(ctx, cfg, obs...)
+			sim := caseSpan.Start("simulate")
+			res, err := trainer.RunContext(ctx, cfg, obs...)
+			if err == nil {
+				TraceEpochs(sim, cfg, res)
+			}
+			sim.End()
+			return res, err
 		}
 		var res *trainer.Result
 		if g.o.Memo != nil && kerr == nil {
-			res, _, err = g.o.Memo.Do(ctx, key, run)
+			var hit bool
+			res, hit, err = g.o.Memo.Do(ctx, key, run)
+			caseSpan.Event("memo_lookup").SetAttr("hit", strconv.FormatBool(hit))
 		} else {
 			// A key derivation error is a resolution error; run() surfaces
 			// the same failure with the cell's own context attached.
 			res, err = run()
 		}
 		if err != nil {
+			caseSpan.SetAttr("error", err.Error())
+			caseSpan.End()
 			return nil, err
 		}
+		caseSpan.End()
 		if kerr == nil {
 			seen[key.Hash] = c.Index
 		}

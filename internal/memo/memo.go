@@ -35,6 +35,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"datastall/internal/trainer"
 	"datastall/internal/wal"
@@ -160,6 +161,10 @@ type Options struct {
 	// Salt overrides the engine-version salt (empty: EngineSalt()).
 	// Callers deriving keys must mix Cache.Salt() into the preimage.
 	Salt string
+	// OnLookup, when set, observes every memory/disk lookup (hit and its
+	// latency) — the feed for the memo_lookup latency histogram. It fires
+	// per physical lookup and does not affect the Stats counters.
+	OnLookup func(hit bool, d time.Duration)
 }
 
 // Stats is a point-in-time snapshot of the cache's counters and occupancy.
@@ -188,9 +193,10 @@ type Stats struct {
 // concurrent use; identical in-flight cases are collapsed by an internal
 // singleflight Group so each unique case simulates at most once at a time.
 type Cache struct {
-	dir  string
-	max  int64
-	salt string
+	dir      string
+	max      int64
+	salt     string
+	onLookup func(hit bool, d time.Duration)
 
 	group Group
 
@@ -233,7 +239,7 @@ func Open(o Options) (*Cache, error) {
 		o.Salt = EngineSalt()
 	}
 	c := &Cache{
-		dir: o.Dir, max: o.MaxBytes, salt: o.Salt,
+		dir: o.Dir, max: o.MaxBytes, salt: o.Salt, onLookup: o.OnLookup,
 		ll: list.New(), idx: map[string]*list.Element{},
 		dl: list.New(), didx: map[string]*list.Element{},
 	}
@@ -342,7 +348,15 @@ func (c *Cache) Get(key Key) (*trainer.Result, bool) {
 }
 
 // lookup checks memory then disk without touching the hit/miss counters.
-func (c *Cache) lookup(key Key) (*trainer.Result, bool) {
+func (c *Cache) lookup(key Key) (res *trainer.Result, ok bool) {
+	if c.onLookup != nil {
+		start := time.Now()
+		defer func() { c.onLookup(ok, time.Since(start)) }()
+	}
+	return c.lookupInner(key)
+}
+
+func (c *Cache) lookupInner(key Key) (*trainer.Result, bool) {
 	c.mu.Lock()
 	if el, ok := c.idx[key.Hash]; ok {
 		c.ll.MoveToFront(el)

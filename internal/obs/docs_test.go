@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var (
+	spanNameRe = regexp.MustCompile(`\.(?:Start|StartThread|Event|Sim)\("([a-z_]+)"`)
+	histNameRe = regexp.MustCompile(`NewHistogram\(\s*"([a-z_]+)"`)
+)
+
+// TestDocsCoverEmittedNames walks every non-test Go file in the repo,
+// collects the span names and histogram names the code actually emits, and
+// requires each to appear in the README's Observability section. A new
+// span or histogram without documentation fails here, not in a dashboard
+// six months later.
+func TestDocsCoverEmittedNames(t *testing.T) {
+	root := "../.."
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(readme)
+
+	emitted := map[string]string{} // name -> first file emitting it
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "related":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, re := range []*regexp.Regexp{spanNameRe, histNameRe} {
+			for _, m := range re.FindAllStringSubmatch(string(src), -1) {
+				if _, ok := emitted[m[1]]; !ok {
+					emitted[m[1]] = path
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) < 10 {
+		t.Fatalf("only %d emitted names found — the scan regexes have drifted from the code: %v", len(emitted), emitted)
+	}
+	for name, file := range emitted {
+		if !strings.Contains(doc, name) {
+			t.Errorf("span/histogram %q (emitted in %s) is not documented in README.md", name, file)
+		}
+	}
+}

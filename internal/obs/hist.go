@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket Prometheus histogram with lock-free
+// observation, matching the repo's dependency-free text exposition. A
+// nil *Histogram discards observations.
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	total  atomic.Int64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bucket
+// bounds (seconds, for all the service's latency histograms).
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := &Histogram{name: name, help: help, bounds: bounds}
+	h.counts = make([]atomic.Int64, len(bounds)+1)
+	return h
+}
+
+// Name returns the metric family name.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		neu := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, neu) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// WriteProm writes the histogram in Prometheus text exposition:
+// cumulative _bucket series per bound plus +Inf, then _sum and _count.
+func (h *Histogram) WriteProm(w io.Writer) {
+	if h == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n", h.name, h.help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", h.name)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", h.name, strconv.FormatFloat(math.Float64frombits(h.sum.Load()), 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", h.name, cum)
+}

@@ -1,0 +1,270 @@
+// Package obs is the service's observability kit: a lightweight span
+// tracer whose traces export as Chrome trace-event JSON (viewable in
+// Perfetto or chrome://tracing), plus dependency-free Prometheus
+// histograms (hist.go) and W3C traceparent propagation helpers
+// (trace.go).
+//
+// The tracer is deliberately tiny — no OpenTelemetry, no sampling, no
+// background goroutines. A Tracer records one job's (or one CLI run's)
+// span tree under a single mutex; Span is a value handle into it. The
+// whole API is nil-safe: every method on a Span obtained from a nil
+// *Tracer is a no-op that allocates nothing, so call sites stay
+// unconditional and a build with tracing disabled keeps the zero-alloc
+// hot-path guarantees (verified by TestTracerDisabledZeroAlloc).
+//
+// Two kinds of time coexist in one trace:
+//
+//   - wall spans measure real elapsed time (queue wait, memo lookups,
+//     HTTP attempts, simulation wall time);
+//   - sim spans (Span.Sim) are placed on the simulation's own clock —
+//     the per-epoch gpu_busy / fetch_stall / prep_stall breakdown is
+//     drawn in simulated seconds, reproducing the paper's fig-5 stall
+//     attribution as a timeline.
+//
+// Trace content is deterministic modulo timestamps: Topology() renders
+// the span tree with times, IDs and volatile attributes stripped and
+// children sorted canonically, so two runs of the same workload produce
+// byte-identical topologies (the tracecheck goldens).
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are strings so the
+// wire form and the canonical topology never depend on float formatting.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// spanData is the tracer-internal span node.
+type spanData struct {
+	id      int64
+	parent  *spanData
+	service string
+	name    string
+	attrs   []Attr
+
+	startUS int64 // wall time, unix microseconds
+	endUS   int64
+	ended   bool
+
+	// Sim spans live on the simulation clock: startUS/endUS are then
+	// microseconds of simulated time from the run's t=0.
+	sim bool
+	// thread starts a new timeline (tid) in the Chrome export, so
+	// concurrent subtrees (grid cases) render side by side instead of
+	// interleaving on one track.
+	thread bool
+
+	children []*spanData
+}
+
+// Tracer records one trace: a forest of spans under a single trace ID.
+// All methods are safe for concurrent use; a nil *Tracer is a valid
+// disabled tracer.
+type Tracer struct {
+	mu      sync.Mutex
+	service string
+	traceID string
+	nextID  int64
+	roots   []*spanData
+	open    int
+}
+
+// NewTracer builds a tracer for one trace. service names the process in
+// the Chrome export ("stallserved", "runsuite"). traceID is the 32-hex
+// W3C trace ID; empty generates a random one.
+func NewTracer(service, traceID string) *Tracer {
+	if traceID == "" {
+		traceID = NewTraceID()
+	}
+	return &Tracer{service: service, traceID: traceID}
+}
+
+// NewTraceID returns a random 32-hex-char W3C trace ID.
+func NewTraceID() string {
+	var b [16]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// TraceID returns the trace's W3C ID ("" on a nil tracer).
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
+}
+
+func nowUS() int64 { return time.Now().UnixMicro() }
+
+// newSpan allocates a node under parent (nil: a root) with t.mu held by
+// the caller.
+func (t *Tracer) newSpan(parent *spanData, name string) *spanData {
+	t.nextID++
+	d := &spanData{id: t.nextID, parent: parent, service: t.service, name: name, startUS: nowUS()}
+	if parent == nil {
+		t.roots = append(t.roots, d)
+	} else {
+		parent.children = append(parent.children, d)
+	}
+	t.open++
+	return d
+}
+
+// Start opens a root span. On a nil tracer it returns a disabled Span.
+func (t *Tracer) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Span{t: t, d: t.newSpan(nil, name)}
+}
+
+// Finish ends every still-open span at the current time, so a trace cut
+// short by a failure (or a cancelled job) still closes cleanly. Safe to
+// call more than once.
+func (t *Tracer) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := nowUS()
+	var walk func(d *spanData)
+	walk = func(d *spanData) {
+		if !d.ended {
+			d.ended = true
+			d.endUS = end
+			t.open--
+		}
+		for _, c := range d.children {
+			walk(c)
+		}
+	}
+	for _, r := range t.roots {
+		walk(r)
+	}
+}
+
+// OpenSpans returns the number of spans started but not yet ended.
+func (t *Tracer) OpenSpans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.open
+}
+
+// Span is a value handle on one span of a Tracer. The zero Span is
+// disabled: every method is an allocation-free no-op, so instrumented
+// code never branches on whether tracing is on.
+type Span struct {
+	t *Tracer
+	d *spanData
+}
+
+// Enabled reports whether the span records anything.
+func (s Span) Enabled() bool { return s.t != nil }
+
+// ID returns the span's ID within its trace (0 when disabled), the
+// parent-span half of a traceparent header.
+func (s Span) ID() int64 {
+	if s.t == nil {
+		return 0
+	}
+	return s.d.id
+}
+
+// Start opens a child span.
+func (s Span) Start(name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	return Span{t: s.t, d: s.t.newSpan(s.d, name)}
+}
+
+// StartThread opens a child span that begins a new timeline (tid) in the
+// Chrome export — use it for subtrees that run concurrently with their
+// siblings (grid cases), which would otherwise interleave on one track.
+func (s Span) StartThread(name string) Span {
+	c := s.Start(name)
+	if c.t != nil {
+		c.t.mu.Lock()
+		c.d.thread = true
+		c.t.mu.Unlock()
+	}
+	return c
+}
+
+// SetAttr annotates the span. Attributes keep insertion order on the
+// wire; the canonical topology sorts them by key.
+func (s Span) SetAttr(key, value string) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	for i := range s.d.attrs {
+		if s.d.attrs[i].Key == key {
+			s.d.attrs[i].Value = value
+			return
+		}
+	}
+	s.d.attrs = append(s.d.attrs, Attr{Key: key, Value: value})
+}
+
+// Event records an instantaneous child span (start == end), returning it
+// so the caller can attach attributes.
+func (s Span) Event(name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	d := s.t.newSpan(s.d, name)
+	d.ended = true
+	d.endUS = d.startUS
+	s.t.open--
+	return Span{t: s.t, d: d}
+}
+
+// Sim records a child span on the simulation clock: startSec/durSec are
+// simulated seconds from the run's t=0. The span is already ended.
+func (s Span) Sim(name string, startSec, durSec float64) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	d := s.t.newSpan(s.d, name)
+	d.sim = true
+	d.startUS = int64(startSec * 1e6)
+	d.endUS = d.startUS + int64(durSec*1e6)
+	d.ended = true
+	s.t.open--
+	return Span{t: s.t, d: d}
+}
+
+// End closes the span. Ending twice keeps the first end time.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if !s.d.ended {
+		s.d.ended = true
+		s.d.endUS = nowUS()
+		s.t.open--
+	}
+}

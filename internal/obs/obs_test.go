@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The disabled path must allocate nothing: instrumented hot paths call
+// these unconditionally, and PR 3's allocguard ceilings must hold with
+// tracing compiled in but off.
+func TestAllocsTracerDisabled(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Start("job")
+		child := sp.Start("case")
+		child.SetAttr("row", "r0")
+		ev := child.Event("memo_lookup")
+		ev.SetAttr("hit", "true")
+		child.Sim("epoch", 0, 1)
+		child.End()
+		sp.End()
+		tr.Finish()
+		_ = tr.TraceID()
+		_ = sp.ID()
+		_ = sp.Enabled()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocated %.1f per op, want 0", allocs)
+	}
+	var h *Histogram
+	allocs = testing.AllocsPerRun(100, func() {
+		h.Observe(0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil histogram allocated %.1f per op, want 0", allocs)
+	}
+}
+
+func TestSpanTreeExport(t *testing.T) {
+	tr := NewTracer("test", "")
+	job := tr.Start("job")
+	job.SetAttr("kind", "spec")
+	run := job.Start("run")
+	c1 := run.StartThread("case")
+	c1.SetAttr("row", "a")
+	c1.Event("memo_lookup").SetAttr("hit", "false")
+	sim := c1.Start("simulate")
+	sim.Sim("epoch", 0, 2.5)
+	sim.End()
+	c1.End()
+	run.End()
+	job.End()
+
+	if n := tr.OpenSpans(); n != 0 {
+		t.Fatalf("open spans after ending all: %d", n)
+	}
+	recs := tr.Export()
+	if len(recs) != 6 {
+		t.Fatalf("exported %d spans, want 6", len(recs))
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["run"].Parent != byName["job"].ID {
+		t.Fatalf("run parent = %d, want job id %d", byName["run"].Parent, byName["job"].ID)
+	}
+	if byName["case"].Parent != byName["run"].ID || !byName["case"].Thread {
+		t.Fatalf("case record wrong: %+v", byName["case"])
+	}
+	if !byName["epoch"].Sim || byName["epoch"].DurUS != 2_500_000 {
+		t.Fatalf("epoch sim record wrong: %+v", byName["epoch"])
+	}
+	if byName["memo_lookup"].DurUS != 0 {
+		t.Fatalf("event has nonzero duration: %+v", byName["memo_lookup"])
+	}
+}
+
+func TestFinishClosesOpenSpans(t *testing.T) {
+	tr := NewTracer("test", "")
+	job := tr.Start("job")
+	job.Start("run") // never ended
+	if n := tr.OpenSpans(); n != 2 {
+		t.Fatalf("open spans = %d, want 2", n)
+	}
+	tr.Finish()
+	if n := tr.OpenSpans(); n != 0 {
+		t.Fatalf("open spans after Finish = %d, want 0", n)
+	}
+	for _, r := range tr.Export() {
+		if r.DurUS < 0 {
+			t.Fatalf("span %q has negative duration", r.Name)
+		}
+	}
+}
+
+// Topology must not depend on sibling creation order, span IDs, or
+// volatile attribute values.
+func TestTopologyCanonical(t *testing.T) {
+	build := func(order []string, worker string) []byte {
+		tr := NewTracer("test", "")
+		job := tr.Start("job")
+		for _, row := range order {
+			c := job.StartThread("case")
+			c.SetAttr("row", row)
+			c.SetAttr("worker", worker)
+			c.End()
+		}
+		job.End()
+		return tr.Topology()
+	}
+	a := build([]string{"r0", "r1", "r2"}, "http://127.0.0.1:1111")
+	b := build([]string{"r2", "r0", "r1"}, "http://127.0.0.1:2222")
+	if !bytes.Equal(a, b) {
+		t.Fatalf("topology not canonical:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if !strings.Contains(string(a), "worker=*") {
+		t.Fatalf("volatile attr not masked:\n%s", a)
+	}
+	if !strings.Contains(string(a), "row=r0") {
+		t.Fatalf("stable attr missing:\n%s", a)
+	}
+}
+
+func TestGraftRemapsIDs(t *testing.T) {
+	remote := NewTracer("worker", "")
+	rj := remote.Start("job")
+	rc := rj.Start("case")
+	rc.End()
+	rj.End()
+
+	local := NewTracer("stallserved", "")
+	job := local.Start("job")
+	att := job.Start("attempt")
+	att.Graft(remote.Export())
+	att.End()
+	job.End()
+
+	recs := local.Export()
+	if len(recs) != 4 {
+		t.Fatalf("merged trace has %d spans, want 4", len(recs))
+	}
+	ids := map[int64]bool{}
+	var remoteJob SpanRecord
+	for _, r := range recs {
+		if ids[r.ID] {
+			t.Fatalf("duplicate id %d after graft", r.ID)
+		}
+		ids[r.ID] = true
+		if r.Name == "job" && r.Service == "worker" {
+			remoteJob = r
+		}
+	}
+	var attID int64
+	for _, r := range recs {
+		if r.Name == "attempt" {
+			attID = r.ID
+		}
+	}
+	if remoteJob.Parent != attID {
+		t.Fatalf("grafted root parent = %d, want attempt id %d", remoteJob.Parent, attID)
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	tr := NewTracer("stallserved", "")
+	job := tr.Start("job")
+	job.SetAttr("kind", "spec")
+	c := job.StartThread("case")
+	c.SetAttr("row", "r0")
+	c.Start("simulate").Sim("epoch", 0, 1)
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	recs, err := ParseChrome(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseChrome: %v", err)
+	}
+	if !bytes.Equal(TopologyFromRecords(recs), tr.Topology()) {
+		t.Fatalf("topology changed across Chrome round trip:\n%s\nvs\n%s",
+			TopologyFromRecords(recs), tr.Topology())
+	}
+}
+
+func TestParseChromeRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		`{}`,
+		`{"traceEvents": [{"ph": "X", "ts": 0, "pid": 1, "tid": 1}]}`,
+		`{"traceEvents": [{"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 1}]}`,
+		`{"traceEvents": [{"name": "x", "ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 1, "args": {"span": 1, "parent": 9}}]}`,
+	} {
+		if _, err := ParseChrome([]byte(bad)); err == nil {
+			t.Errorf("ParseChrome accepted malformed trace %s", bad)
+		}
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	h := Traceparent(id, 42)
+	got, ok := ParseTraceparent(h)
+	if !ok || got != id {
+		t.Fatalf("ParseTraceparent(%q) = %q, %v; want %q, true", h, got, ok, id)
+	}
+	for _, bad := range []string{"", "00-xyz-0000000000000001-01", "00-abc-01", Traceparent(id, 1) + "-extra"} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent accepted %q", bad)
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	h := NewHistogram("test_seconds", "test latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	var buf bytes.Buffer
+	h.WriteProm(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="0.01"} 1`,
+		`test_seconds_bucket{le="0.1"} 2`,
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="+Inf"} 4`,
+		"test_seconds_sum 5.555",
+		"test_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

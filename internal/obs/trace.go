@@ -1,0 +1,363 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SpanRecord is the flat wire form of one span, used by the
+// ?format=spans trace endpoint so a coordinator can graft a worker's
+// subtree into the merged trace. Records are emitted in creation order,
+// so a parent always precedes its children.
+type SpanRecord struct {
+	ID      int64  `json:"id"`
+	Parent  int64  `json:"parent,omitempty"` // 0: a root
+	Service string `json:"service,omitempty"`
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+	Sim     bool   `json:"sim,omitempty"`
+	Thread  bool   `json:"thread,omitempty"`
+}
+
+// Export flattens the span tree into creation-ordered records.
+func (t *Tracer) Export() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var recs []SpanRecord
+	var walk func(d *spanData)
+	walk = func(d *spanData) {
+		r := SpanRecord{
+			ID:      d.id,
+			Service: d.service,
+			Name:    d.name,
+			StartUS: d.startUS,
+			DurUS:   max64(d.endUS-d.startUS, 0),
+			Attrs:   append([]Attr(nil), d.attrs...),
+			Sim:     d.sim,
+			Thread:  d.thread,
+		}
+		if d.parent != nil {
+			r.Parent = d.parent.id
+		}
+		recs = append(recs, r)
+		for _, c := range d.children {
+			walk(c)
+		}
+	}
+	for _, r := range t.roots {
+		walk(r)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return recs
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Graft attaches an exported span forest (typically a worker's trace)
+// under s, remapping IDs into this tracer so the merged trace stays
+// collision-free. Records whose parent is unknown become direct
+// children of s.
+func (s Span) Graft(recs []SpanRecord) {
+	if s.t == nil || len(recs) == 0 {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	idmap := make(map[int64]*spanData, len(recs))
+	for _, r := range recs {
+		parent := s.d
+		if p, ok := idmap[r.Parent]; ok {
+			parent = p
+		}
+		s.t.nextID++
+		d := &spanData{
+			id:      s.t.nextID,
+			parent:  parent,
+			service: r.Service,
+			name:    r.Name,
+			attrs:   append([]Attr(nil), r.Attrs...),
+			startUS: r.StartUS,
+			endUS:   r.StartUS + r.DurUS,
+			ended:   true,
+			sim:     r.Sim,
+			thread:  r.Thread,
+		}
+		parent.children = append(parent.children, d)
+		idmap[r.ID] = d
+	}
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete event or "M"
+// metadata). Every "X" event carries args.span / args.parent so tools
+// (and tracetool) can rebuild the exact span tree from the JSON.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+	TraceID         string        `json:"traceId,omitempty"`
+}
+
+// simPID is the Chrome process ID used for simulation-clock spans; wall
+// spans use per-service PIDs starting at 1.
+const simPID = 100
+
+// WriteChrome writes the trace as Chrome trace-event JSON (the
+// {"traceEvents": [...]} form Perfetto and chrome://tracing open
+// directly). Wall spans group into one process per service; sim spans
+// land in a separate "simulated time" process whose timestamps are
+// simulated seconds expressed in microseconds.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	return writeChromeRecords(w, t.TraceID(), t.Export())
+}
+
+// WriteChromeRecords renders an already-exported record set (e.g. the
+// spans form fetched over HTTP) as Chrome trace-event JSON.
+func WriteChromeRecords(w io.Writer, traceID string, recs []SpanRecord) error {
+	return writeChromeRecords(w, traceID, recs)
+}
+
+func writeChromeRecords(w io.Writer, traceID string, recs []SpanRecord) error {
+	ct := chromeTrace{DisplayTimeUnit: "ms", TraceID: traceID, TraceEvents: []chromeEvent{}}
+	pids := map[string]int{}
+	pidOf := func(service string, sim bool) int {
+		if sim {
+			return simPID
+		}
+		p, ok := pids[service]
+		if !ok {
+			p = len(pids) + 1
+			pids[service] = p
+			name := service
+			if name == "" {
+				name = "trace"
+			}
+			ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", PID: p,
+				Args: map[string]any{"name": name},
+			})
+		}
+		return p
+	}
+	simSeen := false
+	// tid: a span inherits its parent's timeline unless it is a thread
+	// starter, in which case its own ID names a fresh timeline.
+	tids := map[int64]int64{}
+	for _, r := range recs {
+		tid, ok := tids[r.Parent]
+		if !ok || r.Thread {
+			tid = r.ID
+		}
+		tids[r.ID] = tid
+		if r.Sim && !simSeen {
+			simSeen = true
+			ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", PID: simPID,
+				Args: map[string]any{"name": "simulated time"},
+			})
+		}
+		args := map[string]any{"span": r.ID}
+		if r.Parent != 0 {
+			args["parent"] = r.Parent
+		}
+		for _, a := range r.Attrs {
+			args[a.Key] = a.Value
+		}
+		dur := r.DurUS
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: r.Name, Ph: "X", TS: r.StartUS, Dur: &dur,
+			PID: pidOf(r.Service, r.Sim), TID: tid, Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ct)
+}
+
+// ParseChrome validates Chrome trace-event JSON produced by WriteChrome
+// and rebuilds the span records from args.span / args.parent. It is the
+// schema check behind tracetool -validate.
+func ParseChrome(data []byte) ([]SpanRecord, error) {
+	var ct chromeTrace
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ct); err != nil {
+		return nil, fmt.Errorf("trace JSON: %w", err)
+	}
+	if ct.TraceEvents == nil {
+		return nil, fmt.Errorf("trace JSON: missing traceEvents array")
+	}
+	var recs []SpanRecord
+	for i, ev := range ct.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X":
+		default:
+			return nil, fmt.Errorf("traceEvents[%d]: unsupported phase %q", i, ev.Ph)
+		}
+		if ev.Name == "" {
+			return nil, fmt.Errorf("traceEvents[%d]: missing name", i)
+		}
+		if ev.Dur == nil || *ev.Dur < 0 {
+			return nil, fmt.Errorf("traceEvents[%d] %q: missing or negative dur", i, ev.Name)
+		}
+		id, ok := asInt64(ev.Args["span"])
+		if !ok || id <= 0 {
+			return nil, fmt.Errorf("traceEvents[%d] %q: missing args.span", i, ev.Name)
+		}
+		parent, _ := asInt64(ev.Args["parent"])
+		r := SpanRecord{ID: id, Parent: parent, Name: ev.Name, StartUS: ev.TS, DurUS: *ev.Dur, Sim: ev.PID == simPID}
+		var keys []string
+		for k := range ev.Args {
+			if k == "span" || k == "parent" {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v, ok := ev.Args[k].(string)
+			if !ok {
+				return nil, fmt.Errorf("traceEvents[%d] %q: attr %q is not a string", i, ev.Name, k)
+			}
+			r.Attrs = append(r.Attrs, Attr{Key: k, Value: v})
+		}
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	ids := map[int64]bool{}
+	for _, r := range recs {
+		if ids[r.ID] {
+			return nil, fmt.Errorf("duplicate span id %d", r.ID)
+		}
+		ids[r.ID] = true
+	}
+	for _, r := range recs {
+		if r.Parent != 0 && !ids[r.Parent] {
+			return nil, fmt.Errorf("span %d %q: parent %d not in trace", r.ID, r.Name, r.Parent)
+		}
+	}
+	return recs, nil
+}
+
+func asInt64(v any) (int64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return int64(n), true
+	case json.Number:
+		i, err := n.Int64()
+		return i, err == nil
+	}
+	return 0, false
+}
+
+// volatileAttrs are attribute keys whose values legitimately differ
+// between reruns (random ports, arrival-ordered IDs, error text); the
+// canonical topology masks them to "*" so only their presence is
+// compared.
+var volatileAttrs = map[string]bool{
+	"worker":   true,
+	"job_id":   true,
+	"trace_id": true,
+	"error":    true,
+}
+
+// Topology renders the trace's canonical topology: the span tree as
+// indented text with timestamps, span IDs and volatile attribute values
+// stripped, attributes sorted by key, and sibling subtrees sorted by
+// their rendered text. Two runs of the same deterministic workload
+// yield byte-identical topologies regardless of goroutine interleaving.
+func (t *Tracer) Topology() []byte {
+	return TopologyFromRecords(t.Export())
+}
+
+// TopologyFromRecords canonicalizes an exported record set (see
+// Tracer.Topology).
+func TopologyFromRecords(recs []SpanRecord) []byte {
+	children := map[int64][]SpanRecord{}
+	for _, r := range recs {
+		children[r.Parent] = append(children[r.Parent], r)
+	}
+	var render func(r SpanRecord, depth int) string
+	render = func(r SpanRecord, depth int) string {
+		var b strings.Builder
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(r.Name)
+		attrs := append([]Attr(nil), r.Attrs...)
+		sort.Slice(attrs, func(i, j int) bool { return attrs[i].Key < attrs[j].Key })
+		for _, a := range attrs {
+			v := a.Value
+			if volatileAttrs[a.Key] {
+				v = "*"
+			}
+			b.WriteString(" ")
+			b.WriteString(a.Key)
+			b.WriteString("=")
+			b.WriteString(v)
+		}
+		b.WriteString("\n")
+		var subs []string
+		for _, c := range children[r.ID] {
+			subs = append(subs, render(c, depth+1))
+		}
+		sort.Strings(subs)
+		for _, s := range subs {
+			b.WriteString(s)
+		}
+		return b.String()
+	}
+	var roots []string
+	for _, r := range children[0] {
+		roots = append(roots, render(r, 0))
+	}
+	sort.Strings(roots)
+	return []byte(strings.Join(roots, ""))
+}
+
+// Traceparent formats a W3C traceparent header (version 00, sampled)
+// for the given trace and parent span.
+func Traceparent(traceID string, spanID int64) string {
+	return fmt.Sprintf("00-%s-%016x-01", traceID, uint64(spanID))
+}
+
+// ParseTraceparent extracts the trace ID from a W3C traceparent header.
+// Malformed headers report ok=false and the caller falls back to a
+// fresh trace.
+func ParseTraceparent(h string) (traceID string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 || parts[0] != "00" || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return "", false
+	}
+	for _, p := range parts[1:3] {
+		if _, err := strconv.ParseUint(p[:16], 16, 64); err != nil {
+			return "", false
+		}
+	}
+	if _, err := strconv.ParseUint(parts[1][16:], 16, 64); err != nil {
+		return "", false
+	}
+	return parts[1], true
+}

@@ -26,9 +26,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -36,6 +38,7 @@ import (
 
 	"datastall/internal/experiments"
 	"datastall/internal/memo"
+	"datastall/internal/obs"
 	"datastall/internal/trainer"
 )
 
@@ -165,7 +168,7 @@ func (e *permanentError) Unwrap() error { return e.err }
 
 // healthLoop probes unhealthy workers' /healthz until ctx ends, restoring
 // the ones that answer again so the ring heals after transient deaths.
-func (c *coordinator) healthLoop(ctx context.Context, logf func(string, ...interface{})) {
+func (c *coordinator) healthLoop(ctx context.Context, log *slog.Logger) {
 	t := time.NewTicker(250 * time.Millisecond)
 	defer t.Stop()
 	for {
@@ -180,7 +183,7 @@ func (c *coordinator) healthLoop(ctx context.Context, logf func(string, ...inter
 			}
 			if c.probe(ctx, w) {
 				w.healthy.Store(true)
-				logf("coordinator: worker %s healthy again", w.url)
+				log.Info("coordinator: worker healthy again", "worker", w.url)
 			}
 		}
 	}
@@ -210,7 +213,7 @@ func (c *coordinator) probe(ctx context.Context, w *coordWorker) bool {
 // hit the wire and every gathered worker result populates it; without,
 // a job-local singleflight still collapses cells with identical resolved
 // configs so each unique case is dispatched once.
-func (s *Server) coordRunSpec(ctx context.Context, j *Job) (*experiments.Report, error) {
+func (s *Server) coordRunSpec(ctx context.Context, j *Job, runSpan obs.Span) (*experiments.Report, error) {
 	cells, err := experiments.EnumerateCases(j.spec, j.opts)
 	if err != nil {
 		return nil, err
@@ -243,6 +246,13 @@ func (s *Server) coordRunSpec(ctx context.Context, j *Job) (*experiments.Report,
 			j.bc.Observe(trainer.Annotation{
 				Kind: "case_resumed", Text: text, Index: cell.Index, Total: cell.Total,
 			})
+			sp := runSpan.StartThread("case")
+			sp.SetAttr("row", cell.Row)
+			if cell.Case != "" {
+				sp.SetAttr("case", cell.Case)
+			}
+			sp.Event("case_resumed")
+			sp.End()
 			continue
 		}
 		wg.Add(1)
@@ -253,8 +263,15 @@ func (s *Server) coordRunSpec(ctx context.Context, j *Job) (*experiments.Report,
 				Kind: "case_started", Text: text, Index: cell.Index, Total: cell.Total,
 			})
 			key := j.spec.Name + "/" + cell.Row + "/" + cell.Case
+			caseSpan := runSpan.StartThread("case")
+			caseSpan.SetAttr("row", cell.Row)
+			if cell.Case != "" {
+				caseSpan.SetAttr("case", cell.Case)
+			}
+			caseSpan.SetAttr("case_key", key)
+			caseStart := time.Now()
 			run := func() (*trainer.Result, error) {
-				return s.coordRunCase(cctx, j, key, cell.Job)
+				return s.coordRunCase(cctx, j, key, cell.Job, caseSpan)
 			}
 			var res *trainer.Result
 			var err error
@@ -263,11 +280,15 @@ func (s *Server) coordRunSpec(ctx context.Context, j *Job) (*experiments.Report,
 			case kerr != nil:
 				res, err = run()
 			case s.memo != nil:
-				res, _, err = s.memo.Do(cctx, ck, run)
+				var hit bool
+				res, hit, err = s.memo.Do(cctx, ck, run)
+				caseSpan.Event("memo_lookup").SetAttr("hit", strconv.FormatBool(hit))
 			default:
 				res, _, err = local.Do(cctx, ck.Hash, run)
 			}
 			if err != nil {
+				caseSpan.SetAttr("error", err.Error())
+				caseSpan.End()
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = fmt.Errorf("case %s: %w", key, err)
@@ -278,33 +299,48 @@ func (s *Server) coordRunSpec(ctx context.Context, j *Job) (*experiments.Report,
 			}
 			results[cell.Index] = res
 			s.walCaseDone(j, cell.Index, res)
+			s.metrics.caseSecs.Observe(time.Since(caseStart).Seconds())
+			caseSpan.End()
 		}()
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return experiments.AssembleReport(j.spec, j.opts, results)
+	assemble := runSpan.Start("assemble")
+	rep, err := experiments.AssembleReport(j.spec, j.opts, results)
+	assemble.End()
+	return rep, err
 }
 
 // coordRunJob is the coordinator's KindJob executor: a single-job
 // submission is a one-cell scatter, routed by the submitted job's identity.
-func (s *Server) coordRunJob(ctx context.Context, j *Job) (*trainer.Result, error) {
+func (s *Server) coordRunJob(ctx context.Context, j *Job, runSpan obs.Span) (*trainer.Result, error) {
+	caseSpan := runSpan.StartThread("case")
+	// The routing key carries j.ID for ring placement; the span attr
+	// deliberately omits it so trace topology is stable across reruns.
+	caseSpan.SetAttr("case_key", "job/"+j.Name)
 	if res := j.resumed(0); res != nil {
 		s.metrics.walResumedCases.Add(1)
+		caseSpan.Event("case_resumed")
+		caseSpan.End()
 		return res, nil
 	}
 	if j.jobSpec == nil {
+		caseSpan.End()
 		return nil, fmt.Errorf("job %s: no job spec retained for remote dispatch", j.ID)
 	}
+	caseStart := time.Now()
 	run := func() (*trainer.Result, error) {
-		return s.coordRunCase(ctx, j, "job/"+j.Name+"/"+j.ID, *j.jobSpec)
+		return s.coordRunCase(ctx, j, "job/"+j.Name+"/"+j.ID, *j.jobSpec, caseSpan)
 	}
 	var res *trainer.Result
 	var err error
 	if s.memo != nil {
 		if key, kerr := experiments.CaseKey(*j.jobSpec, j.opts, s.memo.Salt()); kerr == nil {
-			res, _, err = s.memo.Do(ctx, key, run)
+			var hit bool
+			res, hit, err = s.memo.Do(ctx, key, run)
+			caseSpan.Event("memo_lookup").SetAttr("hit", strconv.FormatBool(hit))
 		} else {
 			res, err = run()
 		}
@@ -312,9 +348,13 @@ func (s *Server) coordRunJob(ctx context.Context, j *Job) (*trainer.Result, erro
 		res, err = run()
 	}
 	if err != nil {
+		caseSpan.SetAttr("error", err.Error())
+		caseSpan.End()
 		return nil, err
 	}
 	s.walCaseDone(j, 0, res)
+	s.metrics.caseSecs.Observe(time.Since(caseStart).Seconds())
+	caseSpan.End()
 	return res, nil
 }
 
@@ -322,7 +362,7 @@ func (s *Server) coordRunJob(ctx context.Context, j *Job) (*trainer.Result, erro
 // the next healthy worker on the cell's ring succession, with exponential
 // backoff between attempts. Permanent errors (invalid workload,
 // deterministic failure) abort immediately.
-func (s *Server) coordRunCase(ctx context.Context, j *Job, key string, js experiments.JobSpec) (*trainer.Result, error) {
+func (s *Server) coordRunCase(ctx context.Context, j *Job, key string, js experiments.JobSpec, caseSpan obs.Span) (*trainer.Result, error) {
 	c := s.coord
 	order := c.succession(key)
 	var lastErr error
@@ -344,10 +384,16 @@ func (s *Server) coordRunCase(ctx context.Context, j *Job, key string, js experi
 			lastErr = fmt.Errorf("no healthy workers (%d configured)", len(c.workers))
 			continue
 		}
-		res, err := s.coordRunOn(ctx, w, j, js)
+		att := caseSpan.Start("attempt")
+		att.SetAttr("attempt", strconv.Itoa(attempt+1))
+		att.SetAttr("worker", w.url)
+		res, err := s.coordRunOn(ctx, w, j, js, key, attempt+1, att)
 		if err == nil {
+			att.End()
 			return res, nil
 		}
+		att.SetAttr("error", err.Error())
+		att.End()
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
@@ -356,22 +402,25 @@ func (s *Server) coordRunCase(ctx context.Context, j *Job, key string, js experi
 			return nil, pe.err
 		}
 		lastErr = err
-		s.logf("job %s: %s on %s failed (attempt %d/%d): %v", j.ID, key, w.url, attempt+1, c.retries+1, err)
+		j.logger().Warn("case attempt failed",
+			"case_key", key, "worker", w.url,
+			"attempt", attempt+1, "max_attempts", c.retries+1, "error", err)
 	}
 	return nil, fmt.Errorf("gave up after %d attempts: %w", c.retries+1, lastErr)
 }
 
 // markDown flags a worker unhealthy until the health loop restores it.
-func (s *Server) markDown(w *coordWorker, err error) {
+func (s *Server) markDown(w *coordWorker, key string, attempt int, err error) {
 	if w.healthy.CompareAndSwap(true, false) {
-		s.logf("coordinator: worker %s unhealthy: %v", w.url, err)
+		s.log.Warn("coordinator: worker unhealthy",
+			"worker", w.url, "case_key", key, "attempt", attempt, "error", err)
 	}
 }
 
 // coordRunOn runs one cell on one specific worker: submit over POST
 // /v1/jobs, poll GET /v1/jobs/{id} to terminal, decode the result. The
 // error is wrapped permanent when retrying elsewhere cannot help.
-func (s *Server) coordRunOn(ctx context.Context, w *coordWorker, j *Job, js experiments.JobSpec) (*trainer.Result, error) {
+func (s *Server) coordRunOn(ctx context.Context, w *coordWorker, j *Job, js experiments.JobSpec, key string, attempt int, att obs.Span) (*trainer.Result, error) {
 	c := s.coord
 	select {
 	case w.sem <- struct{}{}:
@@ -395,9 +444,14 @@ func (s *Server) coordRunOn(ctx context.Context, w *coordWorker, j *Job, js expe
 		return nil, &permanentError{err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if j.tracer != nil {
+		// Propagate the trace across the hop: the worker continues this
+		// trace ID, and the graft below stitches its spans under att.
+		req.Header.Set("traceparent", obs.Traceparent(j.tracer.TraceID(), att.ID()))
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		s.markDown(w, err)
+		s.markDown(w, key, attempt, err)
 		return nil, fmt.Errorf("submit: %w", err)
 	}
 	rb, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
@@ -409,7 +463,7 @@ func (s *Server) coordRunOn(ctx context.Context, w *coordWorker, j *Job, js expe
 		// worker dead — its /healthz still answers.
 		return nil, fmt.Errorf("submit: %s: HTTP %d: %s", w.url, resp.StatusCode, firstLine(rb))
 	case resp.StatusCode >= 500:
-		s.markDown(w, fmt.Errorf("submit: HTTP %d", resp.StatusCode))
+		s.markDown(w, key, attempt, fmt.Errorf("submit: HTTP %d", resp.StatusCode))
 		return nil, fmt.Errorf("submit: %s: HTTP %d: %s", w.url, resp.StatusCode, firstLine(rb))
 	default:
 		// 4xx: the workload itself was rejected; every worker agrees.
@@ -423,8 +477,13 @@ func (s *Server) coordRunOn(ctx context.Context, w *coordWorker, j *Job, js expe
 	}
 
 	for {
-		res, done, err := s.coordPollOnce(ctx, w, acc.ID)
+		res, done, err := s.coordPollOnce(ctx, w, acc.ID, key, attempt)
 		if done || err != nil {
+			if err == nil && res != nil {
+				// Merge the worker's own span tree under this attempt so the
+				// distributed sweep reads as one trace.
+				s.graftRemoteTrace(ctx, w, acc.ID, att)
+			}
 			if ctx.Err() != nil {
 				// The coordinator-side job was cancelled (DELETE or drain):
 				// release the worker promptly rather than orphaning the run.
@@ -443,7 +502,7 @@ func (s *Server) coordRunOn(ctx context.Context, w *coordWorker, j *Job, js expe
 
 // coordPollOnce checks a remote job once; done reports a terminal answer
 // (result or permanent/transient error resolved).
-func (s *Server) coordPollOnce(ctx context.Context, w *coordWorker, id string) (*trainer.Result, bool, error) {
+func (s *Server) coordPollOnce(ctx context.Context, w *coordWorker, id, key string, attempt int) (*trainer.Result, bool, error) {
 	c := s.coord
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/v1/jobs/"+id, nil)
 	if err != nil {
@@ -451,13 +510,13 @@ func (s *Server) coordPollOnce(ctx context.Context, w *coordWorker, id string) (
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		s.markDown(w, err)
+		s.markDown(w, key, attempt, err)
 		return nil, true, fmt.Errorf("poll: %w", err)
 	}
 	rb, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	resp.Body.Close()
 	if resp.StatusCode >= 500 {
-		s.markDown(w, fmt.Errorf("poll: HTTP %d", resp.StatusCode))
+		s.markDown(w, key, attempt, fmt.Errorf("poll: HTTP %d", resp.StatusCode))
 		return nil, true, fmt.Errorf("poll: %s: HTTP %d", w.url, resp.StatusCode)
 	}
 	if resp.StatusCode != http.StatusOK {
@@ -483,7 +542,7 @@ func (s *Server) coordPollOnce(ctx context.Context, w *coordWorker, id string) (
 		if strings.Contains(v.Error, "panic") {
 			// The worker's panic isolation captured a crash; the workload is
 			// deterministic, but a crashing worker is suspect — re-route.
-			s.markDown(w, fmt.Errorf("remote panic: %s", v.Error))
+			s.markDown(w, key, attempt, fmt.Errorf("remote panic: %s", v.Error))
 			return nil, true, fmt.Errorf("remote panic on %s: %s", w.url, v.Error)
 		}
 		return nil, true, &permanentError{fmt.Errorf("remote failure: %s", v.Error)}

@@ -284,6 +284,11 @@ func TestE2EMetricsReconcile(t *testing.T) {
 		"stallserved_jobs_running":         0,
 		"stallserved_queue_depth":          0,
 		"stallserved_event_subscribers":    0,
+		// All three jobs left the queue, so the queue-wait histogram saw
+		// each once; only the completed tinyJob's single case reached the
+		// success-path latency observation.
+		"stallserved_queue_wait_seconds_count": 3,
+		"stallserved_case_seconds_count":       1,
 	}
 	for name, want := range checks {
 		if got := metric(name); got != want {

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"datastall/internal/memo"
+	"datastall/internal/obs"
 )
 
 type metrics struct {
@@ -45,6 +46,32 @@ type metrics struct {
 	queued      atomic.Int64
 	running     atomic.Int64
 	subscribers atomic.Int64 // live /events streams
+
+	// Latency histograms (fixed-bucket, dependency-free — internal/obs).
+	queueWait  *obs.Histogram // submission -> worker pickup
+	caseSecs   *obs.Histogram // one grid case, local simulate or remote round trip
+	memoLookup *obs.Histogram // one memo cache lookup (memory or disk)
+	walFsync   *obs.Histogram // one WAL data fsync
+}
+
+// newMetrics builds the metrics set with its histogram buckets. Bucket
+// bounds are seconds; they are part of the README's documented contract
+// (the observability drift test reads them off /metrics).
+func newMetrics() *metrics {
+	return &metrics{
+		queueWait: obs.NewHistogram("stallserved_queue_wait_seconds",
+			"Time jobs waited in the scheduler queue before a worker picked them up.",
+			[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30}),
+		caseSecs: obs.NewHistogram("stallserved_case_seconds",
+			"Wall time per grid case: local simulate, memo hit, or remote round trip.",
+			[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30}),
+		memoLookup: obs.NewHistogram("stallserved_memo_lookup_seconds",
+			"Latency of result memo cache lookups (memory or disk).",
+			[]float64{0.00001, 0.0001, 0.001, 0.01, 0.1}),
+		walFsync: obs.NewHistogram("stallserved_wal_fsync_seconds",
+			"Latency of write-ahead-log data fsyncs.",
+			[]float64{0.0001, 0.001, 0.005, 0.01, 0.05, 0.1}),
+	}
 }
 
 // writeProm renders the metrics in Prometheus text format. queueDepth is
@@ -94,4 +121,8 @@ func (m *metrics) writeProm(w io.Writer, queueDepth, workersHealthy, workersTota
 		g("stallserved_memo_disk_entries", "Memo entries persisted on disk.", int64(ms.DiskEntries))
 		g("stallserved_memo_disk_bytes", "Bytes of memo entries persisted on disk.", ms.DiskBytes)
 	}
+	m.queueWait.WriteProm(w)
+	m.caseSecs.WriteProm(w)
+	m.memoLookup.WriteProm(w)
+	m.walFsync.WriteProm(w)
 }

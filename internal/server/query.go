@@ -63,7 +63,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// response carries) so clients can detect the aborted stream; if
 		// the failure was the client's own disconnect, the write just fails
 		// too and nobody is misled.
-		s.logf("query: stream aborted after %d rows: %v", n, err)
+		s.log.Warn("query stream aborted", "rows", n, "error", err)
 		line, merr := json.Marshal(map[string]errorBody{
 			"error": {Code: codeInternal, Message: fmt.Sprintf("stream aborted after %d rows: %v", n, err)},
 		})

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"datastall/internal/experiments"
+	"datastall/internal/obs"
 	"datastall/internal/trainer"
 )
 
@@ -80,7 +81,7 @@ func (s *Server) startWorkers() {
 // counters must be monotone, and no one else touches it), and the job
 // enters the store only after the enqueue succeeds (a rejected submission
 // is never visible, so nothing can race a DELETE against the rollback).
-func (s *Server) submit(tenant string, build func(id string) *Job) (*Job, error) {
+func (s *Server) submit(tenant, traceID string, build func(id string) *Job) (*Job, error) {
 	s.submitMu.RLock()
 	defer s.submitMu.RUnlock()
 	if s.draining {
@@ -92,6 +93,7 @@ func (s *Server) submit(tenant string, build func(id string) *Job) (*Job, error)
 	j := build(s.store.nextID())
 	j.tenant = tenant
 	j.quotaHeld = s.cfg.TenantQuota > 0
+	s.openTrace(j, traceID, false)
 	s.metrics.queued.Add(1)
 	select {
 	case s.queue <- j:
@@ -105,8 +107,30 @@ func (s *Server) submit(tenant string, build func(id string) *Job) (*Job, error)
 	// Logged after the job is visible and before the 202: under -fsync
 	// always, an acknowledged submission survives any crash.
 	s.walSubmitted(j)
-	s.logf("job %s: queued (%s %s)", j.ID, j.Kind, j.Name)
+	j.log.Info("job queued", "kind", j.Kind, "name", j.Name)
 	return j, nil
+}
+
+// openTrace gives a job its tracer, root span, queue-wait span and scoped
+// logger. traceID continues a caller-propagated trace (empty: fresh).
+func (s *Server) openTrace(j *Job, traceID string, recovered bool) {
+	j.tracer = obs.NewTracer("stallserved", traceID)
+	j.span = j.tracer.Start("job")
+	j.span.SetAttr("kind", j.Kind)
+	j.span.SetAttr("name", j.Name)
+	j.span.SetAttr("job_id", j.ID)
+	if j.tenant != "" {
+		j.span.SetAttr("tenant", j.tenant)
+	}
+	if recovered {
+		j.span.SetAttr("recovered", "true")
+	}
+	j.queueSpan = j.span.Start("queue_wait")
+	attrs := []interface{}{"job_id", j.ID, "trace_id", j.tracer.TraceID()}
+	if j.tenant != "" {
+		attrs = append(attrs, "tenant", j.tenant)
+	}
+	j.log = s.log.With(attrs...)
 }
 
 // runOne executes one job on the calling worker goroutine.
@@ -120,15 +144,25 @@ func (s *Server) runOne(j *Job) {
 	}
 	s.metrics.queued.Add(-1)
 	s.metrics.running.Add(1)
+	j.queueSpan.End()
+	j.mu.Lock()
+	waited := j.started.Sub(j.submitted)
+	j.mu.Unlock()
+	s.metrics.queueWait.Observe(waited.Seconds())
 	s.walStarted(j)
-	s.logf("job %s: running", j.ID)
-	rep, res, err := s.execute(ctx, j)
+	j.logger().Info("job running", "queue_wait_seconds", waited.Seconds())
+	runSpan := j.span.Start("run")
+	rep, res, err := s.execute(ctx, j, runSpan)
+	if err != nil {
+		runSpan.SetAttr("error", err.Error())
+	}
+	runSpan.End()
 	s.finishRun(j, rep, res, err)
 }
 
 // execute runs the job's workload with panic isolation, streaming events
 // through the job's broadcaster.
-func (s *Server) execute(ctx context.Context, j *Job) (rep *experiments.Report, res *trainer.Result, err error) {
+func (s *Server) execute(ctx context.Context, j *Job, runSpan obs.Span) (rep *experiments.Report, res *trainer.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("job %s: panic: %v", j.ID, p)
@@ -144,9 +178,9 @@ func (s *Server) execute(ctx context.Context, j *Job) (rep *experiments.Report, 
 		// coordinator's scatter loop exactly as they do locally.
 		switch j.Kind {
 		case KindSpec:
-			rep, err = s.coordRunSpec(ctx, j)
+			rep, err = s.coordRunSpec(ctx, j, runSpan)
 		case KindJob:
-			res, err = s.coordRunJob(ctx, j)
+			res, err = s.coordRunJob(ctx, j, runSpan)
 		default:
 			err = fmt.Errorf("job %s: unknown kind %q", j.ID, j.Kind)
 		}
@@ -154,9 +188,9 @@ func (s *Server) execute(ctx context.Context, j *Job) (rep *experiments.Report, 
 	}
 	switch j.Kind {
 	case KindSpec:
-		rep, err = s.runSpecLocal(ctx, j)
+		rep, err = s.runSpecLocal(ctx, j, runSpan)
 	case KindJob:
-		res, err = s.runJobLocal(ctx, j)
+		res, err = s.runJobLocal(ctx, j, runSpan)
 	default:
 		err = fmt.Errorf("job %s: unknown kind %q", j.ID, j.Kind)
 	}
@@ -202,7 +236,7 @@ func (s *Server) finishRun(j *Job, rep *experiments.Report, res *trainer.Result,
 	// the job terminal sees gauges that already reconcile.
 	s.metrics.running.Add(-1)
 	s.finalize(j)
-	s.logf("job %s: %s (%.2fs)", j.ID, st, j.wall)
+	j.logger().Info("job finished", "status", string(st), "wall_seconds", j.wall)
 }
 
 // finalize closes the job's event stream, accounts its drops, logs and
@@ -222,9 +256,10 @@ func (s *Server) finalize(j *Job) {
 	s.walTerminal(j)
 	if s.cfg.PersistDir != "" {
 		if err := persistJob(s.cfg.PersistDir, j); err != nil {
-			s.logf("job %s: persist: %v", j.ID, err)
+			j.logger().Warn("persist failed", "error", err)
 		}
 	}
+	s.endTrace(j)
 	close(j.done)
 	if j.quotaHeld {
 		j.quotaHeld = false
@@ -253,7 +288,7 @@ func (s *Server) cancelJob(j *Job) (Status, bool) {
 		s.metrics.queued.Add(-1)
 		s.metrics.cancelled.Add(1)
 		s.finalize(j)
-		s.logf("job %s: cancelled (was queued)", j.ID)
+		j.logger().Info("job cancelled (was queued)")
 		return StatusCancelled, true
 	default: // running
 		j.status = StatusCancelled
@@ -266,7 +301,7 @@ func (s *Server) cancelJob(j *Job) (Status, bool) {
 		s.walCancelRequested(j)
 		cancel()
 		s.metrics.cancelled.Add(1)
-		s.logf("job %s: cancelling (was running)", j.ID)
+		j.logger().Info("job cancelling (was running)")
 		return StatusCancelled, true
 	}
 }
@@ -305,7 +340,7 @@ func (s *Server) Drain(ctx context.Context) bool {
 	if s.wal != nil {
 		s.walClose.Do(func() {
 			if err := s.wal.Close(); err != nil {
-				s.logf("wal: close: %v", err)
+				s.log.Warn("wal close failed", "error", err)
 			}
 		})
 	}

@@ -41,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"sync"
@@ -49,6 +50,7 @@ import (
 
 	"datastall/internal/experiments"
 	"datastall/internal/memo"
+	"datastall/internal/obs"
 	"datastall/internal/trainer"
 	"datastall/internal/wal"
 )
@@ -102,8 +104,14 @@ type Config struct {
 	// directory, each (<= 0: 256 MiB). Enforced at insert and at startup,
 	// so shrinking the budget trims an existing directory immediately.
 	MemoMaxBytes int64
-	// Logf receives one line per job transition (nil: silent).
-	Logf func(format string, args ...interface{})
+	// Log receives structured job-transition and recovery logging (nil:
+	// silent). Per-job lines carry job_id, trace_id and (when set) tenant;
+	// coordinator retry lines add worker, case_key and attempt.
+	Log *slog.Logger
+	// TraceDir, when set, writes each finished job's merged trace as
+	// Chrome trace-event JSON to <dir>/<id>.trace.json (the same document
+	// GET /v1/jobs/{id}/trace serves).
+	TraceDir string
 
 	// WorkerURLs, when non-empty, runs the server in coordinator mode:
 	// spec jobs are sharded cell-by-cell across these stallserved workers
@@ -138,6 +146,7 @@ type Server struct {
 	mux     *http.ServeMux
 	start   time.Time
 	workers int
+	log     *slog.Logger
 
 	queue     chan *Job
 	wg        sync.WaitGroup
@@ -186,16 +195,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxRecords <= 0 {
 		cfg.MaxRecords = 4096
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...interface{}) {}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.DiscardHandler)
 	}
 	s := &Server{
 		cfg:          cfg,
 		store:        newStore(),
-		metrics:      &metrics{},
+		metrics:      newMetrics(),
 		queue:        make(chan *Job, cfg.QueueDepth),
 		start:        time.Now(),
 		tenantActive: map[string]int{},
+		log:          cfg.Log,
 	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	if len(cfg.WorkerURLs) > 0 {
@@ -204,17 +214,20 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.coord = coord
-		go coord.healthLoop(s.runCtx, s.logf)
+		go coord.healthLoop(s.runCtx, s.log)
 	}
 	if cfg.MemoDir != "" {
-		mc, err := memo.Open(memo.Options{Dir: cfg.MemoDir, MaxBytes: cfg.MemoMaxBytes})
+		mc, err := memo.Open(memo.Options{
+			Dir: cfg.MemoDir, MaxBytes: cfg.MemoMaxBytes,
+			OnLookup: func(hit bool, d time.Duration) { s.metrics.memoLookup.Observe(d.Seconds()) },
+		})
 		if err != nil {
 			return nil, fmt.Errorf("server: memo: %w", err)
 		}
 		s.memo = mc
 		st := mc.Stats()
-		s.logf("memo: %d entr(ies) (%d bytes) on disk in %s, salt %s",
-			st.DiskEntries, st.DiskBytes, cfg.MemoDir, mc.Salt())
+		s.log.Info("memo cache open", "dir", cfg.MemoDir,
+			"disk_entries", st.DiskEntries, "disk_bytes", st.DiskBytes, "salt", mc.Salt())
 	}
 	loadErrs := 0
 	var pending []*Job
@@ -222,6 +235,7 @@ func New(cfg Config) (*Server, error) {
 		l, rec, err := wal.Open(wal.Options{
 			Dir: cfg.WALDir, Fsync: cfg.WALFsync,
 			FsyncInterval: cfg.WALFsyncInterval, SegmentBytes: cfg.WALSegmentBytes,
+			OnFsync: func(d time.Duration) { s.metrics.walFsync.Observe(d.Seconds()) },
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: wal: %w", err)
@@ -241,7 +255,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		// Loaded after WAL replay: on an ID collision the WAL's richer
 		// record wins (insertLoaded keeps the first insertion).
-		loadErrs += loadPersisted(cfg.PersistDir, s.store, cfg.Logf)
+		loadErrs += loadPersisted(cfg.PersistDir, s.store, s.log)
 	}
 	if cfg.WALDir != "" || cfg.PersistDir != "" {
 		s.metrics.persistLoadErrors.Add(int64(loadErrs))
@@ -254,7 +268,9 @@ func New(cfg Config) (*Server, error) {
 				summary += fmt.Sprintf(", truncated torn tail in %s", s.walInfo.truncated)
 			}
 		}
-		s.logf("%s", summary)
+		// The summary stays one composed message: recovery tooling greps
+		// for its exact phrasing.
+		s.log.Info(summary)
 	}
 	s.buildMux()
 	s.startWorkers()
@@ -265,8 +281,6 @@ func New(cfg Config) (*Server, error) {
 	}
 	return s, nil
 }
-
-func (s *Server) logf(format string, args ...interface{}) { s.cfg.Logf(format, args...) }
 
 func (s *Server) buildMux() {
 	mux := http.NewServeMux()
@@ -279,6 +293,7 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux = mux
@@ -413,7 +428,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	j, err := s.submit(r.Header.Get("X-Tenant"), build)
+	// A caller-supplied traceparent (the coordinator→worker hop, or any
+	// external tracing client) threads its trace ID through, so a
+	// distributed sweep merges into one trace.
+	traceID, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	j, err := s.submit(r.Header.Get("X-Tenant"), traceID, build)
 	if err != nil {
 		switch {
 		case errors.Is(err, errQueueFull):

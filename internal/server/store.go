@@ -10,6 +10,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"datastall/internal/experiments"
+	"datastall/internal/obs"
 	"datastall/internal/stats"
 	"datastall/internal/trainer"
 	"datastall/internal/wal"
@@ -112,6 +114,28 @@ type Job struct {
 	// done closes exactly once, when the job reaches a terminal state and
 	// its event stream has been closed.
 	done chan struct{}
+
+	// tracer records the job's span tree (nil for jobs rehydrated from
+	// persistence — their execution predates this process). span is the
+	// root "job" span; queueSpan covers submission to worker pickup. log
+	// carries the job-scoped structured fields (job_id, trace_id, tenant).
+	// All are set before the job is enqueued and immutable after.
+	tracer    *obs.Tracer
+	span      obs.Span
+	queueSpan obs.Span
+	log       *slog.Logger
+}
+
+// discardLog backs logger() for jobs that never got a scoped logger
+// (rehydrated terminal records).
+var discardLog = slog.New(slog.DiscardHandler)
+
+// logger returns the job-scoped logger, never nil.
+func (j *Job) logger() *slog.Logger {
+	if j.log != nil {
+		return j.log
+	}
+	return discardLog
 }
 
 // Broadcaster is the trainer's fan-out observer; aliased so the API
@@ -387,10 +411,10 @@ func jobFromPersist(v persistJSON) *Job {
 // jobs. Snapshots that fail to parse (or are non-terminal) are skipped —
 // a corrupt file must not keep the service from starting — and counted in
 // the returned load-error total (surfaced on /metrics and /healthz).
-func loadPersisted(dir string, st *store, logf func(string, ...interface{})) (loadErrs int) {
+func loadPersisted(dir string, st *store, log *slog.Logger) (loadErrs int) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		logf("persist: %v", err)
+		log.Warn("persist: snapshot dir unreadable", "dir", dir, "error", err)
 		return 1
 	}
 	for _, e := range entries {
@@ -401,18 +425,18 @@ func loadPersisted(dir string, st *store, logf func(string, ...interface{})) (lo
 		b, err := os.ReadFile(path)
 		if err != nil {
 			loadErrs++
-			logf("persist: %s: %v", path, err)
+			log.Warn("persist: snapshot unreadable", "path", path, "error", err)
 			continue
 		}
 		var v persistJSON
 		if err := json.Unmarshal(b, &v); err != nil {
 			loadErrs++
-			logf("persist: %s: %v", path, err)
+			log.Warn("persist: snapshot unparseable", "path", path, "error", err)
 			continue
 		}
 		if v.ID == "" || !v.Status.Terminal() {
 			loadErrs++
-			logf("persist: %s: not a terminal job snapshot, skipping", path)
+			log.Warn("persist: not a terminal job snapshot, skipping", "path", path)
 			continue
 		}
 		st.insertLoaded(jobFromPersist(v))

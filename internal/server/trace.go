@@ -1,0 +1,106 @@
+// Trace plumbing: the per-job span tree recorded by internal/obs, served
+// over HTTP and merged across the coordinator→worker hop.
+//
+// Every submitted job gets a Tracer; its spans cover queue wait, the run,
+// each grid case (with memo-lookup events and per-epoch stall-attribution
+// sub-spans on the simulation clock), WAL appends, and — in coordinator
+// mode — one attempt span per dispatch with the worker's own trace
+// grafted under the successful attempt, so one distributed sweep yields
+// one merged trace. GET /v1/jobs/{id}/trace serves the Chrome trace-event
+// form (Perfetto / chrome://tracing viewable) by default and the flat
+// span-record form with ?format=spans (what the graft fetches).
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"datastall/internal/obs"
+	"datastall/internal/wal"
+)
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, codeNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if j.tracer == nil {
+		writeErr(w, http.StatusNotFound, codeNotFound,
+			"job %s has no trace (rehydrated from persistence)", j.ID)
+		return
+	}
+	if r.URL.Query().Get("format") == "spans" {
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"trace_id": j.tracer.TraceID(),
+			"spans":    j.tracer.Export(),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	j.tracer.WriteChrome(w)
+}
+
+// endTrace closes every span the job still has open (a cancelled or
+// failed run must not leave dangling spans) and, with Config.TraceDir
+// set, dumps the merged trace crash-atomically. Called from finalize,
+// before done closes, so waiters observe a complete trace.
+func (s *Server) endTrace(j *Job) {
+	if j.tracer == nil {
+		return
+	}
+	j.tracer.Finish()
+	if s.cfg.TraceDir == "" {
+		return
+	}
+	if err := os.MkdirAll(s.cfg.TraceDir, 0o755); err != nil {
+		j.logger().Warn("trace: dir", "error", err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := j.tracer.WriteChrome(&buf); err != nil {
+		j.logger().Warn("trace: encode", "error", err)
+		return
+	}
+	path := filepath.Join(s.cfg.TraceDir, j.ID+".trace.json")
+	if err := wal.AtomicWriteFile(path, buf.Bytes(), 0o644); err != nil {
+		j.logger().Warn("trace: write", "path", path, "error", err)
+	}
+}
+
+// graftRemoteTrace fetches a completed remote job's span records and
+// grafts them under the attempt span that dispatched it, merging the
+// worker's subtree into the coordinator's trace. Best-effort: a worker
+// that died after completing the case costs the trace its remote detail,
+// never the job its result.
+func (s *Server) graftRemoteTrace(ctx context.Context, w *coordWorker, id string, att obs.Span) {
+	if !att.Enabled() {
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		w.url+"/v1/jobs/"+id+"/trace?format=spans", nil)
+	if err != nil {
+		return
+	}
+	resp, err := s.coord.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	var v struct {
+		Spans []obs.SpanRecord `json:"spans"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&v); err != nil {
+		return
+	}
+	att.Graft(v.Spans)
+}

@@ -20,9 +20,11 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"strconv"
 	"time"
 
 	"datastall/internal/experiments"
+	"datastall/internal/obs"
 	"datastall/internal/trainer"
 	"datastall/internal/wal"
 )
@@ -58,34 +60,39 @@ type walCase struct {
 // replaying a terminal record and loading a legacy snapshot are the same
 // rehydration.
 
-// walAppend appends one record, counting it; a write failure is logged,
-// not fatal — the service keeps running on its in-memory state, exactly as
-// a failed snapshot write behaved.
-func (s *Server) walAppend(rec wal.Record) {
+// walAppend appends one record, counting it and tracing it as a
+// wal_append span under the job's root; a write failure is logged, not
+// fatal — the service keeps running on its in-memory state, exactly as a
+// failed snapshot write behaved.
+func (s *Server) walAppend(j *Job, rec wal.Record) {
 	if s.wal == nil {
 		return
 	}
-	if err := s.wal.Append(rec); err != nil {
-		s.logf("wal: %s %s: %v", rec.Type, rec.JobID, err)
+	sp := j.span.Start("wal_append")
+	sp.SetAttr("type", string(rec.Type))
+	err := s.wal.Append(rec)
+	sp.End()
+	if err != nil {
+		j.logger().Warn("wal append failed", "type", string(rec.Type), "error", err)
 		return
 	}
 	s.metrics.walAppends.Add(1)
 }
 
-func (s *Server) walRecord(typ wal.Type, id string, payload interface{}) {
+func (s *Server) walRecord(j *Job, typ wal.Type, payload interface{}) {
 	if s.wal == nil {
 		return
 	}
 	b, err := json.Marshal(payload)
 	if err != nil {
-		s.logf("wal: encode %s %s: %v", typ, id, err)
+		j.logger().Warn("wal encode failed", "type", string(typ), "error", err)
 		return
 	}
-	s.walAppend(wal.Record{Type: typ, JobID: id, Payload: b})
+	s.walAppend(j, wal.Record{Type: typ, JobID: j.ID, Payload: b})
 }
 
 func (s *Server) walSubmitted(j *Job) {
-	s.walRecord(wal.TypeSubmitted, j.ID, walSubmitted{
+	s.walRecord(j, wal.TypeSubmitted, walSubmitted{
 		Kind: j.Kind, Name: j.Name, Tenant: j.tenant, SubmittedAt: j.submitted,
 		Spec: j.spec, Job: j.jobSpec, Opts: j.opts,
 	})
@@ -95,7 +102,7 @@ func (s *Server) walStarted(j *Job) {
 	j.mu.Lock()
 	at := j.started
 	j.mu.Unlock()
-	s.walRecord(wal.TypeStarted, j.ID, walStarted{StartedAt: at})
+	s.walRecord(j, wal.TypeStarted, walStarted{StartedAt: at})
 }
 
 // walCaseDone captures one finished cell: memory first (the resume map a
@@ -110,11 +117,11 @@ func (s *Server) walCaseDone(j *Job, index int, res *trainer.Result) {
 	}
 	j.walCases[index] = res
 	j.mu.Unlock()
-	s.walRecord(wal.TypeCaseDone, j.ID, walCase{Index: index, Result: res})
+	s.walRecord(j, wal.TypeCaseDone, walCase{Index: index, Result: res})
 }
 
 func (s *Server) walCancelRequested(j *Job) {
-	s.walRecord(wal.TypeCancelRequested, j.ID, struct{}{})
+	s.walRecord(j, wal.TypeCancelRequested, struct{}{})
 }
 
 // walTerminal logs the job's final record and, every WALCompactEvery
@@ -123,14 +130,14 @@ func (s *Server) walTerminal(j *Job) {
 	if s.wal == nil {
 		return
 	}
-	s.walRecord(wal.TypeTerminal, j.ID, persistJSON{jobJSON: *j.view(true), Cases: j.caseResults()})
+	s.walRecord(j, wal.TypeTerminal, persistJSON{jobJSON: *j.view(true), Cases: j.caseResults()})
 	every := s.cfg.WALCompactEvery
 	if every <= 0 {
 		every = 64
 	}
 	if s.walTerminals.Add(1)%int64(every) == 0 {
 		if err := s.wal.Compact(s.walGather); err != nil {
-			s.logf("wal: compact: %v", err)
+			s.log.Warn("wal compact failed", "error", err)
 			return
 		}
 		s.metrics.walCompactions.Add(1)
@@ -147,7 +154,7 @@ func (s *Server) walGather() []wal.Record {
 	add := func(typ wal.Type, id string, payload interface{}) {
 		b, err := json.Marshal(payload)
 		if err != nil {
-			s.logf("wal: gather %s %s: %v", typ, id, err)
+			s.log.Warn("wal gather encode failed", "type", string(typ), "job_id", id, "error", err)
 			return
 		}
 		out = append(out, wal.Record{Type: typ, JobID: id, Payload: b})
@@ -224,7 +231,7 @@ func (s *Server) replayWAL(records []wal.Record) (pending []*Job, loadErrs int) 
 	for _, rec := range records {
 		if rec.JobID == "" {
 			loadErrs++
-			s.logf("wal: %s record with no job id, skipping", rec.Type)
+			s.log.Warn("wal replay: record with no job id, skipping", "type", string(rec.Type))
 			continue
 		}
 		switch rec.Type {
@@ -232,7 +239,7 @@ func (s *Server) replayWAL(records []wal.Record) (pending []*Job, loadErrs int) 
 			var v walSubmitted
 			if err := json.Unmarshal(rec.Payload, &v); err != nil {
 				loadErrs++
-				s.logf("wal: %s %s: %v", rec.Type, rec.JobID, err)
+				s.log.Warn("wal replay: bad record", "type", string(rec.Type), "job_id", rec.JobID, "error", err)
 				continue
 			}
 			state(rec.JobID).submitted = &v
@@ -240,7 +247,7 @@ func (s *Server) replayWAL(records []wal.Record) (pending []*Job, loadErrs int) 
 			var v walStarted
 			if err := json.Unmarshal(rec.Payload, &v); err != nil {
 				loadErrs++
-				s.logf("wal: %s %s: %v", rec.Type, rec.JobID, err)
+				s.log.Warn("wal replay: bad record", "type", string(rec.Type), "job_id", rec.JobID, "error", err)
 				continue
 			}
 			state(rec.JobID).started = &v
@@ -248,7 +255,7 @@ func (s *Server) replayWAL(records []wal.Record) (pending []*Job, loadErrs int) 
 			var v walCase
 			if err := json.Unmarshal(rec.Payload, &v); err != nil || v.Result == nil {
 				loadErrs++
-				s.logf("wal: %s %s: bad case payload", rec.Type, rec.JobID)
+				s.log.Warn("wal replay: bad case payload", "type", string(rec.Type), "job_id", rec.JobID)
 				continue
 			}
 			state(rec.JobID).cases[v.Index] = v.Result
@@ -258,13 +265,13 @@ func (s *Server) replayWAL(records []wal.Record) (pending []*Job, loadErrs int) 
 			var v persistJSON
 			if err := json.Unmarshal(rec.Payload, &v); err != nil || v.ID == "" || !v.Status.Terminal() {
 				loadErrs++
-				s.logf("wal: %s %s: bad terminal payload", rec.Type, rec.JobID)
+				s.log.Warn("wal replay: bad terminal payload", "type", string(rec.Type), "job_id", rec.JobID)
 				continue
 			}
 			state(rec.JobID).terminal = &v
 		default:
 			loadErrs++
-			s.logf("wal: unknown record type %q for %s, skipping", rec.Type, rec.JobID)
+			s.log.Warn("wal replay: unknown record type, skipping", "type", string(rec.Type), "job_id", rec.JobID)
 		}
 	}
 
@@ -277,7 +284,7 @@ func (s *Server) replayWAL(records []wal.Record) (pending []*Job, loadErrs int) 
 			// started/case_done records whose submitted record was lost to
 			// corruption: nothing to rebuild.
 			loadErrs++
-			s.logf("wal: job %s has lifecycle records but no submitted record, skipping", id)
+			s.log.Warn("wal replay: lifecycle records but no submitted record, skipping", "job_id", id)
 		case st.cancelled:
 			// The client was told "cancelled"; honour the verdict even
 			// though the crash beat the worker to the terminal record.
@@ -331,13 +338,14 @@ func pendingFromWAL(id string, st *walReplayState) *Job {
 // (submitted = queued + running + terminal totals) holds from the first
 // scrape. A full queue fails the job rather than blocking startup.
 func (s *Server) reenqueue(j *Job) {
+	s.openTrace(j, "", true)
 	s.metrics.queued.Add(1)
 	select {
 	case s.queue <- j:
 		s.metrics.submitted.Add(1)
 		s.metrics.walResumed.Add(1)
-		s.logf("job %s: recovered from wal, re-queued (%s %s, %d case(s) already done)",
-			j.ID, j.Kind, j.Name, len(j.resume))
+		j.log.Info("recovered from wal, re-queued",
+			"kind", j.Kind, "name", j.Name, "cases_done", len(j.resume))
 	default:
 		s.metrics.queued.Add(-1)
 		j.mu.Lock()
@@ -348,7 +356,7 @@ func (s *Server) reenqueue(j *Job) {
 		s.metrics.submitted.Add(1)
 		s.metrics.failed.Add(1)
 		s.finalize(j)
-		s.logf("job %s: recovered from wal but the queue is full; marked failed", j.ID)
+		j.log.Warn("recovered from wal but the queue is full; marked failed")
 	}
 }
 
@@ -367,7 +375,7 @@ func (j *Job) resumed(index int) *trainer.Result {
 // one starts. Cells with identical resolved configs run once per job
 // (seen map), and with -memo once ever: the cache serves repeats from any
 // earlier job or process and collapses identical in-flight cases.
-func (s *Server) runSpecLocal(ctx context.Context, j *Job) (*experiments.Report, error) {
+func (s *Server) runSpecLocal(ctx context.Context, j *Job, runSpan obs.Span) (*experiments.Report, error) {
 	cells, err := experiments.EnumerateCases(j.spec, j.opts)
 	if err != nil {
 		return nil, err
@@ -384,6 +392,11 @@ func (s *Server) runSpecLocal(ctx context.Context, j *Job) (*experiments.Report,
 		if cell.Case != "" {
 			text += " case=" + cell.Case
 		}
+		caseSpan := runSpan.StartThread("case")
+		caseSpan.SetAttr("row", cell.Row)
+		if cell.Case != "" {
+			caseSpan.SetAttr("case", cell.Case)
+		}
 		if res := j.resumed(cell.Index); res != nil {
 			results[cell.Index] = res
 			s.metrics.walResumedCases.Add(1)
@@ -391,6 +404,8 @@ func (s *Server) runSpecLocal(ctx context.Context, j *Job) (*experiments.Report,
 			j.bc.Observe(trainer.Annotation{
 				Kind: "case_resumed", Text: text, Index: cell.Index, Total: cell.Total,
 			})
+			caseSpan.Event("case_resumed")
+			caseSpan.End()
 			continue
 		}
 		s.metrics.events.Add(1)
@@ -402,25 +417,39 @@ func (s *Server) runSpecLocal(ctx context.Context, j *Job) (*experiments.Report,
 			if first, ok := seen[key.Hash]; ok {
 				results[cell.Index] = results[first]
 				s.walCaseDone(j, cell.Index, results[first])
+				caseSpan.Event("case_dedup")
+				caseSpan.End()
 				continue
 			}
 		}
+		caseStart := time.Now()
 		run := func() (*trainer.Result, error) {
+			sim := caseSpan.Start("simulate")
 			cfg, err := cell.Job.Build(j.opts)
 			if err != nil {
+				sim.End()
 				return nil, err
 			}
-			return trainer.RunContext(ctx, cfg, counting, j.bc)
+			res, err := trainer.RunContext(ctx, cfg, counting, j.bc)
+			if err == nil {
+				experiments.TraceEpochs(sim, cfg, res)
+			}
+			sim.End()
+			return res, err
 		}
 		var res *trainer.Result
 		if s.memo != nil && kerr == nil {
-			res, _, err = s.memo.Do(ctx, key, run)
+			var hit bool
+			res, hit, err = s.memo.Do(ctx, key, run)
+			caseSpan.Event("memo_lookup").SetAttr("hit", strconv.FormatBool(hit))
 		} else {
 			// A key derivation error is a config resolution error; run()
 			// surfaces the same failure.
 			res, err = run()
 		}
 		if err != nil {
+			caseSpan.SetAttr("error", err.Error())
+			caseSpan.End()
 			return nil, err
 		}
 		if kerr == nil {
@@ -428,27 +457,44 @@ func (s *Server) runSpecLocal(ctx context.Context, j *Job) (*experiments.Report,
 		}
 		results[cell.Index] = res
 		s.walCaseDone(j, cell.Index, res)
+		s.metrics.caseSecs.Observe(time.Since(caseStart).Seconds())
+		caseSpan.End()
 	}
-	return experiments.AssembleReport(j.spec, j.opts, results)
+	assemble := runSpan.Start("assemble")
+	rep, err := experiments.AssembleReport(j.spec, j.opts, results)
+	assemble.End()
+	return rep, err
 }
 
 // runJobLocal is the local KindJob executor: a single run is cell 0 of a
 // one-cell grid, recoverable the same way and memoizable when the submitted
 // JobSpec is retained (it always is for KindJob submissions).
-func (s *Server) runJobLocal(ctx context.Context, j *Job) (*trainer.Result, error) {
+func (s *Server) runJobLocal(ctx context.Context, j *Job, runSpan obs.Span) (*trainer.Result, error) {
+	caseSpan := runSpan.StartThread("case")
 	if res := j.resumed(0); res != nil {
 		s.metrics.walResumedCases.Add(1)
+		caseSpan.Event("case_resumed")
+		caseSpan.End()
 		return res, nil
 	}
+	caseStart := time.Now()
 	counting := trainer.ObserverFunc(func(trainer.Event) { s.metrics.events.Add(1) })
 	run := func() (*trainer.Result, error) {
-		return trainer.RunContext(ctx, j.cfg, counting, j.bc)
+		sim := caseSpan.Start("simulate")
+		res, err := trainer.RunContext(ctx, j.cfg, counting, j.bc)
+		if err == nil {
+			experiments.TraceEpochs(sim, j.cfg, res)
+		}
+		sim.End()
+		return res, err
 	}
 	var res *trainer.Result
 	var err error
 	if s.memo != nil && j.jobSpec != nil {
 		if key, kerr := experiments.CaseKey(*j.jobSpec, j.opts, s.memo.Salt()); kerr == nil {
-			res, _, err = s.memo.Do(ctx, key, run)
+			var hit bool
+			res, hit, err = s.memo.Do(ctx, key, run)
+			caseSpan.Event("memo_lookup").SetAttr("hit", strconv.FormatBool(hit))
 		} else {
 			res, err = run()
 		}
@@ -456,8 +502,12 @@ func (s *Server) runJobLocal(ctx context.Context, j *Job) (*trainer.Result, erro
 		res, err = run()
 	}
 	if err != nil {
+		caseSpan.SetAttr("error", err.Error())
+		caseSpan.End()
 		return nil, err
 	}
 	s.walCaseDone(j, 0, res)
+	s.metrics.caseSecs.Observe(time.Since(caseStart).Seconds())
+	caseSpan.End()
 	return res, nil
 }

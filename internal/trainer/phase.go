@@ -1,0 +1,27 @@
+package trainer
+
+// PhaseBreakdown attributes an epoch's time to the paper's fig-5 phases:
+// GPU-busy, fetch stall (time the pipeline waited on disk/network I/O),
+// and prep stall (the remaining unmasked stall — host-side decode and
+// augmentation). The epoch stats record total stall but not its split,
+// so fetch stall is reconstructed as the time the recorded I/O volume
+// needs at the configured device bandwidths, capped at the total stall;
+// whatever stall that leaves is prep. diskBW and netBW are bytes/s; a
+// non-positive bandwidth contributes no fetch time (that source is
+// treated as free, matching a FullyCached or Synthetic fetch path).
+func (e EpochStats) PhaseBreakdown(diskBW, netBW float64) (gpuBusy, fetchStall, prepStall float64) {
+	gpuBusy = e.ComputeTime
+	var ioTime float64
+	if diskBW > 0 {
+		ioTime += e.DiskBytes / diskBW
+	}
+	if netBW > 0 {
+		ioTime += e.NetBytes / netBW
+	}
+	fetchStall = ioTime
+	if fetchStall > e.StallTime {
+		fetchStall = e.StallTime
+	}
+	prepStall = e.StallTime - fetchStall
+	return gpuBusy, fetchStall, prepStall
+}

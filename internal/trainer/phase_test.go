@@ -1,0 +1,43 @@
+package trainer
+
+import "testing"
+
+func TestPhaseBreakdown(t *testing.T) {
+	e := EpochStats{
+		Duration:    10,
+		ComputeTime: 6,
+		StallTime:   4,
+		DiskBytes:   300e6,
+		NetBytes:    100e6,
+	}
+	// 300 MB at 100 MB/s + 100 MB at 100 MB/s = 4 s of I/O, exactly the
+	// stall budget: all stall is fetch.
+	gpu, fetch, prep := e.PhaseBreakdown(100e6, 100e6)
+	if gpu != 6 || fetch != 4 || prep != 0 {
+		t.Fatalf("got gpu=%v fetch=%v prep=%v, want 6 4 0", gpu, fetch, prep)
+	}
+
+	// Faster devices leave stall unexplained by I/O: the rest is prep.
+	gpu, fetch, prep = e.PhaseBreakdown(400e6, 400e6)
+	if gpu != 6 || fetch != 1 || prep != 3 {
+		t.Fatalf("got gpu=%v fetch=%v prep=%v, want 6 1 3", gpu, fetch, prep)
+	}
+
+	// Phases always repartition compute+stall exactly.
+	if sum := gpu + fetch + prep; sum != e.ComputeTime+e.StallTime {
+		t.Fatalf("phases sum to %v, want %v", sum, e.ComputeTime+e.StallTime)
+	}
+
+	// I/O exceeding the stall budget is capped: fetch can never exceed
+	// the recorded stall.
+	_, fetch, prep = e.PhaseBreakdown(1e6, 0)
+	if fetch != 4 || prep != 0 {
+		t.Fatalf("got fetch=%v prep=%v, want capped 4 0", fetch, prep)
+	}
+
+	// Zero bandwidths (cacheless fetch paths) contribute no fetch time.
+	_, fetch, prep = e.PhaseBreakdown(0, 0)
+	if fetch != 0 || prep != 4 {
+		t.Fatalf("got fetch=%v prep=%v, want 0 4", fetch, prep)
+	}
+}

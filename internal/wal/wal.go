@@ -65,6 +65,10 @@ type Options struct {
 	// SegmentBytes rotates the active segment once it exceeds this size
 	// (<= 0: 4 MiB).
 	SegmentBytes int64
+	// OnFsync, when set, observes the duration of each data fsync (the
+	// per-append syncs under FsyncAlways and the timer syncs under
+	// FsyncInterval) — the feed for the wal_fsync latency histogram.
+	OnFsync func(d time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -180,7 +184,7 @@ func (l *Log) Append(rec Record) error {
 	l.size += int64(len(buf))
 	l.appends++
 	if l.opt.Fsync == FsyncAlways {
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncTimed(); err != nil {
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
 	}
@@ -277,7 +281,18 @@ func (l *Log) Sync() error {
 	if l.closed || l.f == nil {
 		return nil
 	}
-	return l.f.Sync()
+	return l.syncTimed()
+}
+
+// syncTimed fsyncs the active segment and reports the latency to the
+// OnFsync observer. Caller holds l.mu.
+func (l *Log) syncTimed() error {
+	start := time.Now()
+	err := l.f.Sync()
+	if err == nil && l.opt.OnFsync != nil {
+		l.opt.OnFsync(time.Since(start))
+	}
+	return err
 }
 
 // Appends returns the number of records appended since Open.
@@ -321,7 +336,7 @@ func (l *Log) runSyncLoop() {
 		case <-t.C:
 			l.mu.Lock()
 			if !l.closed && l.f != nil {
-				l.f.Sync()
+				l.syncTimed()
 			}
 			l.mu.Unlock()
 		}

@@ -63,6 +63,12 @@ metric() {
   curl -sf "$URL/metrics" | sed -n "s/^$1 //p"
 }
 
+# memo_field LINE FIELD -> numeric value of FIELD=N on a slog memo-summary
+# line (msg="memo summary" hits=N misses=N evictions=N load_errors=N).
+memo_field() {
+  echo "$1" | sed -n "s/.*[[:space:]]$2=\([0-9][0-9]*\).*/\1/p"
+}
+
 mkdir -p "$BUILD_DIR"
 go build -o "$BUILD_DIR/runsuite" ./cmd/runsuite
 go build -o "$BUILD_DIR/stallserved" ./cmd/stallserved
@@ -72,18 +78,18 @@ rm -rf "$MEMO"
 "$BUILD_DIR/runsuite" -ids fig5,fig9a,fig18 -json -cases -memo "$MEMO" \
   >"$BUILD_DIR/memosmoke-cold.json" 2>"$BUILD_DIR/memosmoke-cold.err" ||
   fail "cold runsuite failed: $(cat "$BUILD_DIR/memosmoke-cold.err")"
-COLD_LINE=$(grep '^runsuite: memo:' "$BUILD_DIR/memosmoke-cold.err") ||
+COLD_LINE=$(grep 'msg="memo summary"' "$BUILD_DIR/memosmoke-cold.err") ||
   fail "cold run printed no memo summary"
-COLD_MISSES=$(echo "$COLD_LINE" | sed -n 's/.*: \([0-9]*\) hit(s), \([0-9]*\) miss(es).*/\2/p')
+COLD_MISSES=$(memo_field "$COLD_LINE" misses)
 [ "$COLD_MISSES" -gt 0 ] || fail "cold run missed nothing: $COLD_LINE"
 
 "$BUILD_DIR/runsuite" -ids fig5,fig9a,fig18 -json -cases -memo "$MEMO" \
   >"$BUILD_DIR/memosmoke-warm.json" 2>"$BUILD_DIR/memosmoke-warm.err" ||
   fail "warm runsuite failed: $(cat "$BUILD_DIR/memosmoke-warm.err")"
-WARM_LINE=$(grep '^runsuite: memo:' "$BUILD_DIR/memosmoke-warm.err") ||
+WARM_LINE=$(grep 'msg="memo summary"' "$BUILD_DIR/memosmoke-warm.err") ||
   fail "warm run printed no memo summary"
-WARM_HITS=$(echo "$WARM_LINE" | sed -n 's/.*: \([0-9]*\) hit(s).*/\1/p')
-WARM_MISSES=$(echo "$WARM_LINE" | sed -n 's/.*, \([0-9]*\) miss(es).*/\1/p')
+WARM_HITS=$(memo_field "$WARM_LINE" hits)
+WARM_MISSES=$(memo_field "$WARM_LINE" misses)
 [ "$WARM_MISSES" -eq 0 ] || fail "warm run re-simulated $WARM_MISSES case(s): $WARM_LINE"
 [ "$WARM_HITS" -eq "$COLD_MISSES" ] ||
   fail "warm hits $WARM_HITS != cold misses $COLD_MISSES"
@@ -135,10 +141,10 @@ printf '\377' | dd of="$VICTIM" bs=1 seek=$(($(wc -c <"$VICTIM") - 1)) conv=notr
 "$BUILD_DIR/runsuite" -ids fig5,fig9a,fig18 -json -cases -memo "$MEMO" \
   >"$BUILD_DIR/memosmoke-corrupt.json" 2>"$BUILD_DIR/memosmoke-corrupt.err" ||
   fail "runsuite failed on a corrupt entry: $(cat "$BUILD_DIR/memosmoke-corrupt.err")"
-CORRUPT_LINE=$(grep '^runsuite: memo:' "$BUILD_DIR/memosmoke-corrupt.err") ||
+CORRUPT_LINE=$(grep 'msg="memo summary"' "$BUILD_DIR/memosmoke-corrupt.err") ||
   fail "corrupt run printed no memo summary"
-LOAD_ERRS=$(echo "$CORRUPT_LINE" | sed -n 's/.*, \([0-9]*\) load error(s).*/\1/p')
-CORRUPT_MISSES=$(echo "$CORRUPT_LINE" | sed -n 's/.*, \([0-9]*\) miss(es).*/\1/p')
+LOAD_ERRS=$(memo_field "$CORRUPT_LINE" load_errors)
+CORRUPT_MISSES=$(memo_field "$CORRUPT_LINE" misses)
 [ "$LOAD_ERRS" -ge 1 ] || fail "corrupt entry was not counted as a load error: $CORRUPT_LINE"
 [ "$CORRUPT_MISSES" -ge 1 ] || fail "corrupt entry was not treated as a miss: $CORRUPT_LINE"
 cmp -s "$BUILD_DIR/memosmoke-cold.json" "$BUILD_DIR/memosmoke-corrupt.json" ||

@@ -1,0 +1,122 @@
+#!/bin/sh
+# End-to-end smoke of the tracing pipeline, run by `make tracesmoke` locally
+# and in CI, on real binaries:
+#
+#   1. Boot stallserved with -trace-dir, submit the fig5 spec over HTTP,
+#      and fetch GET /v1/jobs/{id}/trace when it completes. The trace must
+#      pass tracetool's strict schema check, and the -trace-dir dump must
+#      canonicalize to the same topology as the HTTP response.
+#   2. Determinism: run the same spec again on the same server; the second
+#      job's stripped topology must be byte-identical to the first, and
+#      both must match the committed golden
+#      (testdata/traces/fig5-topology.golden — regenerate deliberately
+#      with TRACESMOKE_UPDATE=1 ./scripts/tracesmoke.sh).
+#   3. Drain: SIGTERM must still exit cleanly with tracing on.
+#
+# On failure everything needed to debug — server log, fetched traces,
+# topologies — is left under $BUILD_DIR/tracesmoke-* (uploaded as a CI
+# artifact).
+set -eu
+
+BUILD_DIR=${BUILD_DIR:-build}
+PORT=${TRACESMOKE_PORT:-18097}
+URL=http://127.0.0.1:$PORT
+TRACEDIR=$BUILD_DIR/tracesmoke-traces
+SRVLOG=$BUILD_DIR/tracesmoke-server.log
+GOLDEN=testdata/traces/fig5-topology.golden
+SRVPID=
+
+fail() {
+  echo "tracesmoke: FAIL: $*" >&2
+  [ -f "$SRVLOG" ] && sed 's/^/tracesmoke: server: /' "$SRVLOG" >&2 || true
+  exit 1
+}
+
+wait_healthy() {
+  i=0
+  until curl -sf "$URL/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || fail "server never became healthy"
+    sleep 0.1
+  done
+}
+
+# Submit {"spec_name": "fig5"} and wait for completion; sets JOB_ID.
+run_fig5() {
+  JOB_ID=$(curl -sf -X POST "$URL/v1/jobs" -d '{"spec_name": "fig5"}' |
+    sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+  [ -n "$JOB_ID" ] || fail "submit returned no job id ($1)"
+  i=0
+  until curl -sf "$URL/v1/jobs/$JOB_ID" 2>/dev/null | grep -q '"status": "completed"'; do
+    i=$((i + 1))
+    [ "$i" -lt 600 ] || fail "job $JOB_ID never completed ($1)"
+    sleep 0.1
+  done
+}
+
+mkdir -p "$BUILD_DIR"
+go build -o "$BUILD_DIR/stallserved" ./cmd/stallserved
+go build -o "$BUILD_DIR/tracetool" ./cmd/tracetool
+rm -rf "$TRACEDIR"
+
+"$BUILD_DIR/stallserved" -addr 127.0.0.1:"$PORT" -workers 2 \
+  -trace-dir "$TRACEDIR" >"$SRVLOG" 2>&1 &
+SRVPID=$!
+trap 'kill "$SRVPID" 2>/dev/null || true' EXIT
+wait_healthy
+
+# --- Leg 1: fetch, validate, and reconcile HTTP vs -trace-dir. ---
+run_fig5 first
+curl -sf "$URL/v1/jobs/$JOB_ID/trace" >"$BUILD_DIR/tracesmoke-1.json" ||
+  fail "GET trace (first)"
+"$BUILD_DIR/tracetool" -validate "$BUILD_DIR/tracesmoke-1.json" ||
+  fail "served trace failed validation"
+"$BUILD_DIR/tracetool" -topology "$BUILD_DIR/tracesmoke-1.json" \
+  >"$BUILD_DIR/tracesmoke-1.topo" || fail "topology (first)"
+DUMP=$TRACEDIR/$JOB_ID.trace.json
+i=0
+until [ -f "$DUMP" ]; do # the dump lands just after the job turns terminal
+  i=$((i + 1))
+  [ "$i" -lt 50 ] || fail "no -trace-dir dump at $DUMP"
+  sleep 0.1
+done
+"$BUILD_DIR/tracetool" -validate "$DUMP" || fail "-trace-dir dump failed validation"
+"$BUILD_DIR/tracetool" -topology "$DUMP" >"$BUILD_DIR/tracesmoke-dump.topo" ||
+  fail "topology (dump)"
+cmp -s "$BUILD_DIR/tracesmoke-1.topo" "$BUILD_DIR/tracesmoke-dump.topo" ||
+  fail "HTTP trace and -trace-dir dump disagree on topology"
+SPANS=$("$BUILD_DIR/tracetool" -validate "$BUILD_DIR/tracesmoke-1.json" 2>&1 |
+  sed -n 's/.*valid (\([0-9]*\) spans).*/\1/p')
+echo "tracesmoke: fig5 trace valid ($SPANS spans), HTTP and -trace-dir dumps agree"
+
+# --- Leg 2: rerun identity + committed golden. ---
+run_fig5 second
+curl -sf "$URL/v1/jobs/$JOB_ID/trace" >"$BUILD_DIR/tracesmoke-2.json" ||
+  fail "GET trace (second)"
+"$BUILD_DIR/tracetool" -topology "$BUILD_DIR/tracesmoke-2.json" \
+  >"$BUILD_DIR/tracesmoke-2.topo" || fail "topology (second)"
+cmp -s "$BUILD_DIR/tracesmoke-1.topo" "$BUILD_DIR/tracesmoke-2.topo" ||
+  fail "trace topology differs across reruns of the same spec:
+$(diff "$BUILD_DIR/tracesmoke-1.topo" "$BUILD_DIR/tracesmoke-2.topo" | head -20)"
+if [ -n "${TRACESMOKE_UPDATE:-}" ]; then
+  mkdir -p "$(dirname "$GOLDEN")"
+  cp "$BUILD_DIR/tracesmoke-1.topo" "$GOLDEN"
+  echo "tracesmoke: wrote $GOLDEN"
+fi
+[ -f "$GOLDEN" ] || fail "no committed golden at $GOLDEN (TRACESMOKE_UPDATE=1 creates it)"
+cmp -s "$BUILD_DIR/tracesmoke-1.topo" "$GOLDEN" ||
+  fail "trace topology drifted from $GOLDEN (TRACESMOKE_UPDATE=1 regenerates after deliberate changes):
+$(diff "$GOLDEN" "$BUILD_DIR/tracesmoke-1.topo" | head -20)"
+echo "tracesmoke: rerun topology byte-identical and matches the committed golden"
+
+# --- Leg 3: clean drain with tracing on. ---
+kill -TERM "$SRVPID"
+i=0
+while kill -0 "$SRVPID" 2>/dev/null; do
+  i=$((i + 1))
+  [ "$i" -lt 100 ] || fail "server did not exit within 10s of SIGTERM"
+  sleep 0.1
+done
+wait "$SRVPID" || fail "server exited non-zero on SIGTERM"
+grep -q "bye" "$SRVLOG" || fail "no clean shutdown message in server log"
+echo "tracesmoke: PASS"
